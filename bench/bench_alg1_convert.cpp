@@ -1,0 +1,83 @@
+// E5 (Algorithm 1): dataflow -> Gamma conversion throughput and scaling
+// across graph sizes and node-kind mixes.
+//
+// Reproduced claim: the conversion is a single linear pass over I and E —
+// measured complexity should be ~O(n) in graph size, and the reaction count
+// equals the interior node count exactly.
+#include "bench_util.hpp"
+#include "gammaflow/paper/figures.hpp"
+#include "gammaflow/translate/df_to_gamma.hpp"
+
+using namespace gammaflow;
+
+namespace {
+
+void verify() {
+  bench::header("E5 / Algorithm 1 — dataflow to Gamma conversion",
+                "claim: one reaction per interior node, one initial element "
+                "per root out-edge, one label per edge");
+  bench::Table table({"graph", "nodes", "edges", "reactions", "initialM"});
+  const auto show = [&](const char* name, const dataflow::Graph& g) {
+    const auto conv = translate::dataflow_to_gamma(g);
+    table.row(name, g.node_count(), g.edge_count(),
+              conv.program.reaction_count(), conv.initial.size());
+  };
+  show("fig1", paper::fig1_graph());
+  show("fig2", paper::fig2_graph(3, 5, 0, true));
+  show("expr(64)", paper::random_expression_graph(64, 1));
+  show("expr(1024)", paper::random_expression_graph(1024, 1));
+  show("loops(16)", paper::multi_loop_graph(16, 4, true));
+}
+
+void BM_Alg1_ExpressionGraphs(benchmark::State& state) {
+  const dataflow::Graph g = paper::random_expression_graph(
+      static_cast<std::size_t>(state.range(0)), 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(translate::dataflow_to_gamma(g));
+  }
+  state.counters["nodes"] = static_cast<double>(g.node_count());
+  state.SetComplexityN(static_cast<std::int64_t>(g.node_count()));
+}
+BENCHMARK(BM_Alg1_ExpressionGraphs)
+    ->RangeMultiplier(4)
+    ->Range(16, 65536)
+    ->Unit(benchmark::kMicrosecond)
+    ->Complexity(benchmark::oN);
+
+void BM_Alg1_LoopGraphs(benchmark::State& state) {
+  // Steer/inctag-heavy mix (conditional reactions with label disjunctions).
+  const dataflow::Graph g = paper::multi_loop_graph(
+      static_cast<std::size_t>(state.range(0)), 4, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(translate::dataflow_to_gamma(g));
+  }
+  state.counters["nodes"] = static_cast<double>(g.node_count());
+}
+BENCHMARK(BM_Alg1_LoopGraphs)
+    ->RangeMultiplier(4)
+    ->Range(1, 1024)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Alg1_Fig2Repeated(benchmark::State& state) {
+  const dataflow::Graph g = paper::fig2_graph(3, 5, 0, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(translate::dataflow_to_gamma(g));
+  }
+}
+BENCHMARK(BM_Alg1_Fig2Repeated)->Unit(benchmark::kMicrosecond);
+
+void BM_Alg1_ShapeTriplesVsPairs(benchmark::State& state) {
+  const dataflow::Graph g = paper::random_expression_graph(256, 11);
+  const translate::DfToGammaOptions opts{
+      state.range(0) == 0 ? translate::DfToGammaOptions::Shape::Pairs
+                          : translate::DfToGammaOptions::Shape::Triples};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(translate::dataflow_to_gamma(g, opts));
+  }
+  state.SetLabel(state.range(0) == 0 ? "pairs" : "triples");
+}
+BENCHMARK(BM_Alg1_ShapeTriplesVsPairs)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+GF_BENCH_MAIN(verify)

@@ -1,0 +1,114 @@
+// E6 (Algorithm 2 + reconstruction): Gamma -> dataflow conversion cost, per
+// reaction (the printed algorithm) and whole-program (the future-work
+// reconstruction), vs reaction count and arity.
+#include <sstream>
+
+#include "bench_util.hpp"
+#include "gammaflow/gamma/dsl/parser.hpp"
+#include "gammaflow/paper/figures.hpp"
+#include "gammaflow/translate/df_to_gamma.hpp"
+#include "gammaflow/translate/gamma_to_df.hpp"
+
+using namespace gammaflow;
+
+namespace {
+
+void verify() {
+  bench::header("E6 / Algorithm 2 — Gamma to dataflow conversion",
+                "claim: replace list -> roots, conditions -> cmp + steers, "
+                "by-expressions -> arithmetic trees; whole programs rebuild "
+                "their source graphs");
+  bench::Table table({"reaction", "roots", "cmps", "steers", "ariths"});
+  const auto show = [&](const char* name, const gamma::Reaction& r) {
+    const auto rg = translate::per_reaction_graph(r);
+    std::size_t cmps = 0, steers = 0, ariths = 0;
+    for (const auto& n : rg.graph.nodes()) {
+      cmps += n.kind == dataflow::NodeKind::Cmp;
+      steers += n.kind == dataflow::NodeKind::Steer;
+      ariths += n.kind == dataflow::NodeKind::Arith;
+    }
+    table.row(name, rg.roots.size(), cmps, steers, ariths);
+  };
+  show("Fig1 R1", gamma::dsl::parse_reaction(
+                      "R1 = replace [a,'A1'], [b,'B1'] by [a + b, 'B2']"));
+  show("Eq2 min", gamma::dsl::parse_reaction(
+                      "Rmin = replace x, y by x where x < y"));
+  show("Rd1 (4-ary)", *paper::fig1_reduced_gamma().all_reactions()[0]);
+
+  const auto conv = translate::dataflow_to_gamma(paper::fig2_graph(3, 5, 0, true));
+  const auto rebuilt = translate::reconstruct_graph(conv.program, conv.initial);
+  std::cout << "whole-program reconstruction of fig2: " << rebuilt.node_count()
+            << " nodes / " << rebuilt.edge_count() << " edges (original 13/17)\n";
+}
+
+/// k-ary unconditional sum reaction.
+gamma::Reaction sum_reaction(std::size_t k) {
+  std::ostringstream vars, body;
+  for (std::size_t i = 0; i < k; ++i) {
+    vars << (i ? ", " : "") << "[x" << i << ", 'l" << i << "']";
+    body << (i ? " + x" : "x") << i;
+  }
+  return gamma::dsl::parse_reaction("R = replace " + vars.str() + " by [" +
+                                    body.str() + ", 'out']");
+}
+
+void BM_Alg2_PerReactionByArity(benchmark::State& state) {
+  const gamma::Reaction r = sum_reaction(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(translate::per_reaction_graph(r));
+  }
+}
+BENCHMARK(BM_Alg2_PerReactionByArity)
+    ->DenseRange(1, 8, 1)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Alg2_PerReactionConditional(benchmark::State& state) {
+  const auto r = gamma::dsl::parse_reaction(
+      "Rmin = replace x, y by x where x < y");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(translate::per_reaction_graph(r));
+  }
+}
+BENCHMARK(BM_Alg2_PerReactionConditional)->Unit(benchmark::kMicrosecond);
+
+void BM_Alg2_ReconstructExpressionPrograms(benchmark::State& state) {
+  const auto conv = translate::dataflow_to_gamma(paper::random_expression_graph(
+      static_cast<std::size_t>(state.range(0)), 17));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        translate::reconstruct_graph(conv.program, conv.initial));
+  }
+  state.counters["reactions"] =
+      static_cast<double>(conv.program.reaction_count());
+}
+BENCHMARK(BM_Alg2_ReconstructExpressionPrograms)
+    ->RangeMultiplier(4)
+    ->Range(16, 4096)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Alg2_ReconstructLoopPrograms(benchmark::State& state) {
+  const auto conv = translate::dataflow_to_gamma(paper::multi_loop_graph(
+      static_cast<std::size_t>(state.range(0)), 4, true));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        translate::reconstruct_graph(conv.program, conv.initial));
+  }
+}
+BENCHMARK(BM_Alg2_ReconstructLoopPrograms)
+    ->RangeMultiplier(4)
+    ->Range(1, 256)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Alg2_FullRoundTripFig2(benchmark::State& state) {
+  const dataflow::Graph g = paper::fig2_graph(3, 5, 0, true);
+  for (auto _ : state) {
+    const auto conv = translate::dataflow_to_gamma(g);
+    benchmark::DoNotOptimize(
+        translate::reconstruct_graph(conv.program, conv.initial));
+  }
+}
+BENCHMARK(BM_Alg2_FullRoundTripFig2)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+GF_BENCH_MAIN(verify)

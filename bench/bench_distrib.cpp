@@ -1,0 +1,138 @@
+// E9 (extension; the paper's §IV future work): Gamma on distributed
+// multisets. Verifies that sharded execution reaches the centralized
+// fixpoint and measures rounds/messages across cluster sizes, placements,
+// and latencies — the knobs an IoT deployment would care about.
+#include "bench_util.hpp"
+#include "gammaflow/common/rng.hpp"
+#include "gammaflow/distrib/cluster.hpp"
+#include "gammaflow/gamma/dsl/parser.hpp"
+#include "gammaflow/gamma/engine.hpp"
+#include "gammaflow/paper/figures.hpp"
+#include "gammaflow/translate/df_to_gamma.hpp"
+
+using namespace gammaflow;
+
+namespace {
+
+gamma::Multiset random_ints(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  gamma::Multiset m;
+  for (std::size_t i = 0; i < n; ++i) {
+    m.add(gamma::Element{Value(static_cast<std::int64_t>(rng.bounded(100000)))});
+  }
+  return m;
+}
+
+void verify() {
+  bench::header("E9 — distributed multisets (SIV future work)",
+                "claim: sharded rewriting with Safra termination reaches the "
+                "centralized fixpoint; work spreads across nodes");
+  const auto p = gamma::dsl::parse_program("R = replace x, y by x + y");
+  const gamma::Multiset m = random_ints(200, 5);
+  const auto expected = gamma::IndexedEngine().run(p, m).final_multiset;
+  bench::Table table({"nodes", "rounds", "messages", "migrations",
+                      "safra_laps", "correct"});
+  for (const std::size_t nodes : {1u, 2u, 4u, 8u, 16u}) {
+    distrib::ClusterOptions opts;
+    opts.nodes = nodes;
+    opts.seed = 9;
+    const auto r = distrib::run_distributed(p, m, opts);
+    table.row(nodes, r.rounds, r.messages, r.migrations, r.token_laps,
+              r.final_multiset == expected ? "yes" : "NO");
+  }
+  // The converted Fig. 2 loop as distributed chemistry.
+  const auto conv =
+      translate::dataflow_to_gamma(paper::fig2_graph(6, 5, 100, true));
+  distrib::ClusterOptions opts;
+  opts.nodes = 4;
+  const auto r = distrib::run_distributed(conv.program, conv.initial, opts);
+  const auto observed = r.final_multiset.with_label("x_final");
+  std::cout << "converted Fig. 2 loop on 4 nodes: x_final = "
+            << (observed.empty() ? std::string("<none>")
+                                 : observed[0].value().to_string())
+            << " (expect 130), " << r.rounds << " rounds, " << r.messages
+            << " messages\n";
+}
+
+void BM_Distrib_SumByClusterSize(benchmark::State& state) {
+  const auto p = gamma::dsl::parse_program("R = replace x, y by x + y");
+  const gamma::Multiset m = random_ints(256, 5);
+  distrib::ClusterOptions opts;
+  opts.nodes = static_cast<std::size_t>(state.range(0));
+  opts.seed = 9;
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    const auto r = distrib::run_distributed(p, m, opts);
+    rounds = r.rounds;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["rounds"] = static_cast<double>(rounds);
+}
+BENCHMARK(BM_Distrib_SumByClusterSize)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Distrib_SumByMultisetSize(benchmark::State& state) {
+  const auto p = gamma::dsl::parse_program("R = replace x, y by x + y");
+  const gamma::Multiset m =
+      random_ints(static_cast<std::size_t>(state.range(0)), 5);
+  distrib::ClusterOptions opts;
+  opts.nodes = 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(distrib::run_distributed(p, m, opts));
+  }
+}
+BENCHMARK(BM_Distrib_SumByMultisetSize)
+    ->RangeMultiplier(4)
+    ->Range(16, 4096)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Distrib_PlacementAblation(benchmark::State& state) {
+  // DESIGN §5: placement decides how much stirring is needed before
+  // labeled partners meet.
+  const auto p = gamma::dsl::parse_program(
+      "R = replace [x,'a'], [y,'b'] by [x + y, 'c']");
+  gamma::Multiset m;
+  for (int i = 0; i < 64; ++i) {
+    m.add(gamma::Element::labeled(Value(i), "a"));
+    m.add(gamma::Element::labeled(Value(i), "b"));
+  }
+  distrib::ClusterOptions opts;
+  opts.nodes = 4;
+  opts.placement = static_cast<distrib::Placement>(state.range(0));
+  std::uint64_t migrations = 0;
+  for (auto _ : state) {
+    const auto r = distrib::run_distributed(p, m, opts);
+    migrations = r.migrations;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["migrations"] = static_cast<double>(migrations);
+  state.SetLabel(state.range(0) == 0   ? "hash"
+                 : state.range(0) == 1 ? "round-robin"
+                                       : "single-node");
+}
+BENCHMARK(BM_Distrib_PlacementAblation)
+    ->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Distrib_LatencySweep(benchmark::State& state) {
+  const auto p = gamma::dsl::parse_program("R = replace x, y by x + y");
+  const gamma::Multiset m = random_ints(128, 5);
+  distrib::ClusterOptions opts;
+  opts.nodes = 4;
+  opts.latency = static_cast<std::size_t>(state.range(0));
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    const auto r = distrib::run_distributed(p, m, opts);
+    rounds = r.rounds;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["rounds"] = static_cast<double>(rounds);
+}
+BENCHMARK(BM_Distrib_LatencySweep)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+GF_BENCH_MAIN(verify)

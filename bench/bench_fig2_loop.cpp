@@ -1,0 +1,112 @@
+// E2 (Fig. 2): the loop  for(i=z; i>0; i--) x = x + y  with steer/inctag
+// control, across iteration counts, on both models and all engines.
+//
+// Reproduced claim: the nine converted reactions drive the same computation
+// the tagged-token machine performs, iteration for iteration; the paper's
+// printed (observer-less) graph dissolves to an empty multiset.
+#include "bench_util.hpp"
+#include "gammaflow/dataflow/engine.hpp"
+#include "gammaflow/gamma/engine.hpp"
+#include "gammaflow/paper/figures.hpp"
+#include "gammaflow/translate/df_to_gamma.hpp"
+
+using namespace gammaflow;
+
+namespace {
+
+void verify() {
+  bench::header("E2 / Fig. 2 — loop graph with steer + inctag",
+                "claim: x_final = x + z*y on both models; empty multiset "
+                "without an observer");
+  bench::Table table(
+      {"z", "expected", "dataflow", "gamma", "df_fires", "gm_steps"});
+  const dataflow::Interpreter interp;
+  const gamma::IndexedEngine engine;
+  for (const std::int64_t z : {0, 1, 4, 16, 64}) {
+    const dataflow::Graph g = paper::fig2_graph(z, 5, 100, true);
+    const auto df = interp.run(g);
+    const auto conv = translate::dataflow_to_gamma(g);
+    const auto gm = engine.run(conv.program, conv.initial);
+    const auto observed = gm.final_multiset.with_label("x_final");
+    table.row(z, 100 + 5 * z, df.single_output("x_final").to_string(),
+              observed.size() == 1 ? observed[0].value().to_string() : "<none>",
+              df.fires, gm.steps);
+  }
+  const auto listing = engine.run(paper::fig2_gamma(), paper::fig2_initial(8, 5, 100));
+  std::cout << "paper's observer-less listing, z=8: final multiset = "
+            << listing.final_multiset << " (expected {})\n";
+}
+
+void BM_Loop_Dataflow(benchmark::State& state) {
+  const dataflow::Graph g = paper::fig2_graph(state.range(0), 5, 0, true);
+  const dataflow::Interpreter interp;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interp.run(g));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Loop_Dataflow)
+    ->RangeMultiplier(10)
+    ->Range(1, 10000)
+    ->Unit(benchmark::kMicrosecond)
+    ->Complexity();
+
+void BM_Loop_DataflowParallelPEs(benchmark::State& state) {
+  const dataflow::Graph g = paper::fig2_graph(state.range(0), 5, 0, true);
+  const dataflow::ParallelEngine engine;
+  dataflow::DfRunOptions opts;
+  opts.workers = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(g, opts));
+  }
+}
+BENCHMARK(BM_Loop_DataflowParallelPEs)
+    ->RangeMultiplier(10)
+    ->Range(1, 1000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Loop_GammaIndexed(benchmark::State& state) {
+  const auto conv = translate::dataflow_to_gamma(
+      paper::fig2_graph(state.range(0), 5, 0, true));
+  const gamma::IndexedEngine engine;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(conv.program, conv.initial));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Loop_GammaIndexed)
+    ->RangeMultiplier(10)
+    ->Range(1, 10000)
+    ->Unit(benchmark::kMicrosecond)
+    ->Complexity();
+
+// The reduced six-reaction §III-A3 program against the nine-reaction one.
+void BM_Loop_GammaReducedListing(benchmark::State& state) {
+  const auto program = paper::fig2_reduced_gamma();
+  const auto initial = paper::fig2_initial(state.range(0), 5, 0);
+  const gamma::IndexedEngine engine;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(program, initial));
+  }
+}
+BENCHMARK(BM_Loop_GammaReducedListing)
+    ->RangeMultiplier(10)
+    ->Range(1, 10000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Loop_GammaNineReactionListing(benchmark::State& state) {
+  const auto program = paper::fig2_gamma();
+  const auto initial = paper::fig2_initial(state.range(0), 5, 0);
+  const gamma::IndexedEngine engine;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(program, initial));
+  }
+}
+BENCHMARK(BM_Loop_GammaNineReactionListing)
+    ->RangeMultiplier(10)
+    ->Range(1, 10000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+GF_BENCH_MAIN(verify)

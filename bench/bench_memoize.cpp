@@ -1,0 +1,103 @@
+// E10 (extension; the paper's §I benefit list): instruction trace reuse
+// (DF-DTM, ref [3]) applied to dataflow executions of Gamma-born programs.
+// Measures hit rates and the cost/benefit of the memo table on workloads
+// with and without operand recurrence.
+#include "bench_util.hpp"
+#include "gammaflow/dataflow/engine.hpp"
+#include "gammaflow/frontend/compile.hpp"
+#include "gammaflow/gamma/dsl/parser.hpp"
+#include "gammaflow/paper/figures.hpp"
+#include "gammaflow/translate/gamma_to_df.hpp"
+
+using namespace gammaflow;
+
+namespace {
+
+/// Fixpoint iteration x = (x*2)/2 — every firing after round one repeats
+/// operands exactly (the best case trace reuse was invented for).
+dataflow::Graph reuse_heavy_loop(std::int64_t iters) {
+  return frontend::compile_source(
+      "int x = 7; for (i = " + std::to_string(iters) +
+      "; i > 0; i--) x = (x * 2) / 2; output x;");
+}
+
+/// Accumulating loop — operands change every iteration; worst case.
+dataflow::Graph reuse_hostile_loop(std::int64_t iters) {
+  return frontend::compile_source(
+      "int x = 0; for (i = " + std::to_string(iters) +
+      "; i > 0; i--) x = x + i; output x;");
+}
+
+void verify() {
+  bench::header("E10 — instruction trace reuse (DF-DTM, ref [3])",
+                "claim: dataflow executions of repetitive programs reuse "
+                "prior firings; results are unchanged");
+  bench::Table table({"workload", "fires", "hits", "misses", "hit_rate"});
+  const dataflow::Interpreter interp;
+  dataflow::DfRunOptions memo;
+  memo.memoize = true;
+  const auto show = [&](const char* name, const dataflow::Graph& g) {
+    const auto plain = interp.run(g);
+    const auto r = interp.run(g, memo);
+    const double rate =
+        r.memo_hits + r.memo_misses == 0
+            ? 0.0
+            : static_cast<double>(r.memo_hits) /
+                  static_cast<double>(r.memo_hits + r.memo_misses);
+    std::ostringstream pct;
+    pct.precision(3);
+    pct << rate;
+    table.row(name, r.fires, r.memo_hits, r.memo_misses, pct.str());
+  };
+  show("fig1 (one-shot)", paper::fig1_graph());
+  show("fig2 z=64", paper::fig2_graph(64, 5, 0, true));
+  show("reuse-heavy(64)", reuse_heavy_loop(64));
+  show("reuse-hostile(64)", reuse_hostile_loop(64));
+  const auto rmin = gamma::dsl::parse_reaction(
+      "Rmin = replace x, y by x where x < y");
+  gamma::Multiset m;
+  for (int i = 0; i < 32; ++i) m.add(gamma::Element{Value(i % 4)});
+  show("fig4 mapping (dup-heavy multiset)",
+       translate::instantiate_mapping(rmin, m).graph);
+}
+
+void BM_Memo_ReuseHeavy_Off(benchmark::State& state) {
+  const dataflow::Graph g = reuse_heavy_loop(state.range(0));
+  const dataflow::Interpreter interp;
+  for (auto _ : state) benchmark::DoNotOptimize(interp.run(g));
+}
+BENCHMARK(BM_Memo_ReuseHeavy_Off)
+    ->RangeMultiplier(4)->Range(16, 1024)->Unit(benchmark::kMicrosecond);
+
+void BM_Memo_ReuseHeavy_On(benchmark::State& state) {
+  const dataflow::Graph g = reuse_heavy_loop(state.range(0));
+  const dataflow::Interpreter interp;
+  dataflow::DfRunOptions memo;
+  memo.memoize = true;
+  for (auto _ : state) benchmark::DoNotOptimize(interp.run(g, memo));
+}
+BENCHMARK(BM_Memo_ReuseHeavy_On)
+    ->RangeMultiplier(4)->Range(16, 1024)->Unit(benchmark::kMicrosecond);
+
+void BM_Memo_ReuseHostile_Off(benchmark::State& state) {
+  const dataflow::Graph g = reuse_hostile_loop(state.range(0));
+  const dataflow::Interpreter interp;
+  for (auto _ : state) benchmark::DoNotOptimize(interp.run(g));
+}
+BENCHMARK(BM_Memo_ReuseHostile_Off)
+    ->RangeMultiplier(4)->Range(16, 1024)->Unit(benchmark::kMicrosecond);
+
+void BM_Memo_ReuseHostile_On(benchmark::State& state) {
+  // The overhead side of the ledger: a 0%-hit workload pays for hashing.
+  const dataflow::Graph g = reuse_hostile_loop(state.range(0));
+  const dataflow::Interpreter interp;
+  dataflow::DfRunOptions memo;
+  memo.memoize = true;
+  for (auto _ : state) benchmark::DoNotOptimize(interp.run(g, memo));
+}
+BENCHMARK(BM_Memo_ReuseHostile_On)
+    ->RangeMultiplier(4)->Range(16, 1024)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+GF_BENCH_MAIN(verify)

@@ -1,0 +1,171 @@
+// E8 (§II claims): both models "express parallelism naturally". Two
+// hardware-independent shape checks plus engine timings:
+//   - the dataflow wavefront profile (how many node instances are fireable
+//     per step) widens with the workload's width;
+//   - the Gamma concurrent-firings count does the same;
+// and engine comparisons: sequential-oracle vs indexed vs parallel Gamma,
+// interpreter vs parallel-PE dataflow, worker sweeps 1..8.
+#include "bench_util.hpp"
+#include "gammaflow/analysis/analysis.hpp"
+#include "gammaflow/common/rng.hpp"
+#include "gammaflow/gamma/dsl/parser.hpp"
+#include "gammaflow/gamma/engine.hpp"
+#include "gammaflow/paper/figures.hpp"
+#include "gammaflow/translate/df_to_gamma.hpp"
+
+using namespace gammaflow;
+
+namespace {
+
+gamma::Multiset random_ints(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  gamma::Multiset m;
+  for (std::size_t i = 0; i < n; ++i) {
+    m.add(gamma::Element{Value(static_cast<std::int64_t>(rng.bounded(1000000)))});
+  }
+  return m;
+}
+
+void verify() {
+  bench::header("E8 — natural parallelism of both models",
+                "claim: exposed parallelism grows with workload width in "
+                "both models (hardware-independent profiles)");
+  bench::Table table({"loops", "df_maxwidth", "df_speedup", "gm_concurrent"});
+  for (const std::size_t loops : {1u, 2u, 4u, 8u, 16u}) {
+    const dataflow::Graph g = paper::multi_loop_graph(loops, 6, true);
+    const auto profile = analysis::parallelism_profile(g);
+    const auto conv = translate::dataflow_to_gamma(g);
+    std::ostringstream speedup;
+    speedup.precision(3);
+    speedup << profile.ideal_speedup;
+    table.row(loops, profile.max_width, speedup.str(),
+              analysis::concurrent_firings(conv.program, conv.initial));
+  }
+  std::cout << "(this container has " << std::thread::hardware_concurrency()
+            << " hardware thread(s); wall-clock speedups below reflect that, "
+               "the profiles above do not)\n";
+}
+
+// --- Gamma engines on the sum workload ---
+
+template <typename Engine>
+void run_gamma_sum(benchmark::State& state, unsigned workers) {
+  const gamma::Program p =
+      gamma::dsl::parse_program("R = replace x, y by x + y");
+  const gamma::Multiset m =
+      random_ints(static_cast<std::size_t>(state.range(0)), 13);
+  const Engine engine;
+  gamma::RunOptions opts;
+  opts.workers = workers;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(p, m, opts));
+  }
+}
+
+void BM_GammaSum_SequentialOracle(benchmark::State& state) {
+  run_gamma_sum<gamma::SequentialEngine>(state, 1);
+}
+BENCHMARK(BM_GammaSum_SequentialOracle)
+    ->RangeMultiplier(4)
+    ->Range(4, 64)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_GammaSum_Indexed(benchmark::State& state) {
+  run_gamma_sum<gamma::IndexedEngine>(state, 1);
+}
+BENCHMARK(BM_GammaSum_Indexed)
+    ->RangeMultiplier(4)
+    ->Range(4, 4096)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_GammaSum_Parallel1(benchmark::State& state) {
+  run_gamma_sum<gamma::ParallelEngine>(state, 1);
+}
+BENCHMARK(BM_GammaSum_Parallel1)
+    ->RangeMultiplier(4)
+    ->Range(4, 1024)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_GammaSum_Parallel2(benchmark::State& state) {
+  run_gamma_sum<gamma::ParallelEngine>(state, 2);
+}
+BENCHMARK(BM_GammaSum_Parallel2)
+    ->RangeMultiplier(4)
+    ->Range(4, 1024)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_GammaSum_Parallel4(benchmark::State& state) {
+  run_gamma_sum<gamma::ParallelEngine>(state, 4);
+}
+BENCHMARK(BM_GammaSum_Parallel4)
+    ->RangeMultiplier(4)
+    ->Range(4, 1024)
+    ->Unit(benchmark::kMicrosecond);
+
+// --- dataflow engines on the multi-loop workload ---
+
+void BM_DataflowLoops_Interpreter(benchmark::State& state) {
+  const dataflow::Graph g = paper::multi_loop_graph(
+      static_cast<std::size_t>(state.range(0)), 16, true);
+  const dataflow::Interpreter engine;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(g));
+  }
+}
+BENCHMARK(BM_DataflowLoops_Interpreter)
+    ->RangeMultiplier(2)
+    ->Range(1, 16)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_DataflowLoops_ParallelPEs(benchmark::State& state) {
+  const dataflow::Graph g = paper::multi_loop_graph(4, 16, true);
+  const dataflow::ParallelEngine engine;
+  dataflow::DfRunOptions opts;
+  opts.workers = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(g, opts));
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " workers");
+}
+BENCHMARK(BM_DataflowLoops_ParallelPEs)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+// --- indexed vs sequential ablation on a label-partitioned workload ---
+// (DESIGN.md §5.2: index-guided matching vs Eq. (1) literal enumeration)
+void BM_Ablation_IndexedVsSequential(benchmark::State& state) {
+  const gamma::Program p = gamma::dsl::parse_program(R"(
+    Ra = replace [x, 'a'], [y, 'a'] by [x + y, 'a']
+    Rb = replace [x, 'b'], [y, 'b'] by [x + y, 'b']
+    Rc = replace [x, 'c'], [y, 'c'] by [x + y, 'c']
+  )");
+  gamma::Multiset m;
+  Rng rng(21);
+  for (std::int64_t i = 0; i < state.range(1); ++i) {
+    const char* label = i % 3 == 0 ? "a" : i % 3 == 1 ? "b" : "c";
+    m.add(gamma::Element::labeled(
+        Value(static_cast<std::int64_t>(rng.bounded(100))), label));
+  }
+  if (state.range(0) == 0) {
+    const gamma::SequentialEngine engine;
+    for (auto _ : state) benchmark::DoNotOptimize(engine.run(p, m));
+    state.SetLabel("sequential-oracle");
+  } else {
+    const gamma::IndexedEngine engine;
+    for (auto _ : state) benchmark::DoNotOptimize(engine.run(p, m));
+    state.SetLabel("indexed");
+  }
+}
+BENCHMARK(BM_Ablation_IndexedVsSequential)
+    ->Args({0, 30})
+    ->Args({1, 30})
+    ->Args({0, 90})
+    ->Args({1, 90})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+GF_BENCH_MAIN(verify)

@@ -1,0 +1,57 @@
+// Shared helpers for the experiment harness: each bench binary first prints
+// a paper-shaped verification table (the qualitative result the experiment
+// reproduces), then runs its google-benchmark timings.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace gammaflow::bench {
+
+inline void header(const std::string& experiment, const std::string& claim) {
+  std::cout << "\n================================================================\n"
+            << experiment << '\n'
+            << claim << '\n'
+            << "================================================================\n";
+}
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns, int width = 14)
+      : columns_(std::move(columns)), width_(width) {
+    for (const auto& c : columns_) {
+      std::cout << std::setw(width_) << c;
+    }
+    std::cout << '\n';
+    std::cout << std::string(columns_.size() * static_cast<std::size_t>(width_),
+                             '-')
+              << '\n';
+  }
+
+  template <typename... Cells>
+  void row(const Cells&... cells) {
+    ((std::cout << std::setw(width_) << cells), ...);
+    std::cout << '\n';
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  int width_;
+};
+
+/// Standard main body: verification table first, benchmarks second.
+#define GF_BENCH_MAIN(verify_fn)                       \
+  int main(int argc, char** argv) {                    \
+    verify_fn();                                       \
+    ::benchmark::Initialize(&argc, argv);              \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();             \
+    ::benchmark::Shutdown();                           \
+    return 0;                                          \
+  }
+
+}  // namespace gammaflow::bench

@@ -1,0 +1,72 @@
+// Classic Gamma programming in the DSL: the prime sieve and min/max written
+// as one-reaction chemical programs, executed by multiset rewriting, and —
+// where Algorithm 2 permits — run as mapped dataflow rounds (Fig. 4).
+//
+// Usage: gamma_primes [limit]          (default 50)
+#include <cstdlib>
+#include <iostream>
+
+#include "gammaflow/gamma/dsl/parser.hpp"
+#include "gammaflow/gamma/engine.hpp"
+#include "gammaflow/translate/gamma_to_df.hpp"
+
+using namespace gammaflow;
+
+int main(int argc, char** argv) {
+  const std::int64_t limit = argc > 1 ? std::atoll(argv[1]) : 50;
+
+  // --- the sieve: delete y whenever some x divides it ---------------------
+  const gamma::Program sieve = gamma::dsl::parse_program(R"(
+    # one reaction is the whole program: multiples dissolve
+    Rsieve = replace x, y
+             by [x]
+             where (y % x == 0) and (x > 1)
+  )");
+  gamma::Multiset numbers;
+  for (std::int64_t i = 2; i <= limit; ++i) numbers.add(gamma::Element{Value(i)});
+
+  const gamma::IndexedEngine engine;
+  const auto primes = engine.run(sieve, numbers);
+  std::cout << "primes <= " << limit << ": " << primes.final_multiset << '\n';
+  std::cout << "(" << primes.steps << " reactions fired to reach the fixpoint)\n\n";
+
+  // --- min & max: Eq. (2) of the paper ------------------------------------
+  const auto rmin =
+      gamma::dsl::parse_reaction("Rmin = replace x, y by x where x < y");
+  const auto rmax =
+      gamma::dsl::parse_reaction("Rmax = replace x, y by x where x > y");
+  gamma::Multiset sample;
+  for (std::int64_t v : {42, 7, 99, 3, 56, 12, 71, 28}) {
+    sample.add(gamma::Element{Value(v)});
+  }
+  std::cout << "sample multiset " << sample << '\n';
+  std::cout << "min via rewriting: "
+            << engine.run(gamma::Program(rmin), sample).final_multiset << '\n';
+  std::cout << "max via rewriting: "
+            << engine.run(gamma::Program(rmax), sample).final_multiset << "\n\n";
+
+  // --- the same min reaction as MAPPED DATAFLOW (Fig. 4) ------------------
+  // Algorithm 2 turns the reaction into a graph; the Fig. 4 mapping
+  // replicates it over the multiset; rounds iterate to the fixpoint.
+  const auto mapped = translate::instantiate_mapping(rmin, sample);
+  std::cout << "Fig. 4 mapping of Rmin over " << sample.size()
+            << " elements: " << mapped.instances << " graph instances, "
+            << mapped.leftover << " leftover (graph has "
+            << mapped.graph.node_count() << " nodes)\n";
+  const auto rounds = translate::map_until_fixpoint(rmin, sample, /*seed=*/7);
+  std::cout << "mapped dataflow rounds: result = " << rounds.result << " in "
+            << rounds.rounds << " rounds / " << rounds.total_fires
+            << " node firings\n\n";
+
+  // --- gcd as a staged program: reduce pairwise, then dedupe --------------
+  const gamma::Program gcd_then_one = gamma::dsl::parse_program(R"(
+    Rgcd = replace x, y by [x - y], [y] where x > y ;
+    Rdedupe = replace x, x by [x]
+  )");
+  gamma::Multiset nums{gamma::Element{Value(36)}, gamma::Element{Value(60)},
+                       gamma::Element{Value(96)}};
+  std::cout << "gcd" << nums << " = "
+            << engine.run(gcd_then_one, nums).final_multiset
+            << "   (two sequential stages: ';' composition)\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Static checking of Gamma programs — the direction Structured Gamma
+// (§II-B: "type checking at compile time") points at, applied to the plain
+// model: label-flow analysis over a program + initial multiset that reports
+// defects before anything runs.
+//
+// Findings:
+//   DeadReaction       — a pattern's label is never produced by any reaction
+//                        nor present initially: the reaction can never fire.
+//   LeakedLabel        — a label is produced but no reaction consumes it;
+//                        its elements accumulate. Often intended (program
+//                        results like Fig. 1's 'm') — severity Info.
+//   GuaranteedDivergence — an unconditional (or else-carrying) reaction
+//                        whose every firing keeps the multiset size >= its
+//                        consumption while producing a label it also
+//                        consumes: the classic x -> x+1 runaway.
+//   ConstantCondition  — a branch condition that folds to a literal: the
+//                        branch is always or never taken.
+//   UnusedBinder       — a replace-list value binder referenced by no
+//                        condition or output: the element is consumed purely
+//                        for synchronization (legal, worth flagging).
+//   ArityMismatch      — mixed element arities between a reaction's outputs
+//                        and the patterns that would consume them.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "gammaflow/gamma/multiset.hpp"
+#include "gammaflow/gamma/program.hpp"
+
+namespace gammaflow::analysis {
+
+enum class Severity { Info, Warning, Error };
+
+struct Finding {
+  Severity severity = Severity::Warning;
+  std::string check;     // stable id, e.g. "dead-reaction"
+  std::string reaction;  // offending reaction name ("" for program-level)
+  std::string message;
+};
+
+struct LintReport {
+  std::vector<Finding> findings;
+
+  [[nodiscard]] bool clean() const noexcept { return findings.empty(); }
+  [[nodiscard]] std::size_t errors() const noexcept;
+  [[nodiscard]] std::size_t warnings() const noexcept;
+  /// Findings of one check id.
+  [[nodiscard]] std::vector<Finding> of(const std::string& check) const;
+};
+
+std::ostream& operator<<(std::ostream& os, const LintReport& report);
+
+/// Analyzes `program` against `initial`. Pure; never throws on suspicious
+/// programs (that is the point), only on malformed inputs.
+[[nodiscard]] LintReport lint_program(const gamma::Program& program,
+                                      const gamma::Multiset& initial);
+
+}  // namespace gammaflow::analysis

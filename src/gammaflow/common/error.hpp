@@ -1,0 +1,66 @@
+// Error taxonomy for gammaflow. All library errors derive from gammaflow::Error
+// so callers can catch the whole family; specific types let tests pin failure
+// modes (type misuse vs malformed graphs vs parse errors vs engine limits).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gammaflow {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Value-level misuse: wrong kind, bad promotion, division by zero.
+class TypeError : public Error {
+ public:
+  explicit TypeError(const std::string& what) : Error("TypeError: " + what) {}
+};
+
+/// Structurally invalid dataflow graph (dangling edge, bad port, cycle of
+/// constants, ...), detected by GraphBuilder/validate.
+class GraphError : public Error {
+ public:
+  explicit GraphError(const std::string& what) : Error("GraphError: " + what) {}
+};
+
+/// Invalid Gamma program construction (arity mismatch, unknown variable, ...).
+class ProgramError : public Error {
+ public:
+  explicit ProgramError(const std::string& what) : Error("ProgramError: " + what) {}
+};
+
+/// Surface-syntax errors from the Gamma DSL lexer/parser, with location.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, int line, int column)
+      : Error("ParseError at " + std::to_string(line) + ":" +
+              std::to_string(column) + ": " + what),
+        line_(line),
+        column_(column) {}
+
+  [[nodiscard]] int line() const noexcept { return line_; }
+  [[nodiscard]] int column() const noexcept { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+/// Runtime engine failures: step-limit exhaustion, deadlocked graph (tokens
+/// left but nothing fireable), termination-detection violations.
+class EngineError : public Error {
+ public:
+  explicit EngineError(const std::string& what) : Error("EngineError: " + what) {}
+};
+
+/// Translator failures: constructs Algorithm 1/2 cannot express.
+class TranslateError : public Error {
+ public:
+  explicit TranslateError(const std::string& what)
+      : Error("TranslateError: " + what) {}
+};
+
+}  // namespace gammaflow

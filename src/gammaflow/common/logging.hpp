@@ -1,0 +1,53 @@
+// Tiny leveled logger. Off (Warn) by default so engine hot loops stay silent;
+// tests and examples can raise verbosity. Thread-safe line-at-a-time output.
+#pragma once
+
+#include <iosfwd>
+#include <sstream>
+#include <string>
+
+namespace gammaflow {
+
+enum class LogLevel : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4 };
+
+/// Global threshold; messages below it are discarded before formatting cost
+/// where the GF_LOG macro is used.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+/// Emits one line ("[level] message") to stderr under a lock.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace gammaflow
+
+#define GF_LOG(level)                                      \
+  if (static_cast<int>(level) <                            \
+      static_cast<int>(::gammaflow::log_level())) {        \
+  } else                                                   \
+    ::gammaflow::detail::LogStream(level)
+
+#define GF_TRACE GF_LOG(::gammaflow::LogLevel::Trace)
+#define GF_DEBUG GF_LOG(::gammaflow::LogLevel::Debug)
+#define GF_INFO GF_LOG(::gammaflow::LogLevel::Info)
+#define GF_WARN GF_LOG(::gammaflow::LogLevel::Warn)
+#define GF_ERROR GF_LOG(::gammaflow::LogLevel::Error)

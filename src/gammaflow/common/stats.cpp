@@ -1,0 +1,65 @@
+#include "gammaflow/common/stats.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace gammaflow {
+
+void Summary::merge(const Summary& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void StatsRegistry::record(const std::string& name, double x) {
+  std::lock_guard lock(mutex_);
+  summaries_[name].observe(x);
+}
+
+void StatsRegistry::count(const std::string& name, std::uint64_t n) {
+  std::lock_guard lock(mutex_);
+  counters_[name] += n;
+}
+
+Summary StatsRegistry::summary(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  if (auto it = summaries_.find(name); it != summaries_.end()) return it->second;
+  return {};
+}
+
+std::uint64_t StatsRegistry::counter(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  if (auto it = counters_.find(name); it != counters_.end()) return it->second;
+  return 0;
+}
+
+void StatsRegistry::clear() {
+  std::lock_guard lock(mutex_);
+  summaries_.clear();
+  counters_.clear();
+}
+
+std::ostream& operator<<(std::ostream& os, const StatsRegistry& reg) {
+  std::lock_guard lock(reg.mutex_);
+  for (const auto& [name, value] : reg.counters_) {
+    os << name << " = " << value << '\n';
+  }
+  for (const auto& [name, s] : reg.summaries_) {
+    os << name << ": n=" << s.count() << " mean=" << s.mean()
+       << " min=" << s.min() << " max=" << s.max() << '\n';
+  }
+  return os;
+}
+
+}  // namespace gammaflow

@@ -1,0 +1,79 @@
+// Lightweight execution statistics shared by both runtimes and the benches:
+// monotonically increasing counters (thread-safe) and a streaming summary
+// accumulator (count/min/max/mean/variance via Welford).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace gammaflow {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t get() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Welford's online mean/variance; single-writer (merge for multi-writer).
+class Summary {
+ public:
+  void observe(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_ || count_ == 1) min_ = x;
+    if (x > max_ || count_ == 1) max_ = x;
+  }
+
+  void merge(const Summary& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept {
+    return mean_ * static_cast<double>(count_);
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Named-metric registry a run can fill and a bench can print uniformly.
+class StatsRegistry {
+ public:
+  void record(const std::string& name, double x);
+  void count(const std::string& name, std::uint64_t n = 1);
+  [[nodiscard]] Summary summary(const std::string& name) const;
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const;
+  void clear();
+
+  friend std::ostream& operator<<(std::ostream& os, const StatsRegistry& reg);
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Summary> summaries_;
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace gammaflow

@@ -1,0 +1,67 @@
+#include "gammaflow/dataflow/dot.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace gammaflow::dataflow {
+namespace {
+
+const char* shape(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::Const: return "square";
+    case NodeKind::Arith:
+    case NodeKind::Cmp: return "circle";
+    case NodeKind::Steer: return "triangle";
+    case NodeKind::IncTag:
+    case NodeKind::DecTag: return "diamond";
+    case NodeKind::Output: return "doublecircle";
+  }
+  return "circle";
+}
+
+std::string node_label(const Node& n) {
+  std::ostringstream os;
+  switch (n.kind) {
+    case NodeKind::Const: os << n.constant; break;
+    case NodeKind::Arith:
+    case NodeKind::Cmp:
+      os << expr::to_string(n.op);
+      if (n.has_immediate) os << n.constant;
+      break;
+    case NodeKind::Steer: os << "steer"; break;
+    case NodeKind::IncTag: os << "inctag"; break;
+    case NodeKind::DecTag: os << "dectag"; break;
+    case NodeKind::Output: os << "out"; break;
+  }
+  if (!n.name.empty()) os << "\\n" << n.name;
+  return os.str();
+}
+
+}  // namespace
+
+void write_dot(std::ostream& os, const Graph& graph, const std::string& title) {
+  os << "digraph \"" << title << "\" {\n";
+  os << "  rankdir=TB;\n";
+  for (NodeId id = 0; id < graph.node_count(); ++id) {
+    const Node& n = graph.node(id);
+    os << "  n" << id << " [shape=" << shape(n.kind) << ", label=\""
+       << node_label(n) << "\"];\n";
+  }
+  for (const Edge& e : graph.edges()) {
+    os << "  n" << e.src << " -> n" << e.dst << " [label=\"" << e.label << '"';
+    if (graph.node(e.src).kind == NodeKind::Steer) {
+      os << (e.src_port == kSteerTrue ? ", taillabel=\"T\""
+                                      : ", taillabel=\"F\"");
+    }
+    os << "];\n";
+  }
+  os << "}\n";
+}
+
+std::string to_dot(const Graph& graph, const std::string& title) {
+  std::ostringstream os;
+  write_dot(os, graph, title);
+  return os.str();
+}
+
+}  // namespace gammaflow::dataflow

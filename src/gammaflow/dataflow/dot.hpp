@@ -1,0 +1,18 @@
+// Graphviz DOT export, drawing the paper's shape conventions: squares for
+// roots (Const), circles for operators, triangles for Steer, diamonds
+// (lozenges) for IncTag/DecTag, double circles for Output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "gammaflow/dataflow/graph.hpp"
+
+namespace gammaflow::dataflow {
+
+void write_dot(std::ostream& os, const Graph& graph,
+               const std::string& title = "dataflow");
+[[nodiscard]] std::string to_dot(const Graph& graph,
+                                 const std::string& title = "dataflow");
+
+}  // namespace gammaflow::dataflow

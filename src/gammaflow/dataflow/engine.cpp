@@ -1,0 +1,81 @@
+#include "gammaflow/dataflow/engine.hpp"
+
+#include <algorithm>
+
+#include "gammaflow/expr/eval.hpp"
+
+namespace gammaflow::dataflow {
+
+std::vector<Value> DfRunResult::output_values(const std::string& name) const {
+  auto it = outputs.find(name);
+  if (it == outputs.end()) {
+    throw EngineError("unknown output '" + name + "'");
+  }
+  std::vector<std::pair<Tag, Value>> sorted = it->second;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<Value> values;
+  values.reserve(sorted.size());
+  for (auto& [tag, v] : sorted) values.push_back(std::move(v));
+  return values;
+}
+
+Value DfRunResult::single_output(const std::string& name) const {
+  const auto values = output_values(name);
+  if (values.size() != 1) {
+    throw EngineError("output '" + name + "' produced " +
+                      std::to_string(values.size()) + " tokens, expected 1");
+  }
+  return values.front();
+}
+
+Firing fire_node(const Node& node, const std::vector<Value>& inputs, Tag tag) {
+  Firing f;
+  switch (node.kind) {
+    case NodeKind::Const:
+      f.emits = true;
+      f.value = node.constant;
+      f.tag = tag;
+      return f;
+    case NodeKind::Arith:
+      f.emits = true;
+      f.value = expr::apply(node.op, inputs.at(0),
+                            node.has_immediate ? node.constant : inputs.at(1));
+      f.tag = tag;
+      return f;
+    case NodeKind::Cmp: {
+      // Int 1/0, matching the elements Algorithm 1's comparison reactions
+      // produce — keeps dataflow and Gamma results structurally equal.
+      const Value b =
+          expr::apply(node.op, inputs.at(0),
+                      node.has_immediate ? node.constant : inputs.at(1));
+      f.emits = true;
+      f.value = Value(b.truthy() ? std::int64_t{1} : std::int64_t{0});
+      f.tag = tag;
+      return f;
+    }
+    case NodeKind::Steer:
+      f.emits = true;
+      f.value = inputs.at(kSteerData);
+      f.tag = tag;
+      f.port = inputs.at(kSteerControl).truthy() ? kSteerTrue : kSteerFalse;
+      return f;
+    case NodeKind::IncTag:
+      f.emits = true;
+      f.value = inputs.at(0);
+      f.tag = tag + 1;
+      return f;
+    case NodeKind::DecTag:
+      if (tag == 0) throw EngineError("dectag on tag 0");
+      f.emits = true;
+      f.value = inputs.at(0);
+      f.tag = tag - 1;
+      return f;
+    case NodeKind::Output:
+      f.emits = false;
+      return f;
+  }
+  throw EngineError("unknown node kind");
+}
+
+}  // namespace gammaflow::dataflow

@@ -1,0 +1,133 @@
+// Dataflow execution: tagged-token firing rule. A node instance (node, tag)
+// fires once all its input ports hold an operand with that tag — operands of
+// different iterations never meet, which is what lets dynamic dataflow run
+// loop iterations concurrently.
+//
+// Two engines with identical observable results:
+//   Interpreter     — single-threaded, FIFO wavefronts; also measures the
+//                     graph's intrinsic parallelism profile.
+//   ParallelEngine  — PEs (worker threads) own hash-partitioned nodes, route
+//                     tokens via MPSC inboxes, and terminate by in-flight
+//                     token counting.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "gammaflow/common/error.hpp"
+#include "gammaflow/common/value.hpp"
+#include "gammaflow/dataflow/graph.hpp"
+
+namespace gammaflow::dataflow {
+
+/// Iteration tag (the "instance number" of the paper's §II-A).
+using Tag = std::uint64_t;
+
+struct Token {
+  Value value;
+  Tag tag = 0;
+};
+
+struct DfRunOptions {
+  /// Firing budget; exceeded => EngineError (guards divergent loop graphs).
+  std::uint64_t max_fires = 50'000'000;
+  /// Record the firing sequence (node ids in fire order).
+  bool record_trace = false;
+  /// Worker count (ParallelEngine only).
+  unsigned workers = std::max(2u, std::thread::hardware_concurrency());
+  /// Instruction-level trace reuse (DF-DTM, the paper's ref [3] and one of
+  /// the §I benefits the equivalence unlocks for Gamma programs): memoize
+  /// (node, operand values) -> result for pure Arith/Cmp nodes and reuse
+  /// instead of recomputing. Interpreter only; hit/miss counts land in
+  /// DfRunResult. Observable results are unchanged (tested).
+  bool memoize = false;
+};
+
+/// An operand parked in a matching store with no partner when the machine
+/// quiesced. Converted programs leave these exactly where the equivalent
+/// Gamma program leaves unreacted elements.
+struct PendingOperand {
+  NodeId node = 0;
+  PortId port = 0;
+  Tag tag = 0;
+  Value value;
+};
+
+struct DfRunResult {
+  /// Output-node results keyed by node name, as (tag, value) in arrival
+  /// order. output_values("m") gives just the values sorted by tag.
+  std::map<std::string, std::vector<std::pair<Tag, Value>>> outputs;
+  std::uint64_t fires = 0;
+  std::vector<std::uint64_t> fires_by_node;  // indexed by NodeId
+  /// Interpreter only: number of simultaneously fireable node instances per
+  /// wavefront — the graph's exposed parallelism over time.
+  std::vector<std::size_t> wavefronts;
+  std::vector<PendingOperand> leftovers;
+  std::vector<NodeId> trace;  // only when record_trace
+  /// Trace-reuse statistics (only meaningful when options.memoize).
+  std::uint64_t memo_hits = 0;
+  std::uint64_t memo_misses = 0;
+  double wall_seconds = 0.0;
+
+  /// Values of one output sorted by tag; throws if the name is unknown.
+  [[nodiscard]] std::vector<Value> output_values(const std::string& name) const;
+  /// The single value of output `name`; throws unless exactly one token
+  /// arrived (the common case for expression graphs like Fig. 1).
+  [[nodiscard]] Value single_output(const std::string& name) const;
+};
+
+class DfEngine {
+ public:
+  virtual ~DfEngine() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Runs the graph: every Const node emits its value with tag 0, plus any
+  /// `extra_tokens` injected on named edges (edge label -> tokens).
+  [[nodiscard]] virtual DfRunResult run(
+      const Graph& graph, const DfRunOptions& options,
+      const std::vector<std::pair<Label, Token>>& extra_tokens) const = 0;
+
+  [[nodiscard]] DfRunResult run(const Graph& graph) const {
+    return run(graph, DfRunOptions{}, {});
+  }
+  [[nodiscard]] DfRunResult run(const Graph& graph,
+                                const DfRunOptions& options) const {
+    return run(graph, options, {});
+  }
+};
+
+class Interpreter final : public DfEngine {
+ public:
+  using DfEngine::run;
+  [[nodiscard]] std::string name() const override { return "interpreter"; }
+  [[nodiscard]] DfRunResult run(
+      const Graph& graph, const DfRunOptions& options,
+      const std::vector<std::pair<Label, Token>>& extra_tokens) const override;
+};
+
+class ParallelEngine final : public DfEngine {
+ public:
+  using DfEngine::run;
+  [[nodiscard]] std::string name() const override { return "parallel"; }
+  [[nodiscard]] DfRunResult run(
+      const Graph& graph, const DfRunOptions& options,
+      const std::vector<std::pair<Label, Token>>& extra_tokens) const override;
+};
+
+/// Computes the token a node emits when firing with `inputs` (tag-matched).
+/// Shared by both engines and unit-testable in isolation. For Steer the
+/// result is (value, port): port 0=true, 1=false. IncTag/DecTag adjust the
+/// tag. Output nodes return no emission.
+struct Firing {
+  bool emits = false;
+  Value value;
+  Tag tag = 0;
+  PortId port = 0;
+};
+[[nodiscard]] Firing fire_node(const Node& node, const std::vector<Value>& inputs,
+                               Tag tag);
+
+}  // namespace gammaflow::dataflow

@@ -1,0 +1,204 @@
+// Interpreter: single-threaded tagged-token machine processed in wavefronts.
+// Each wavefront fires every node instance that became ready in the previous
+// one — so `result.wavefronts` is the graph's exposed parallelism over time
+// (what a machine with unbounded PEs could do per step), while execution
+// itself stays deterministic.
+#include <chrono>
+#include <deque>
+#include <unordered_map>
+
+#include "gammaflow/dataflow/engine.hpp"
+
+namespace gammaflow::dataflow {
+namespace {
+
+struct ReadyInstance {
+  NodeId node;
+  Tag tag;
+  std::vector<Value> inputs;
+};
+
+class Machine {
+ public:
+  Machine(const Graph& graph, const DfRunOptions& options)
+      : graph_(graph), options_(options), waiting_(graph.node_count()) {
+    result_.fires_by_node.assign(graph.node_count(), 0);
+  }
+
+  void deliver(NodeId node, PortId port, Token token) {
+    const std::size_t arity = input_arity(graph_.node(node));
+    if (arity == 1) {
+      ready_.push_back(ReadyInstance{node, token.tag, {std::move(token.value)}});
+      return;
+    }
+    // Tag-matching store: operands wait until all ports hold this tag.
+    auto& slots = waiting_[node][token.tag];
+    if (slots.values.empty()) slots.values.resize(arity);
+    if (slots.values[port].has_value()) {
+      // A second operand for an occupied (tag, port) slot means the graph
+      // violates the single-assignment discipline for this iteration.
+      throw EngineError("duplicate operand at node " + std::to_string(node) +
+                        " port " + std::to_string(port) + " tag " +
+                        std::to_string(token.tag));
+    }
+    slots.values[port] = std::move(token.value);
+    if (++slots.filled == arity) {
+      std::vector<Value> inputs;
+      inputs.reserve(arity);
+      for (auto& v : slots.values) inputs.push_back(std::move(*v));
+      waiting_[node].erase(token.tag);
+      ready_.push_back(ReadyInstance{node, token.tag, std::move(inputs)});
+    }
+  }
+
+  void emit_from(NodeId node, const Firing& firing) {
+    if (!firing.emits) return;
+    const auto& edges = graph_.out_edges(node, firing.port);
+    // No consumer => the token is discarded (steer FALSE port in Fig. 2).
+    for (const EdgeId eid : edges) {
+      const Edge& e = graph_.edge(eid);
+      deliver(e.dst, e.dst_port, Token{firing.value, firing.tag});
+    }
+  }
+
+  DfRunResult run(const std::vector<std::pair<Label, Token>>& extra_tokens) {
+    const auto t0 = std::chrono::steady_clock::now();
+
+    for (const NodeId root : graph_.roots()) {
+      const Firing f = fire_node(graph_.node(root), {}, 0);
+      count_fire(root);
+      emit_from(root, f);
+    }
+    for (const auto& [label, token] : extra_tokens) {
+      const auto eid = graph_.find_edge(label);
+      if (!eid) throw EngineError("inject on unknown edge '" + label.str() + "'");
+      const Edge& e = graph_.edge(*eid);
+      deliver(e.dst, e.dst_port, token);
+    }
+
+    while (!ready_.empty()) {
+      // One wavefront: everything currently ready fires "simultaneously".
+      const std::size_t wave = ready_.size();
+      result_.wavefronts.push_back(wave);
+      for (std::size_t i = 0; i < wave; ++i) {
+        ReadyInstance inst = std::move(ready_.front());
+        ready_.pop_front();
+        const Node& node = graph_.node(inst.node);
+        count_fire(inst.node);
+        if (node.kind == NodeKind::Output) {
+          result_.outputs[node.name].emplace_back(inst.tag,
+                                                  std::move(inst.inputs[0]));
+          continue;
+        }
+        emit_from(inst.node, compute(node, inst));
+      }
+    }
+
+    collect_leftovers();
+    result_.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return std::move(result_);
+  }
+
+ private:
+  struct Slots {
+    std::vector<std::optional<Value>> values;
+    std::size_t filled = 0;
+  };
+
+  /// Fires `node`, with DF-DTM-style trace reuse for pure operator nodes
+  /// when enabled: the same (node, operands) always produces the same value,
+  /// so a cache hit skips the computation. Tag-dependent kinds (inctag,
+  /// dectag) and routing (steer — cheap anyway) always execute.
+  Firing compute(const Node& node, const ReadyInstance& inst) {
+    const bool cacheable =
+        options_.memoize &&
+        (node.kind == NodeKind::Arith || node.kind == NodeKind::Cmp);
+    if (!cacheable) return fire_node(node, inst.inputs, inst.tag);
+
+    // Operation-level reuse: the cache is keyed by the OPERATION signature
+    // (kind, operator, immediate), not the node id, so identical
+    // computations share entries across nodes — exactly what makes the
+    // Fig. 4 replicated instances profit from each other's traces.
+    std::size_t key =
+        (static_cast<std::size_t>(node.kind) << 8) ^
+        (static_cast<std::size_t>(node.op) << 1) ^
+        static_cast<std::size_t>(node.has_immediate);
+    if (node.has_immediate) key ^= node.constant.hash() << 16;
+    for (const Value& v : inst.inputs) {
+      key ^= v.hash() + 0x9e3779b97f4a7c15ULL + (key << 6) + (key >> 2);
+    }
+    const auto [lo, hi] = memo_.equal_range(key);
+    for (auto it = lo; it != hi; ++it) {
+      const MemoEntry& e = it->second;
+      if (e.kind == node.kind && e.op == node.op &&
+          e.has_immediate == node.has_immediate &&
+          (!node.has_immediate || e.immediate == node.constant) &&
+          e.inputs == inst.inputs) {
+        ++result_.memo_hits;
+        Firing f;
+        f.emits = true;
+        f.value = e.value;
+        f.tag = inst.tag;  // the value repeats; the iteration does not
+        return f;
+      }
+    }
+    ++result_.memo_misses;
+    Firing f = fire_node(node, inst.inputs, inst.tag);
+    memo_.emplace(key, MemoEntry{node.kind, node.op, node.has_immediate,
+                                 node.constant, inst.inputs, f.value});
+    return f;
+  }
+
+  struct MemoEntry {
+    NodeKind kind;
+    expr::BinOp op;
+    bool has_immediate;
+    Value immediate;
+    std::vector<Value> inputs;
+    Value value;
+  };
+
+  void count_fire(NodeId node) {
+    if (result_.fires >= options_.max_fires) {
+      throw EngineError("interpreter exceeded max_fires=" +
+                        std::to_string(options_.max_fires));
+    }
+    ++result_.fires;
+    ++result_.fires_by_node[node];
+    if (options_.record_trace) result_.trace.push_back(node);
+  }
+
+  void collect_leftovers() {
+    for (NodeId node = 0; node < waiting_.size(); ++node) {
+      for (const auto& [tag, slots] : waiting_[node]) {
+        for (PortId p = 0; p < slots.values.size(); ++p) {
+          if (slots.values[p].has_value()) {
+            result_.leftovers.push_back(
+                PendingOperand{node, p, tag, *slots.values[p]});
+          }
+        }
+      }
+    }
+  }
+
+  const Graph& graph_;
+  const DfRunOptions& options_;
+  std::vector<std::unordered_map<Tag, Slots>> waiting_;
+  std::deque<ReadyInstance> ready_;
+  std::unordered_multimap<std::size_t, MemoEntry> memo_;
+  DfRunResult result_;
+};
+
+}  // namespace
+
+DfRunResult Interpreter::run(
+    const Graph& graph, const DfRunOptions& options,
+    const std::vector<std::pair<Label, Token>>& extra_tokens) const {
+  graph.validate();
+  Machine machine(graph, options);
+  return machine.run(extra_tokens);
+}
+
+}  // namespace gammaflow::dataflow

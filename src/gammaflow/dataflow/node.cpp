@@ -1,0 +1,47 @@
+#include "gammaflow/dataflow/node.hpp"
+
+namespace gammaflow::dataflow {
+
+const char* to_string(NodeKind kind) noexcept {
+  switch (kind) {
+    case NodeKind::Const: return "const";
+    case NodeKind::Arith: return "arith";
+    case NodeKind::Cmp: return "cmp";
+    case NodeKind::Steer: return "steer";
+    case NodeKind::IncTag: return "inctag";
+    case NodeKind::DecTag: return "dectag";
+    case NodeKind::Output: return "output";
+  }
+  return "?";
+}
+
+std::size_t input_arity(NodeKind kind) noexcept {
+  switch (kind) {
+    case NodeKind::Const: return 0;
+    case NodeKind::Arith:
+    case NodeKind::Cmp:
+    case NodeKind::Steer: return 2;
+    case NodeKind::IncTag:
+    case NodeKind::DecTag:
+    case NodeKind::Output: return 1;
+  }
+  return 0;
+}
+
+std::size_t input_arity(const Node& node) noexcept {
+  if (node.has_immediate &&
+      (node.kind == NodeKind::Arith || node.kind == NodeKind::Cmp)) {
+    return 1;
+  }
+  return input_arity(node.kind);
+}
+
+std::size_t output_arity(NodeKind kind) noexcept {
+  switch (kind) {
+    case NodeKind::Output: return 0;
+    case NodeKind::Steer: return 2;
+    default: return 1;
+  }
+}
+
+}  // namespace gammaflow::dataflow

@@ -1,0 +1,66 @@
+// Dataflow node kinds, following the TALM-style dynamic dataflow model the
+// paper builds on (Marzulo et al. [5]):
+//   Const  — root node (drawn as a square in Figs. 1-2); emits its value
+//            once with iteration tag 0.
+//   Arith  — binary arithmetic (+ - * / %), 2 inputs, fires on tag match.
+//   Cmp    — comparison; emits Int 1/0 (not Bool) exactly like the reactions
+//            Algorithm 1 generates ([1,label,tag] / [0,label,tag]), keeping
+//            cross-model results structurally identical.
+//   Steer  — triangle: input 0 = data, input 1 = boolean control; routes the
+//            data token to the TRUE port (0) or FALSE port (1).
+//   IncTag — lozenge: forwards its input with iteration tag + 1.
+//   DecTag — inverse of IncTag (function-return convention in TALM).
+//   Output — sink; records (tag, value) as an observable program result.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gammaflow/common/value.hpp"
+#include "gammaflow/expr/ast.hpp"
+
+namespace gammaflow::dataflow {
+
+enum class NodeKind : std::uint8_t {
+  Const,
+  Arith,
+  Cmp,
+  Steer,
+  IncTag,
+  DecTag,
+  Output,
+};
+
+const char* to_string(NodeKind kind) noexcept;
+
+/// Input/output port conventions per kind.
+[[nodiscard]] std::size_t input_arity(NodeKind kind) noexcept;
+[[nodiscard]] std::size_t output_arity(NodeKind kind) noexcept;
+
+struct Node;
+/// Node-aware input arity: an Arith/Cmp node with an immediate right operand
+/// takes a single token input (Fig. 2's R14 "compare with zero" and R18
+/// "subtract 1" — a Const node cannot feed a loop body because its token
+/// carries tag 0 only).
+[[nodiscard]] std::size_t input_arity(const Node& node) noexcept;
+
+/// Steer port indices, for readability at call sites.
+inline constexpr std::uint32_t kSteerData = 0;
+inline constexpr std::uint32_t kSteerControl = 1;
+inline constexpr std::uint32_t kSteerTrue = 0;
+inline constexpr std::uint32_t kSteerFalse = 1;
+
+struct Node {
+  NodeKind kind = NodeKind::Const;
+  /// Arith/Cmp operator (must be arithmetic resp. comparison).
+  expr::BinOp op = expr::BinOp::Add;
+  /// Const payload; for Arith/Cmp with `has_immediate`, the right operand.
+  Value constant;
+  /// Arith/Cmp only: computes `input op constant` from a single token input.
+  bool has_immediate = false;
+  /// Optional human name; Output nodes use it as the result key, and the
+  /// translators use it to carry the paper's vertex names (R1, R11, ...).
+  std::string name;
+};
+
+}  // namespace gammaflow::dataflow

@@ -1,0 +1,186 @@
+#include "gammaflow/dataflow/optimize.hpp"
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "gammaflow/dataflow/engine.hpp"
+
+namespace gammaflow::dataflow {
+namespace {
+
+/// What happens to each node in one rewrite round.
+struct Action {
+  enum class Kind { Keep, Fold, Bypass, Drop };
+  Kind kind = Kind::Keep;
+  Value folded;  // Fold: replacement constant
+};
+
+/// The single producer of (node, port), when there is exactly one.
+std::optional<GraphBuilder::Port> single_producer(const Graph& g, NodeId node,
+                                                  PortId port) {
+  const auto& in = g.in_edges(node, port);
+  if (in.size() != 1) return std::nullopt;
+  const Edge& e = g.edge(in[0]);
+  return GraphBuilder::Port{e.src, e.src_port};
+}
+
+bool is_identity_immediate(const Node& n) {
+  if (!n.has_immediate || n.kind != NodeKind::Arith) return false;
+  switch (n.op) {
+    case expr::BinOp::Add:
+    case expr::BinOp::Sub:
+      return n.constant == Value(std::int64_t{0});
+    case expr::BinOp::Mul:
+    case expr::BinOp::Div:
+      return n.constant == Value(std::int64_t{1});
+    default:
+      return false;
+  }
+}
+
+/// Liveness: reachability to any Output node.
+std::vector<bool> live_set(const Graph& g) {
+  std::vector<bool> live(g.node_count(), false);
+  std::deque<NodeId> queue;
+  for (const NodeId out : g.outputs()) {
+    live[out] = true;
+    queue.push_back(out);
+  }
+  // Predecessor propagation over edges.
+  while (!queue.empty()) {
+    const NodeId n = queue.front();
+    queue.pop_front();
+    for (const Edge& e : g.edges()) {
+      if (e.dst == n && !live[e.src]) {
+        live[e.src] = true;
+        queue.push_back(e.src);
+      }
+    }
+  }
+  return live;
+}
+
+/// One rewrite round; returns nullopt when nothing changed.
+std::optional<Graph> round(const Graph& g, const OptimizeOptions& options,
+                           OptimizeResult& stats) {
+  std::vector<Action> actions(g.node_count());
+  bool changed = false;
+
+  if (options.fold_constants || options.bypass_identities) {
+    for (NodeId id = 0; id < g.node_count(); ++id) {
+      const Node& n = g.node(id);
+      if (n.kind != NodeKind::Arith && n.kind != NodeKind::Cmp) continue;
+
+      if (options.bypass_identities && is_identity_immediate(n) &&
+          single_producer(g, id, 0)) {
+        actions[id].kind = Action::Kind::Bypass;
+        ++stats.bypassed;
+        changed = true;
+        continue;
+      }
+      if (!options.fold_constants) continue;
+
+      // Foldable: every input port fed by exactly one Const node.
+      std::vector<Value> inputs;
+      bool foldable = true;
+      const std::size_t arity = input_arity(n);
+      for (PortId p = 0; p < arity && foldable; ++p) {
+        const auto src = single_producer(g, id, p);
+        foldable = src && g.node(src->node).kind == NodeKind::Const;
+        if (foldable) inputs.push_back(g.node(src->node).constant);
+      }
+      if (!foldable) continue;
+      try {
+        const Firing f = fire_node(n, inputs, 0);
+        actions[id].kind = Action::Kind::Fold;
+        actions[id].folded = f.value;
+        ++stats.folded;
+        changed = true;
+      } catch (const Error&) {
+        // would throw at runtime (e.g. 1/0): preserve for the real run
+      }
+    }
+  }
+
+  std::vector<bool> live(g.node_count(), true);
+  if (options.eliminate_dead) {
+    live = live_set(g);
+    for (NodeId id = 0; id < g.node_count(); ++id) {
+      if (!live[id] && actions[id].kind == Action::Kind::Keep) {
+        actions[id].kind = Action::Kind::Drop;
+        ++stats.removed;
+        changed = true;
+      } else if (!live[id]) {
+        actions[id].kind = Action::Kind::Drop;  // folded AND dead: just drop
+        changed = true;
+      }
+    }
+  }
+  if (!changed) return std::nullopt;
+
+  // Rebuild. Folded nodes become Consts; bypassed nodes vanish (their
+  // consumers rewire to the producer); dropped nodes and their edges vanish.
+  GraphBuilder b;
+  std::vector<NodeId> remap(g.node_count(), 0);
+  for (NodeId id = 0; id < g.node_count(); ++id) {
+    switch (actions[id].kind) {
+      case Action::Kind::Keep:
+        remap[id] = b.add_node(g.node(id));
+        break;
+      case Action::Kind::Fold: {
+        Node c;
+        c.kind = NodeKind::Const;
+        c.constant = actions[id].folded;
+        c.name = g.node(id).name;
+        remap[id] = b.add_node(std::move(c));
+        break;
+      }
+      case Action::Kind::Bypass:
+      case Action::Kind::Drop:
+        break;
+    }
+  }
+
+  // Resolves (node, port) through bypass chains to a surviving source.
+  auto resolve = [&](GraphBuilder::Port p) -> std::optional<GraphBuilder::Port> {
+    while (actions[p.node].kind == Action::Kind::Bypass) {
+      const auto src = single_producer(g, p.node, 0);
+      if (!src) return std::nullopt;  // unreachable: bypass requires one
+      p = *src;
+    }
+    if (actions[p.node].kind == Action::Kind::Drop) return std::nullopt;
+    if (actions[p.node].kind == Action::Kind::Fold) {
+      return GraphBuilder::Port{remap[p.node], 0};
+    }
+    return GraphBuilder::Port{remap[p.node], p.port};
+  };
+
+  for (const Edge& e : g.edges()) {
+    const auto dst_kind = actions[e.dst].kind;
+    if (dst_kind == Action::Kind::Drop || dst_kind == Action::Kind::Bypass ||
+        dst_kind == Action::Kind::Fold) {
+      continue;  // consumer gone or no longer takes inputs
+    }
+    const auto src = resolve(GraphBuilder::Port{e.src, e.src_port});
+    if (!src) continue;
+    b.connect(*src, remap[e.dst], e.dst_port, e.label.str());
+  }
+  return std::move(b).build();
+}
+
+}  // namespace
+
+OptimizeResult optimize(const Graph& graph, const OptimizeOptions& options) {
+  OptimizeResult result;
+  result.graph = graph;
+  while (result.iterations < options.max_iterations) {
+    auto next = round(result.graph, options, result);
+    if (!next) break;
+    result.graph = std::move(*next);
+    ++result.iterations;
+  }
+  return result;
+}
+
+}  // namespace gammaflow::dataflow

@@ -1,0 +1,201 @@
+// ParallelEngine: PEs as worker threads. Nodes are hash-partitioned across
+// workers (node id mod W), so a node's matching store is owned by exactly one
+// thread and needs no locking; tokens cross PEs through MPSC inboxes. This
+// mirrors how dataflow runtimes virtualize PEs on multicores (§II-A of the
+// paper: each core runs the firing rule for its nodes).
+//
+// Termination: an atomic in-flight counter covers every token that is queued
+// or being absorbed. When it reaches zero, no token can ever be produced
+// again (all stores are stable), which is the dataflow quiescence condition.
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <unordered_map>
+
+#include "gammaflow/common/mpsc_queue.hpp"
+#include "gammaflow/dataflow/engine.hpp"
+
+namespace gammaflow::dataflow {
+namespace {
+
+struct Routed {
+  NodeId node;
+  PortId port;
+  Token token;
+};
+
+struct Slots {
+  std::vector<std::optional<Value>> values;
+  std::size_t filled = 0;
+};
+
+struct WorkerState {
+  MpscQueue<Routed> inbox;
+  // Matching stores for owned nodes.
+  std::unordered_map<NodeId, std::unordered_map<Tag, Slots>> waiting;
+  // Worker-local results, merged after join.
+  std::map<std::string, std::vector<std::pair<Tag, Value>>> outputs;
+  std::vector<std::uint64_t> fires_by_node;
+};
+
+class ParallelRun {
+ public:
+  ParallelRun(const Graph& graph, const DfRunOptions& options)
+      : graph_(graph),
+        options_(options),
+        worker_count_(std::max(1u, options.workers)),
+        workers_(worker_count_) {
+    for (auto& w : workers_) w.fires_by_node.assign(graph.node_count(), 0);
+  }
+
+  DfRunResult run(const std::vector<std::pair<Label, Token>>& extra_tokens) {
+    const auto t0 = std::chrono::steady_clock::now();
+
+    // Seed: const emissions and injected tokens, routed before workers start.
+    for (const NodeId root : graph_.roots()) {
+      const Firing f = fire_node(graph_.node(root), {}, 0);
+      ++workers_[owner(root)].fires_by_node[root];
+      total_fires_.fetch_add(1, std::memory_order_relaxed);
+      route_emission(root, f);
+    }
+    for (const auto& [label, token] : extra_tokens) {
+      const auto eid = graph_.find_edge(label);
+      if (!eid) throw EngineError("inject on unknown edge '" + label.str() + "'");
+      const Edge& e = graph_.edge(*eid);
+      send(e.dst, e.dst_port, token);
+    }
+
+    std::vector<std::thread> threads;
+    threads.reserve(worker_count_);
+    for (unsigned w = 0; w < worker_count_; ++w) {
+      threads.emplace_back([this, w] { worker_loop(w); });
+    }
+    for (auto& t : threads) t.join();
+    if (failed_.load()) {
+      throw EngineError("parallel dataflow engine exceeded max_fires=" +
+                        std::to_string(options_.max_fires));
+    }
+
+    DfRunResult result;
+    result.fires = total_fires_.load();
+    result.fires_by_node.assign(graph_.node_count(), 0);
+    for (const WorkerState& w : workers_) {
+      for (NodeId n = 0; n < graph_.node_count(); ++n) {
+        result.fires_by_node[n] += w.fires_by_node[n];
+      }
+      for (const auto& [name, tokens] : w.outputs) {
+        auto& dst = result.outputs[name];
+        dst.insert(dst.end(), tokens.begin(), tokens.end());
+      }
+      for (const auto& [node, tags] : w.waiting) {
+        for (const auto& [tag, slots] : tags) {
+          for (PortId p = 0; p < slots.values.size(); ++p) {
+            if (slots.values[p].has_value()) {
+              result.leftovers.push_back(
+                  PendingOperand{node, p, tag, *slots.values[p]});
+            }
+          }
+        }
+      }
+    }
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return result;
+  }
+
+ private:
+  [[nodiscard]] unsigned owner(NodeId node) const noexcept {
+    return static_cast<unsigned>(node % worker_count_);
+  }
+
+  void send(NodeId node, PortId port, Token token) {
+    in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    workers_[owner(node)].inbox.push(Routed{node, port, std::move(token)});
+  }
+
+  void route_emission(NodeId node, const Firing& firing) {
+    if (!firing.emits) return;
+    for (const EdgeId eid : graph_.out_edges(node, firing.port)) {
+      const Edge& e = graph_.edge(eid);
+      send(e.dst, e.dst_port, Token{firing.value, firing.tag});
+    }
+  }
+
+  void worker_loop(unsigned my_id) {
+    WorkerState& me = workers_[my_id];
+    unsigned idle_spins = 0;
+    while (true) {
+      if (failed_.load(std::memory_order_relaxed)) return;
+      std::optional<Routed> routed = me.inbox.try_pop();
+      if (!routed) {
+        if (in_flight_.load(std::memory_order_acquire) == 0) return;
+        if (++idle_spins > 64) {
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        } else {
+          std::this_thread::yield();
+        }
+        continue;
+      }
+      idle_spins = 0;
+      absorb(me, *routed);
+      // Absorbed (stored or fired + emissions already counted): this token
+      // is no longer in flight.
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
+
+  void absorb(WorkerState& me, Routed& routed) {
+    const Node& node = graph_.node(routed.node);
+    const std::size_t arity = input_arity(node);
+    std::vector<Value> inputs;
+    if (arity == 1) {
+      inputs.push_back(std::move(routed.token.value));
+    } else {
+      auto& slots = me.waiting[routed.node][routed.token.tag];
+      if (slots.values.empty()) slots.values.resize(arity);
+      if (slots.values[routed.port].has_value()) {
+        failed_.store(true);  // single-assignment violation; surfaced as limit
+        return;
+      }
+      slots.values[routed.port] = std::move(routed.token.value);
+      if (++slots.filled < arity) return;  // still waiting for partners
+      inputs.reserve(arity);
+      for (auto& v : slots.values) inputs.push_back(std::move(*v));
+      me.waiting[routed.node].erase(routed.token.tag);
+    }
+
+    if (total_fires_.fetch_add(1, std::memory_order_relaxed) >=
+        options_.max_fires) {
+      failed_.store(true);
+      return;
+    }
+    ++me.fires_by_node[routed.node];
+    if (node.kind == NodeKind::Output) {
+      me.outputs[node.name].emplace_back(routed.token.tag,
+                                         std::move(inputs[0]));
+      return;
+    }
+    route_emission(routed.node, fire_node(node, inputs, routed.token.tag));
+  }
+
+  const Graph& graph_;
+  const DfRunOptions& options_;
+  unsigned worker_count_;
+  std::vector<WorkerState> workers_;
+  std::atomic<std::int64_t> in_flight_{0};
+  std::atomic<std::uint64_t> total_fires_{0};
+  std::atomic<bool> failed_{false};
+};
+
+}  // namespace
+
+DfRunResult ParallelEngine::run(
+    const Graph& graph, const DfRunOptions& options,
+    const std::vector<std::pair<Label, Token>>& extra_tokens) const {
+  graph.validate();
+  ParallelRun run_state(graph, options);
+  return run_state.run(extra_tokens);
+}
+
+}  // namespace gammaflow::dataflow

@@ -1,0 +1,348 @@
+#include "gammaflow/distrib/cluster.hpp"
+
+#include <deque>
+#include <optional>
+
+#include "gammaflow/common/rng.hpp"
+#include "gammaflow/gamma/store.hpp"
+
+namespace gammaflow::distrib {
+
+using gamma::Element;
+using gamma::Multiset;
+using gamma::Reaction;
+using gamma::Store;
+
+namespace {
+
+struct ElementMsg {
+  std::size_t to;
+  std::size_t arrival_round;
+  std::vector<Element> elements;
+};
+
+/// Collector-driven consolidation request (see communicate()).
+struct PullMsg {
+  std::size_t to;
+  std::size_t arrival_round;
+};
+
+struct Token {
+  bool black = false;
+  std::int64_t count = 0;
+};
+
+struct TokenMsg {
+  std::size_t to;
+  std::size_t arrival_round;
+  Token token;
+};
+
+struct Node {
+  Store shard;
+  Rng rng{0};
+  // Safra state.
+  bool black = false;              // received a message since last token pass
+  std::int64_t message_count = 0;  // sent - received (element messages)
+  // Local activity.
+  bool fired_this_round = false;
+  bool answered_pull_this_round = false;  // receipt-activated send (EWD-legal)
+  bool pull_pending = false;
+  std::size_t quiescent_rounds = 0;
+  std::uint64_t fires = 0;
+
+  [[nodiscard]] bool active_this_round() const noexcept {
+    return fired_this_round || answered_pull_this_round;
+  }
+  // Token in hand, waiting for passivity to forward.
+  std::optional<Token> held_token;
+};
+
+class Simulation {
+ public:
+  Simulation(const gamma::Program& program, const Multiset& initial,
+             const ClusterOptions& options)
+      : program_(program), options_(options), nodes_(options.nodes) {
+    if (program.stage_count() > 1) {
+      throw ProgramError(
+          "distributed execution supports single-stage programs (the global "
+          "termination of one stage is exactly what Safra detects)");
+    }
+    if (options_.nodes == 0) throw ProgramError("cluster needs >= 1 node");
+    Rng seeder(options.seed);
+    for (Node& n : nodes_) n.rng = seeder.split();
+
+    // Initial placement.
+    std::size_t rr = 0;
+    for (const Element& e : initial) {
+      std::size_t target = 0;
+      switch (options_.placement) {
+        case Placement::Hash: target = e.hash() % options_.nodes; break;
+        case Placement::RoundRobin: target = rr++ % options_.nodes; break;
+        case Placement::Single: target = 0; break;
+      }
+      nodes_[target].shard.insert(e);
+    }
+  }
+
+  ClusterResult run() {
+    // Token starts at node 0 (the initiator is also the consolidation
+    // collector, so it is the natural place to decide termination).
+    nodes_[0].held_token = Token{};
+
+    while (!terminated_) {
+      if (round_ >= options_.max_rounds) {
+        throw EngineError("distributed run exceeded max_rounds=" +
+                          std::to_string(options_.max_rounds));
+      }
+      ++round_;
+      deliver();
+      react();
+      communicate();
+      pass_tokens();
+    }
+
+    ClusterResult result;
+    result.rounds = round_;
+    result.migrations = migrations_;
+    result.messages = messages_;
+    result.token_laps = laps_;
+    for (Node& n : nodes_) {
+      result.fires += n.fires;
+      result.fires_by_node.push_back(n.fires);
+      result.final_shard_sizes.push_back(n.shard.size());
+      result.final_multiset.add(n.shard.to_multiset());
+    }
+    return result;
+  }
+
+ private:
+  // --- phase 1: deliver messages due this round ---
+  void deliver() {
+    std::erase_if(element_msgs_, [&](ElementMsg& m) {
+      if (m.arrival_round > round_) return false;
+      Node& node = nodes_[m.to];
+      for (Element& e : m.elements) node.shard.insert(std::move(e));
+      --node.message_count;
+      node.black = true;  // Safra: receipt may reactivate; blacken
+      node.quiescent_rounds = 0;
+      if (m.to == 0) verified_ = false;  // new material voids verification
+      return true;
+    });
+    std::erase_if(pull_msgs_, [&](PullMsg& m) {
+      if (m.arrival_round > round_) return false;
+      Node& node = nodes_[m.to];
+      --node.message_count;
+      node.black = true;
+      node.pull_pending = true;
+      return true;
+    });
+    std::erase_if(token_msgs_, [&](TokenMsg& m) {
+      if (m.arrival_round > round_) return false;
+      nodes_[m.to].held_token = m.token;
+      return true;
+    });
+  }
+
+  // --- phase 2: local chemistry ---
+  void react() {
+    const auto& stage = program_.stages().front();
+    for (Node& node : nodes_) {
+      node.fired_this_round = false;
+      node.answered_pull_this_round = false;
+      for (std::size_t k = 0; k < options_.fires_per_round; ++k) {
+        bool fired = false;
+        for (const Reaction& r : stage) {
+          if (auto match = gamma::find_match(node.shard, r, &node.rng)) {
+            gamma::commit(node.shard, *match);
+            ++node.fires;
+            fired = true;
+            node.fired_this_round = true;
+            break;
+          }
+        }
+        if (!fired) break;
+      }
+      if (node.fired_this_round) {
+        node.quiescent_rounds = 0;
+      } else {
+        ++node.quiescent_rounds;
+      }
+    }
+    if (nodes_[0].fired_this_round) verified_ = false;
+  }
+
+  void send_elements(std::size_t from, std::size_t to,
+                     std::vector<Element> elements) {
+    if (elements.empty() || to == from) return;
+    ++nodes_[from].message_count;
+    ++messages_;
+    migrations_ += elements.size();
+    element_msgs_.push_back(
+        ElementMsg{to, round_ + options_.latency, std::move(elements)});
+  }
+
+  /// Picks and removes one random live element from a shard.
+  std::optional<Element> take_random(Node& node) {
+    if (node.shard.size() == 0) return std::nullopt;
+    // Draw via the arity-agnostic route: snapshot is too costly; sample slot
+    // ids until a live one is found (bounded: live/slots ratio stays sane
+    // because the store reuses freed slots first).
+    const Multiset snapshot = node.shard.to_multiset();
+    const auto& elems = snapshot.elements();
+    const Element chosen =
+        elems[node.rng.bounded(elems.size())];
+    // Remove one matching instance.
+    Store fresh;
+    bool skipped = false;
+    for (const Element& e : elems) {
+      if (!skipped && e == chosen) {
+        skipped = true;
+        continue;
+      }
+      fresh.insert(e);
+    }
+    node.shard = std::move(fresh);
+    return chosen;
+  }
+
+  // --- phase 3: stirring and consolidation ---
+  //
+  // Every message here respects EWD998's premise so Safra stays sound:
+  //   * stirring sends come from machines that fired this round (active);
+  //   * consolidation is PULL-based: node 0 requests shards (its own counter
+  //     is live at the termination decision, so its in-flight requests
+  //     always show up as q + c_0 != 0), and responders send while
+  //     activated by the request's receipt.
+  // A passive node pushing its shard spontaneously would violate the
+  // premise: its +1 could be snapshotted away and the initiator could
+  // declare a clean lap with the shard still in flight (elements lost).
+  void communicate() {
+    if (nodes_.size() == 1) return;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      Node& node = nodes_[i];
+      if (node.pull_pending) {
+        node.pull_pending = false;
+        if (i != 0 && node.shard.size() > 0) {
+          std::vector<Element> all = node.shard.to_multiset().elements();
+          node.shard = Store{};
+          node.answered_pull_this_round = true;  // receipt-activated
+          send_elements(i, 0, std::move(all));
+        }
+        continue;  // answering a pull supersedes stirring this round
+      }
+      if (node.fired_this_round) {
+        // Active node: diffuse a few random elements (stir the solution).
+        for (std::size_t k = 0; k < options_.migrations_per_round; ++k) {
+          if (node.shard.size() <= 1) break;
+          std::size_t peer = node.rng.bounded(nodes_.size() - 1);
+          if (peer >= i) ++peer;  // uniform over the OTHER nodes
+          if (auto e = take_random(node)) {
+            send_elements(i, peer, {std::move(*e)});
+          }
+        }
+      }
+    }
+    // Collector: when node 0 has been quiet for a while, pull the other
+    // shards in so any still-enabled cross-node match can assemble. The
+    // pull is ARMED by collector activity (firing or receiving) and fires
+    // once per quiescence episode — pulling on a timer forever would keep
+    // blackening Safra laps and livelock the detection.
+    Node& collector = nodes_[0];
+    if (collector.active_this_round() ||
+        collector.quiescent_rounds == 0 /* received this round */) {
+      pull_armed_ = true;
+    }
+    if (pull_armed_ && !collector.active_this_round() &&
+        collector.quiescent_rounds >= options_.consolidate_after) {
+      pull_armed_ = false;
+      send_pull_burst();
+    }
+  }
+
+  void send_pull_burst() {
+    Node& collector = nodes_[0];
+    for (std::size_t peer = 1; peer < nodes_.size(); ++peer) {
+      ++collector.message_count;
+      ++messages_;
+      pull_msgs_.push_back(PullMsg{peer, round_ + options_.latency});
+    }
+  }
+
+  // --- phase 4: Safra's termination detection ---
+  void pass_tokens() {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      Node& node = nodes_[i];
+      if (!node.held_token) continue;
+      // Hold the token while locally active; forward when passive.
+      if (node.active_this_round()) continue;
+
+      Token token = *node.held_token;
+      if (i == 0 && token_in_flight_) {
+        // Lap completed back at the initiator: decide or start a new lap.
+        token_in_flight_ = false;
+        ++laps_;
+        const bool clean = !token.black && !node.black &&
+                           token.count + node.message_count == 0;
+        if (clean && !node.active_this_round()) {
+          // A clean lap proves no computation and no messages — but not
+          // that remote shards are empty of jointly-enabled matches. Before
+          // declaring, run one VERIFICATION pull: gather every shard at the
+          // collector. If the silence survives the pull (nothing arrived,
+          // next clean lap), the fixed point is global. Any arrival resets
+          // verification (deliver() zeroes quiescent_rounds, and
+          // communicate() re-arms the periodic pull).
+          if (!verified_ && nodes_.size() > 1) {
+            verified_ = true;
+            send_pull_burst();
+          } else {
+            terminated_ = true;
+            return;
+          }
+        }
+        token = Token{};  // fresh white lap
+        node.black = false;
+        // fall through to forward the fresh token
+      }
+      // Forward to the ring successor.
+      if (i != 0) {
+        token.count += node.message_count;
+        if (node.black) token.black = true;
+        node.black = false;
+      }
+      node.held_token.reset();
+      token_in_flight_ = true;
+      token_msgs_.push_back(
+          TokenMsg{(i + 1) % nodes_.size(), round_ + options_.latency, token});
+      if (nodes_.size() == 1) {
+        // Degenerate ring: the token returns to the only node immediately.
+      }
+    }
+  }
+
+  const gamma::Program& program_;
+  const ClusterOptions& options_;
+  std::vector<Node> nodes_;
+  std::vector<ElementMsg> element_msgs_;
+  std::vector<PullMsg> pull_msgs_;
+  std::vector<TokenMsg> token_msgs_;
+  std::size_t round_ = 0;
+  std::uint64_t migrations_ = 0;
+  std::uint64_t messages_ = 0;
+  std::uint64_t laps_ = 0;
+  bool token_in_flight_ = false;
+  bool pull_armed_ = true;
+  bool verified_ = false;
+  bool terminated_ = false;
+};
+
+}  // namespace
+
+ClusterResult run_distributed(const gamma::Program& program,
+                              const Multiset& initial,
+                              const ClusterOptions& options) {
+  Simulation sim(program, initial, options);
+  return sim.run();
+}
+
+}  // namespace gammaflow::distrib

@@ -1,0 +1,57 @@
+// Evaluation environment: variable name -> Value bindings. Reaction arities
+// are tiny (the paper never exceeds four replace-list tuples, i.e. ~9
+// variables), so a flat vector with linear scan beats a hash map.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "gammaflow/common/error.hpp"
+#include "gammaflow/common/value.hpp"
+
+namespace gammaflow::expr {
+
+class Env {
+ public:
+  Env() = default;
+
+  /// Adds or overwrites a binding.
+  void bind(std::string_view name, Value value) {
+    for (auto& [n, v] : bindings_) {
+      if (n == name) {
+        v = std::move(value);
+        return;
+      }
+    }
+    bindings_.emplace_back(std::string(name), std::move(value));
+  }
+
+  [[nodiscard]] const Value* find(std::string_view name) const noexcept {
+    for (const auto& [n, v] : bindings_) {
+      if (n == name) return &v;
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] const Value& lookup(std::string_view name) const {
+    if (const Value* v = find(name)) return *v;
+    throw ProgramError("unbound variable '" + std::string(name) + "'");
+  }
+
+  [[nodiscard]] bool contains(std::string_view name) const noexcept {
+    return find(name) != nullptr;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return bindings_.size(); }
+  void clear() noexcept { bindings_.clear(); }
+
+  [[nodiscard]] auto begin() const noexcept { return bindings_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return bindings_.end(); }
+
+ private:
+  std::vector<std::pair<std::string, Value>> bindings_;
+};
+
+}  // namespace gammaflow::expr

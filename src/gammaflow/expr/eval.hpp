@@ -1,0 +1,23 @@
+// Tree-walking evaluator over Value with short-circuit logical operators.
+#pragma once
+
+#include "gammaflow/common/value.hpp"
+#include "gammaflow/expr/ast.hpp"
+#include "gammaflow/expr/env.hpp"
+
+namespace gammaflow::expr {
+
+/// Evaluates `e` under `env`. Throws TypeError on kind misuse and
+/// ProgramError on unbound variables.
+[[nodiscard]] Value eval(const Expr& e, const Env& env);
+[[nodiscard]] inline Value eval(const ExprPtr& e, const Env& env) {
+  return eval(*e, env);
+}
+
+/// Applies one binary operator to already-evaluated operands. This is the
+/// same dispatch a dataflow arithmetic/comparison node performs when firing,
+/// keeping operator semantics identical across the two models by construction.
+[[nodiscard]] Value apply(BinOp op, const Value& a, const Value& b);
+[[nodiscard]] Value apply(UnOp op, const Value& a);
+
+}  // namespace gammaflow::expr

@@ -1,0 +1,303 @@
+#include "gammaflow/expr/lexer.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <unordered_map>
+
+namespace gammaflow::expr {
+
+const char* to_string(TokenKind kind) noexcept {
+  switch (kind) {
+    case TokenKind::End: return "<end>";
+    case TokenKind::Ident: return "identifier";
+    case TokenKind::IntLit: return "integer";
+    case TokenKind::RealLit: return "real";
+    case TokenKind::StrLit: return "string";
+    case TokenKind::KwReplace: return "'replace'";
+    case TokenKind::KwBy: return "'by'";
+    case TokenKind::KwIf: return "'if'";
+    case TokenKind::KwElse: return "'else'";
+    case TokenKind::KwWhere: return "'where'";
+    case TokenKind::KwAnd: return "'and'";
+    case TokenKind::KwOr: return "'or'";
+    case TokenKind::KwNot: return "'not'";
+    case TokenKind::KwTrue: return "'true'";
+    case TokenKind::KwFalse: return "'false'";
+    case TokenKind::KwNil: return "'nil'";
+    case TokenKind::Plus: return "'+'";
+    case TokenKind::Minus: return "'-'";
+    case TokenKind::Star: return "'*'";
+    case TokenKind::Slash: return "'/'";
+    case TokenKind::Percent: return "'%'";
+    case TokenKind::Lt: return "'<'";
+    case TokenKind::Le: return "'<='";
+    case TokenKind::Gt: return "'>'";
+    case TokenKind::Ge: return "'>='";
+    case TokenKind::EqEq: return "'=='";
+    case TokenKind::Ne: return "'!='";
+    case TokenKind::Assign: return "'='";
+    case TokenKind::Comma: return "','";
+    case TokenKind::LBracket: return "'['";
+    case TokenKind::RBracket: return "']'";
+    case TokenKind::LParen: return "'('";
+    case TokenKind::RParen: return "')'";
+    case TokenKind::Pipe: return "'|'";
+    case TokenKind::Semicolon: return "';'";
+    case TokenKind::KwFor: return "'for'";
+    case TokenKind::KwWhile: return "'while'";
+    case TokenKind::KwOutput: return "'output'";
+    case TokenKind::KwVar: return "'var'";
+    case TokenKind::LBrace: return "'{'";
+    case TokenKind::RBrace: return "'}'";
+    case TokenKind::PlusPlus: return "'++'";
+    case TokenKind::MinusMinus: return "'--'";
+    case TokenKind::PlusEq: return "'+='";
+    case TokenKind::MinusEq: return "'-='";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string lowercase(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+TokenKind keyword_kind(std::string_view ident, LexMode mode) {
+  static const std::unordered_map<std::string, TokenKind> kKeywords = {
+      {"replace", TokenKind::KwReplace}, {"by", TokenKind::KwBy},
+      {"if", TokenKind::KwIf},           {"else", TokenKind::KwElse},
+      {"where", TokenKind::KwWhere},     {"and", TokenKind::KwAnd},
+      {"or", TokenKind::KwOr},           {"not", TokenKind::KwNot},
+      {"true", TokenKind::KwTrue},       {"false", TokenKind::KwFalse},
+      {"nil", TokenKind::KwNil},
+  };
+  // The frontend's keywords; type words are interchangeable with 'var'.
+  static const std::unordered_map<std::string, TokenKind> kImperative = {
+      {"for", TokenKind::KwFor},   {"while", TokenKind::KwWhile},
+      {"output", TokenKind::KwOutput},
+      {"var", TokenKind::KwVar},   {"int", TokenKind::KwVar},
+      {"real", TokenKind::KwVar},  {"bool", TokenKind::KwVar},
+  };
+  const std::string lower = lowercase(ident);
+  if (mode == LexMode::Imperative) {
+    if (auto it = kImperative.find(lower); it != kImperative.end()) {
+      return it->second;
+    }
+  }
+  auto it = kKeywords.find(lower);
+  return it == kKeywords.end() ? TokenKind::Ident : it->second;
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view src) : src_(src) {}
+
+  [[nodiscard]] bool done() const noexcept { return pos_ >= src_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const noexcept {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  char advance() noexcept {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  [[nodiscard]] int line() const noexcept { return line_; }
+  [[nodiscard]] int column() const noexcept { return column_; }
+
+ private:
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view source, LexMode mode) {
+  const bool imperative = mode == LexMode::Imperative;
+  std::vector<Token> tokens;
+  Cursor cur(source);
+
+  auto push = [&](TokenKind kind, std::string text, Value value, int line,
+                  int column) {
+    tokens.push_back(Token{kind, std::move(text), std::move(value), line, column});
+  };
+
+  while (!cur.done()) {
+    const int line = cur.line();
+    const int column = cur.column();
+    const char c = cur.peek();
+
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      cur.advance();
+      continue;
+    }
+    if (c == '#' || (imperative && c == '/' && cur.peek(1) == '/')) {
+      while (!cur.done() && cur.peek() != '\n') cur.advance();  // line comment
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string ident;
+      while (!cur.done() && (std::isalnum(static_cast<unsigned char>(cur.peek())) ||
+                             cur.peek() == '_')) {
+        ident += cur.advance();
+      }
+      const TokenKind kind = keyword_kind(ident, mode);
+      Value value;
+      if (kind == TokenKind::KwTrue) value = Value(true);
+      if (kind == TokenKind::KwFalse) value = Value(false);
+      push(kind, std::move(ident), std::move(value), line, column);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string digits;
+      bool is_real = false;
+      while (!cur.done() && std::isdigit(static_cast<unsigned char>(cur.peek()))) {
+        digits += cur.advance();
+      }
+      if (cur.peek() == '.' && std::isdigit(static_cast<unsigned char>(cur.peek(1)))) {
+        is_real = true;
+        digits += cur.advance();
+        while (!cur.done() && std::isdigit(static_cast<unsigned char>(cur.peek()))) {
+          digits += cur.advance();
+        }
+      }
+      if (cur.peek() == 'e' || cur.peek() == 'E') {
+        const char sign = cur.peek(1);
+        const char first = (sign == '+' || sign == '-') ? cur.peek(2) : sign;
+        if (std::isdigit(static_cast<unsigned char>(first))) {
+          is_real = true;
+          digits += cur.advance();  // e
+          if (sign == '+' || sign == '-') digits += cur.advance();
+          while (!cur.done() && std::isdigit(static_cast<unsigned char>(cur.peek()))) {
+            digits += cur.advance();
+          }
+        }
+      }
+      if (is_real) {
+        push(TokenKind::RealLit, digits, Value(std::stod(digits)), line, column);
+      } else {
+        std::int64_t v = 0;
+        const auto [ptr, ec] =
+            std::from_chars(digits.data(), digits.data() + digits.size(), v);
+        if (ec != std::errc{} || ptr != digits.data() + digits.size()) {
+          throw ParseError("integer literal out of range: " + digits, line, column);
+        }
+        push(TokenKind::IntLit, digits, Value(v), line, column);
+      }
+      continue;
+    }
+    if (c == '\'') {
+      cur.advance();
+      std::string text;
+      while (!cur.done() && cur.peek() != '\'') {
+        if (cur.peek() == '\n') {
+          throw ParseError("unterminated string literal", line, column);
+        }
+        text += cur.advance();
+      }
+      if (cur.done()) throw ParseError("unterminated string literal", line, column);
+      cur.advance();  // closing quote
+      push(TokenKind::StrLit, text, Value(text), line, column);
+      continue;
+    }
+
+    cur.advance();
+    switch (c) {
+      case '+':
+        if (imperative && cur.peek() == '+') {
+          cur.advance();
+          push(TokenKind::PlusPlus, "++", {}, line, column);
+        } else if (imperative && cur.peek() == '=') {
+          cur.advance();
+          push(TokenKind::PlusEq, "+=", {}, line, column);
+        } else {
+          push(TokenKind::Plus, "+", {}, line, column);
+        }
+        break;
+      case '-':
+        if (imperative && cur.peek() == '-') {
+          cur.advance();
+          push(TokenKind::MinusMinus, "--", {}, line, column);
+        } else if (imperative && cur.peek() == '=') {
+          cur.advance();
+          push(TokenKind::MinusEq, "-=", {}, line, column);
+        } else {
+          push(TokenKind::Minus, "-", {}, line, column);
+        }
+        break;
+      case '{':
+        if (!imperative) {
+          throw ParseError("unexpected '{'", line, column);
+        }
+        push(TokenKind::LBrace, "{", {}, line, column);
+        break;
+      case '}':
+        if (!imperative) {
+          throw ParseError("unexpected '}'", line, column);
+        }
+        push(TokenKind::RBrace, "}", {}, line, column);
+        break;
+      case '*': push(TokenKind::Star, "*", {}, line, column); break;
+      case '/': push(TokenKind::Slash, "/", {}, line, column); break;
+      case '%': push(TokenKind::Percent, "%", {}, line, column); break;
+      case ',': push(TokenKind::Comma, ",", {}, line, column); break;
+      case '[': push(TokenKind::LBracket, "[", {}, line, column); break;
+      case ']': push(TokenKind::RBracket, "]", {}, line, column); break;
+      case '(': push(TokenKind::LParen, "(", {}, line, column); break;
+      case ')': push(TokenKind::RParen, ")", {}, line, column); break;
+      case '|': push(TokenKind::Pipe, "|", {}, line, column); break;
+      case ';': push(TokenKind::Semicolon, ";", {}, line, column); break;
+      case '<':
+        if (cur.peek() == '=') {
+          cur.advance();
+          push(TokenKind::Le, "<=", {}, line, column);
+        } else {
+          push(TokenKind::Lt, "<", {}, line, column);
+        }
+        break;
+      case '>':
+        if (cur.peek() == '=') {
+          cur.advance();
+          push(TokenKind::Ge, ">=", {}, line, column);
+        } else {
+          push(TokenKind::Gt, ">", {}, line, column);
+        }
+        break;
+      case '=':
+        if (cur.peek() == '=') {
+          cur.advance();
+          push(TokenKind::EqEq, "==", {}, line, column);
+        } else {
+          push(TokenKind::Assign, "=", {}, line, column);
+        }
+        break;
+      case '!':
+        if (cur.peek() == '=') {
+          cur.advance();
+          push(TokenKind::Ne, "!=", {}, line, column);
+        } else {
+          throw ParseError("unexpected '!'", line, column);
+        }
+        break;
+      default:
+        throw ParseError(std::string("unexpected character '") + c + "'", line,
+                         column);
+    }
+  }
+
+  tokens.push_back(Token{TokenKind::End, "", {}, cur.line(), cur.column()});
+  return tokens;
+}
+
+}  // namespace gammaflow::expr

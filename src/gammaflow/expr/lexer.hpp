@@ -1,0 +1,59 @@
+// Lexer shared by the standalone expression parser and the Gamma DSL parser
+// (Fig. 3 grammar). Keywords are matched case-insensitively because the
+// paper's listings mix "if"/"If". String literals use single quotes, as in
+// the paper ('A1').
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gammaflow/common/error.hpp"
+#include "gammaflow/common/value.hpp"
+
+namespace gammaflow::expr {
+
+enum class TokenKind : std::uint8_t {
+  End,
+  Ident,
+  IntLit,
+  RealLit,
+  StrLit,
+  // keywords
+  KwReplace, KwBy, KwIf, KwElse, KwWhere,
+  KwAnd, KwOr, KwNot, KwTrue, KwFalse, KwNil,
+  // imperative-mode keywords (frontend only)
+  KwFor, KwWhile, KwOutput, KwVar,
+  // operators / punctuation
+  Plus, Minus, Star, Slash, Percent,
+  Lt, Le, Gt, Ge, EqEq, Ne,
+  Assign, Comma, LBracket, RBracket, LParen, RParen,
+  Pipe, Semicolon,
+  // imperative-mode operators (frontend only)
+  LBrace, RBrace, PlusPlus, MinusMinus, PlusEq, MinusEq,
+};
+
+const char* to_string(TokenKind kind) noexcept;
+
+struct Token {
+  TokenKind kind = TokenKind::End;
+  std::string text;  // identifier name or raw literal spelling
+  Value value;       // decoded literal payload for IntLit/RealLit/StrLit
+  int line = 1;
+  int column = 1;
+};
+
+/// Lexing dialect. Expression mode is the Gamma/expression language (the
+/// default; `--x` lexes as two unary minuses). Imperative mode is the
+/// frontend's C-like language: braces, ++/--/+=/-= and the for/while/
+/// output/var keywords become tokens, `//` also starts a comment, and the
+/// type words int/real/bool lex as KwVar.
+enum class LexMode : std::uint8_t { Expression, Imperative };
+
+/// Tokenizes the whole input eagerly. Throws ParseError on bad characters,
+/// unterminated strings, or malformed numbers. `#` starts a line comment.
+[[nodiscard]] std::vector<Token> tokenize(std::string_view source,
+                                          LexMode mode = LexMode::Expression);
+
+}  // namespace gammaflow::expr

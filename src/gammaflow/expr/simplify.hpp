@@ -1,0 +1,22 @@
+// Constant folding + algebraic identity simplification. Used by the
+// reduction pass (§III-A3): fusing reactions substitutes producer expressions
+// into consumer bodies, and simplify() keeps the fused trees small.
+#pragma once
+
+#include "gammaflow/expr/ast.hpp"
+#include "gammaflow/expr/env.hpp"
+
+namespace gammaflow::expr {
+
+/// Folds constant subtrees (evaluating them) and applies safe identities
+/// (x+0, x*1, x*0 when x is pure, true and e, ...). Never changes semantics:
+/// subtrees that would throw at runtime (e.g. 1/0) are left intact.
+[[nodiscard]] ExprPtr simplify(const ExprPtr& e);
+
+/// Substitutes variables by expressions: every Var named in `subst` is
+/// replaced by the bound tree. Used by reaction fusion.
+[[nodiscard]] ExprPtr substitute(
+    const ExprPtr& e,
+    const std::vector<std::pair<std::string, ExprPtr>>& subst);
+
+}  // namespace gammaflow::expr

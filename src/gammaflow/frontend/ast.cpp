@@ -1,0 +1,83 @@
+#include "gammaflow/frontend/ast.hpp"
+
+#include <sstream>
+
+namespace gammaflow::frontend {
+
+StmtPtr Stmt::make_assign(std::string name, expr::ExprPtr value, int line) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = Kind::Assign;
+  s->assign = Assign{std::move(name), std::move(value)};
+  s->line = line;
+  return s;
+}
+
+StmtPtr Stmt::make_if(expr::ExprPtr cond, Block then_body, Block else_body,
+                      int line) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = Kind::If;
+  s->if_stmt = If{std::move(cond), std::move(then_body), std::move(else_body)};
+  s->line = line;
+  return s;
+}
+
+StmtPtr Stmt::make_while(expr::ExprPtr cond, Block body, int line) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = Kind::While;
+  s->while_stmt = While{std::move(cond), std::move(body)};
+  s->line = line;
+  return s;
+}
+
+StmtPtr Stmt::make_output(std::string name, int line) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = Kind::Output;
+  s->output = Output{std::move(name)};
+  s->line = line;
+  return s;
+}
+
+namespace {
+
+void print_block(const Block& block, std::ostream& os, int indent);
+
+void print_stmt(const Stmt& s, std::ostream& os, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  switch (s.kind) {
+    case Stmt::Kind::Assign:
+      os << pad << s.assign.name << " = " << s.assign.value->to_string()
+         << ";\n";
+      return;
+    case Stmt::Kind::If:
+      os << pad << "if (" << s.if_stmt.condition->to_string() << ") {\n";
+      print_block(s.if_stmt.then_body, os, indent + 1);
+      if (!s.if_stmt.else_body.empty()) {
+        os << pad << "} else {\n";
+        print_block(s.if_stmt.else_body, os, indent + 1);
+      }
+      os << pad << "}\n";
+      return;
+    case Stmt::Kind::While:
+      os << pad << "while (" << s.while_stmt.condition->to_string() << ") {\n";
+      print_block(s.while_stmt.body, os, indent + 1);
+      os << pad << "}\n";
+      return;
+    case Stmt::Kind::Output:
+      os << pad << "output " << s.output.name << ";\n";
+      return;
+  }
+}
+
+void print_block(const Block& block, std::ostream& os, int indent) {
+  for (const StmtPtr& s : block) print_stmt(*s, os, indent);
+}
+
+}  // namespace
+
+std::string to_string(const ProgramAst& program) {
+  std::ostringstream os;
+  print_block(program.statements, os, 0);
+  return os.str();
+}
+
+}  // namespace gammaflow::frontend

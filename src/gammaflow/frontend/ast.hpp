@@ -1,0 +1,72 @@
+// AST for the frontend's mini imperative language — the "high level language
+// based on the von Neumann paradigm" the paper writes its examples in
+// (§III-A1). Just enough to express them and their natural extensions:
+//
+//   int x = 1;                       // declarations (type words optional)
+//   m = (x + y) - (k * j);           // assignments over full expressions
+//   x += y;  i--;                    // compound assignment / inc / dec
+//   for (i = z; i > 0; i--) { ... }  // counted loops (Fig. 2)
+//   while (c) { ... }                // condition loops
+//   if (c) { ... } else { ... }      // conditionals
+//   output m;                        // what the program observably computes
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gammaflow/expr/ast.hpp"
+
+namespace gammaflow::frontend {
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+using Block = std::vector<StmtPtr>;
+
+struct Assign {
+  std::string name;
+  expr::ExprPtr value;  // already desugared: i-- becomes i = i - 1
+};
+
+struct If {
+  expr::ExprPtr condition;
+  Block then_body;
+  Block else_body;  // empty when absent
+};
+
+struct While {
+  /// For-loops desugar here: the init assignment precedes the While node,
+  /// the step is appended to the body.
+  expr::ExprPtr condition;
+  Block body;
+};
+
+struct Output {
+  std::string name;  // the variable whose final value is observable
+};
+
+struct Stmt {
+  enum class Kind { Assign, If, While, Output };
+  Kind kind;
+  Assign assign;  // Kind::Assign
+  If if_stmt;     // Kind::If
+  While while_stmt;  // Kind::While
+  Output output;  // Kind::Output
+  int line = 0;   // for diagnostics
+
+  static StmtPtr make_assign(std::string name, expr::ExprPtr value, int line);
+  static StmtPtr make_if(expr::ExprPtr cond, Block then_body, Block else_body,
+                         int line);
+  static StmtPtr make_while(expr::ExprPtr cond, Block body, int line);
+  static StmtPtr make_output(std::string name, int line);
+};
+
+struct ProgramAst {
+  Block statements;
+};
+
+/// Pretty-prints the AST back to surface syntax (diagnostics / round-trip
+/// tests).
+[[nodiscard]] std::string to_string(const ProgramAst& program);
+
+}  // namespace gammaflow::frontend

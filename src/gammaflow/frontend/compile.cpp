@@ -1,0 +1,429 @@
+#include "gammaflow/frontend/compile.hpp"
+
+#include <map>
+#include <set>
+
+#include "gammaflow/expr/simplify.hpp"
+#include "gammaflow/frontend/parser.hpp"
+
+namespace gammaflow::frontend {
+
+using dataflow::GraphBuilder;
+using dataflow::NodeId;
+using expr::BinOp;
+using expr::Expr;
+using expr::ExprPtr;
+
+namespace {
+
+/// Tag context: 0 is the tag-zero world (roots, if-joins over roots); each
+/// loop body and each loop exit get fresh ids. Tokens only combine within
+/// one context — mixing would deadlock silently at a matching store, so the
+/// compiler rejects it instead.
+using Context = int;
+
+/// A variable's current definition: one or more producer ports (several
+/// after an if-join — the paper's multi-producer input ports) plus the tag
+/// context its tokens live in.
+struct Definition {
+  std::vector<GraphBuilder::Port> ports;
+  Context context = 0;
+};
+
+using Env = std::map<std::string, Definition>;
+
+/// Where code is being lowered. Inside an if-branch, `gate` carries the
+/// branch condition: fresh constants must be steered by it so the untaken
+/// side produces nothing. Inside a loop body, bare literals are forbidden
+/// outright (their Const token would carry tag 0).
+struct Gate {
+  Definition cond;
+  bool then_side;
+};
+struct Region {
+  bool in_loop = false;
+  const Gate* gate = nullptr;
+};
+
+void vars_of(const ExprPtr& e, std::set<std::string>& out) {
+  for (const std::string& v : e->free_vars()) out.insert(v);
+}
+
+void analyze_block(const Block& block, std::set<std::string>& reads,
+                   std::set<std::string>& writes) {
+  for (const StmtPtr& s : block) {
+    switch (s->kind) {
+      case Stmt::Kind::Assign:
+        vars_of(s->assign.value, reads);
+        writes.insert(s->assign.name);
+        break;
+      case Stmt::Kind::If:
+        vars_of(s->if_stmt.condition, reads);
+        analyze_block(s->if_stmt.then_body, reads, writes);
+        analyze_block(s->if_stmt.else_body, reads, writes);
+        break;
+      case Stmt::Kind::While:
+        vars_of(s->while_stmt.condition, reads);
+        analyze_block(s->while_stmt.body, reads, writes);
+        break;
+      case Stmt::Kind::Output:
+        reads.insert(s->output.name);
+        break;
+    }
+  }
+}
+
+class Compiler {
+ public:
+  dataflow::Graph run(const ProgramAst& program) {
+    Env env;
+    const Region root;
+    compile_block(program.statements, env, root);
+    if (outputs_ == 0) {
+      // A program with no observable result is almost certainly a mistake.
+      throw CompileError("program has no 'output' statement", 0);
+    }
+    return std::move(builder_).build();
+  }
+
+ private:
+  // ---- plumbing ----
+
+  /// Feeds every producer port of `def` into (node, port) — multi-producer
+  /// merges become several edges, resolved at run time by the tag
+  /// discipline (exactly one side ever fires).
+  void feed(const Definition& def, NodeId node, dataflow::PortId port,
+            std::string_view label = {}) {
+    for (const GraphBuilder::Port& p : def.ports) {
+      builder_.connect(p, node, port, label);
+    }
+  }
+
+  const Definition& lookup(const std::string& name, const Env& env, int line) {
+    auto it = env.find(name);
+    if (it == env.end()) {
+      throw CompileError("undefined variable '" + name + "'", line);
+    }
+    return it->second;
+  }
+
+  /// Two operand contexts must agree; reports which variable-free operand
+  /// (context 0) clashed with a loop product when they don't.
+  static Context join_contexts(Context a, Context b, int line) {
+    if (a != b) {
+      throw CompileError(
+          "operands live in different tag contexts (" + std::to_string(a) +
+              " vs " + std::to_string(b) +
+              "); a loop boundary separates them and their tokens could "
+              "never meet",
+          line);
+    }
+    return a;
+  }
+
+  // ---- expression lowering ----
+
+  Definition compile_expr(const ExprPtr& raw, const Env& env,
+                          const Region& region, int line) {
+    return lower(expr::simplify(raw), env, region, line);
+  }
+
+  Definition lower(const ExprPtr& e, const Env& env, const Region& region,
+                   int line) {
+    switch (e->kind()) {
+      case Expr::Kind::Literal:
+        return lower_literal(e->literal(), region, line);
+      case Expr::Kind::Var:
+        return lookup(e->var(), env, line);
+      case Expr::Kind::Unary: {
+        if (e->un_op() == expr::UnOp::Not) {
+          throw CompileError("'not' has no dataflow node equivalent", line);
+        }
+        // Negation as x * (-1): an immediate, so it works in any context.
+        return lower(Expr::binary(BinOp::Mul, e->operand(),
+                                  Expr::lit(Value(std::int64_t{-1}))),
+                     env, region, line);
+      }
+      case Expr::Kind::Binary:
+        return lower_binary(e, env, region, line);
+    }
+    throw CompileError("unreachable expression kind", line);
+  }
+
+  /// A standalone literal value. Tokens from Const nodes carry tag 0, so:
+  /// forbidden in loop bodies; steered by the branch gate inside ifs (and
+  /// the gate's condition must itself be tag-0, or the steer could never
+  /// match); a plain Const node otherwise.
+  Definition lower_literal(const Value& v, const Region& region, int line) {
+    if (region.in_loop) {
+      throw CompileError(
+          "a bare literal cannot be materialized inside a loop body (its "
+          "Const token would carry tag 0); fold it into an operation on a "
+          "loop variable",
+          line);
+    }
+    const GraphBuilder::Port c = builder_.constant(v);
+    if (region.gate == nullptr) return Definition{{c}, 0};
+    if (region.gate->cond.context != 0) {
+      throw CompileError(
+          "a literal inside this branch cannot be gated: the branch "
+          "condition carries a non-zero iteration tag",
+          line);
+    }
+    const NodeId st = builder_.steer();
+    builder_.connect(c, st, dataflow::kSteerData);
+    feed(region.gate->cond, st, dataflow::kSteerControl);
+    return Definition{{region.gate->then_side ? GraphBuilder::true_out(st)
+                                              : GraphBuilder::false_out(st)},
+                      0};
+  }
+
+  Definition lower_binary(const ExprPtr& e, const Env& env,
+                          const Region& region, int line) {
+    const BinOp op = e->bin_op();
+    if (expr::is_logical(op)) {
+      throw CompileError(
+          "logical operators have no dataflow node equivalent; restructure "
+          "the condition",
+          line);
+    }
+    ExprPtr lhs = e->lhs();
+    ExprPtr rhs = e->rhs();
+
+    // Normalize a literal LEFT operand so it can become an immediate:
+    // commutative ops swap; comparisons swap with a flipped operator;
+    // c - x rewrites to (x - c) * -1.
+    if (lhs->kind() == Expr::Kind::Literal &&
+        rhs->kind() != Expr::Kind::Literal) {
+      switch (op) {
+        case BinOp::Add:
+        case BinOp::Mul:
+        case BinOp::Eq:
+        case BinOp::Ne:
+          std::swap(lhs, rhs);
+          break;
+        case BinOp::Lt:
+          return lower(Expr::binary(BinOp::Gt, rhs, lhs), env, region, line);
+        case BinOp::Le:
+          return lower(Expr::binary(BinOp::Ge, rhs, lhs), env, region, line);
+        case BinOp::Gt:
+          return lower(Expr::binary(BinOp::Lt, rhs, lhs), env, region, line);
+        case BinOp::Ge:
+          return lower(Expr::binary(BinOp::Le, rhs, lhs), env, region, line);
+        case BinOp::Sub:
+          return lower(Expr::binary(BinOp::Mul,
+                                    Expr::binary(BinOp::Sub, rhs, lhs),
+                                    Expr::lit(Value(std::int64_t{-1}))),
+                       env, region, line);
+        default:
+          break;  // Div/Mod with literal dividend: falls through to a Const
+                  // node, valid only where lower_literal allows one
+      }
+    }
+
+    const bool imm = rhs->kind() == Expr::Kind::Literal;
+    const Definition a = lower(lhs, env, region, line);
+    if (imm) {
+      const NodeId n = expr::is_comparison(op)
+                           ? builder_.cmp_imm(op, rhs->literal())
+                           : builder_.arith_imm(op, rhs->literal());
+      feed(a, n, 0);
+      return Definition{{GraphBuilder::out(n)}, a.context};
+    }
+    const Definition b = lower(rhs, env, region, line);
+    const Context ctx = join_contexts(a.context, b.context, line);
+    const NodeId n =
+        expr::is_comparison(op) ? builder_.cmp(op) : builder_.arith(op);
+    feed(a, n, 0);
+    feed(b, n, 1);
+    return Definition{{GraphBuilder::out(n)}, ctx};
+  }
+
+  // ---- statement lowering ----
+
+  void compile_block(const Block& block, Env& env, const Region& region) {
+    for (const StmtPtr& s : block) compile_stmt(*s, env, region);
+  }
+
+  void compile_stmt(const Stmt& s, Env& env, const Region& region) {
+    switch (s.kind) {
+      case Stmt::Kind::Assign:
+        env[s.assign.name] = compile_expr(s.assign.value, env, region, s.line);
+        return;
+      case Stmt::Kind::Output: {
+        const Definition& def = lookup(s.output.name, env, s.line);
+        const NodeId out = builder_.output(s.output.name);
+        // Single-producer outputs get a readable edge label (the paper's
+        // 'm'); merged definitions fall back to auto labels.
+        feed(def, out, 0,
+             def.ports.size() == 1 ? std::string_view(s.output.name)
+                                   : std::string_view{});
+        ++outputs_;
+        return;
+      }
+      case Stmt::Kind::If:
+        compile_if(s.if_stmt, env, region, s.line);
+        return;
+      case Stmt::Kind::While:
+        compile_while(s.while_stmt, env, region, s.line);
+        return;
+    }
+  }
+
+  void compile_if(const If& stmt, Env& env, const Region& region, int line) {
+    const Definition cond = compile_expr(stmt.condition, env, region, line);
+
+    // Involved variables: anything the branches read or write. Each gets a
+    // steer so only the taken side receives (and the untaken side's value
+    // survives for the join).
+    std::set<std::string> reads, writes;
+    analyze_block(stmt.then_body, reads, writes);
+    analyze_block(stmt.else_body, reads, writes);
+    std::set<std::string> involved = reads;
+    involved.insert(writes.begin(), writes.end());
+
+    Env then_env = env;
+    Env else_env = env;
+    std::map<std::string, NodeId> steers;
+    for (const std::string& x : involved) {
+      const Definition& def = lookup(x, env, line);
+      join_contexts(def.context, cond.context, line);
+      const NodeId st = builder_.steer("if" + std::to_string(line) + "_" + x);
+      feed(def, st, dataflow::kSteerData);
+      feed(cond, st, dataflow::kSteerControl);
+      steers[x] = st;
+      then_env[x] =
+          Definition{{GraphBuilder::true_out(st)}, cond.context};
+      else_env[x] =
+          Definition{{GraphBuilder::false_out(st)}, cond.context};
+    }
+
+    const Gate then_gate{cond, true};
+    const Gate else_gate{cond, false};
+    Region then_region = region;
+    then_region.gate = &then_gate;
+    Region else_region = region;
+    else_region.gate = &else_gate;
+    compile_block(stmt.then_body, then_env, then_region);
+    compile_block(stmt.else_body, else_env, else_region);
+
+    // Join: each involved variable's post-if definition is the union of the
+    // two sides' final definitions (exactly one side produces at run time).
+    for (const std::string& x : involved) {
+      const Definition& t = then_env[x];
+      const Definition& f = else_env[x];
+      if (t.context != cond.context || f.context != cond.context) {
+        throw CompileError(
+            "branch result for '" + x +
+                "' left the surrounding tag context (a loop inside the if "
+                "whose value escapes)",
+            line);
+      }
+      Definition joined;
+      joined.context = cond.context;
+      joined.ports = t.ports;
+      joined.ports.insert(joined.ports.end(), f.ports.begin(), f.ports.end());
+      env[x] = std::move(joined);
+    }
+  }
+
+  void compile_while(const While& stmt, Env& env, const Region& region,
+                     int line) {
+    // Loop-carried variables: everything the loop reads or writes,
+    // condition included — each needs the inctag/steer circulation so its
+    // tokens advance iterations together (Fig. 2's A/B/C paths).
+    std::set<std::string> reads, writes;
+    vars_of(stmt.condition, reads);
+    analyze_block(stmt.body, reads, writes);
+    std::set<std::string> carried = reads;
+    carried.insert(writes.begin(), writes.end());
+    if (carried.empty()) {
+      throw CompileError("loop touches no variables", line);
+    }
+    if (region.gate != nullptr) {
+      throw CompileError(
+          "loops inside if-branches are not supported (their exit tokens "
+          "cannot rejoin the branch's tag context)",
+          line);
+    }
+
+    // Every carried variable must enter from ONE shared context (which may
+    // itself be a previous loop's exit — sequential loops chain fine).
+    Context entry_ctx = lookup(*carried.begin(), env, line).context;
+    for (const std::string& x : carried) {
+      entry_ctx = join_contexts(entry_ctx, lookup(x, env, line).context, line);
+    }
+
+    const Context body_ctx = ++next_context_;
+    const Context exit_ctx = ++next_context_;
+
+    // inctag per carried variable, fed by the entry definition (loop-back
+    // edges are added after the body compiles).
+    std::map<std::string, NodeId> inctags;
+    Env head_env;
+    for (const std::string& x : carried) {
+      const NodeId inc =
+          builder_.inctag("loop" + std::to_string(line) + "_inc_" + x);
+      feed(env[x], inc, 0);
+      inctags[x] = inc;
+      head_env[x] = Definition{{GraphBuilder::out(inc)}, body_ctx};
+    }
+
+    Region body_region;
+    body_region.in_loop = true;
+
+    // The condition runs on start-of-iteration values (R14's position).
+    const Definition cond =
+        compile_expr(stmt.condition, head_env, body_region, line);
+
+    // One steer per carried variable: TRUE feeds the body, FALSE exits.
+    Env body_env;
+    std::map<std::string, NodeId> steers;
+    for (const std::string& x : carried) {
+      const NodeId st =
+          builder_.steer("loop" + std::to_string(line) + "_st_" + x);
+      feed(head_env[x], st, dataflow::kSteerData);
+      feed(cond, st, dataflow::kSteerControl);
+      steers[x] = st;
+      body_env[x] = Definition{{GraphBuilder::true_out(st)}, body_ctx};
+    }
+
+    compile_block(stmt.body, body_env, body_region);
+
+    // Loop-back: the body's final definition of each variable re-enters its
+    // inctag (unassigned variables loop their steered value back, like the
+    // paper's A11 edge for y).
+    for (const std::string& x : carried) {
+      const Definition& back = body_env[x];
+      if (back.context != body_ctx) {
+        throw CompileError(
+            "loop-carried variable '" + x +
+                "' crosses tag contexts inside the loop body (a nested "
+                "loop's value cannot re-enter an outer iteration)",
+            line);
+      }
+      feed(back, inctags[x], 0);
+    }
+
+    // Exit: the FALSE ports, in a fresh context shared by this loop's vars.
+    for (const std::string& x : carried) {
+      env[x] = Definition{{GraphBuilder::false_out(steers[x])}, exit_ctx};
+    }
+  }
+
+  GraphBuilder builder_;
+  Context next_context_ = 0;
+  std::size_t outputs_ = 0;
+};
+
+}  // namespace
+
+dataflow::Graph compile(const ProgramAst& program) {
+  return Compiler().run(program);
+}
+
+dataflow::Graph compile_source(std::string_view source) {
+  return compile(parse_source(source));
+}
+
+}  // namespace gammaflow::frontend

@@ -1,0 +1,49 @@
+// Compiler: frontend AST -> dynamic dataflow graph, producing exactly the
+// shapes the paper draws.
+//
+//   * assignments build arithmetic/comparison node trees (literal right
+//     operands become immediates inside loops);
+//   * if/else steers every involved variable by the condition and joins the
+//     branch definitions on multi-producer input ports;
+//   * while/for loops emit the Fig. 2 pattern per loop-carried variable:
+//         entry ─► inctag ─► steer(data, cond) ─ true ─► body ─► loop back
+//                     ▲                         └ false ─► exit value
+//     with the condition computed from the inctag outputs (R14's role);
+//   * `output v;` attaches an Output node.
+//
+// Tag-context discipline: tokens that exited a loop carry the iteration tag
+// of the final round, so they can only combine with values from the SAME
+// loop exit. The compiler tracks a context id per value and rejects
+// cross-context arithmetic with CompileError instead of emitting a graph
+// that silently deadlocks on tag mismatch.
+#pragma once
+
+#include <string_view>
+
+#include "gammaflow/common/error.hpp"
+#include "gammaflow/dataflow/graph.hpp"
+#include "gammaflow/frontend/ast.hpp"
+
+namespace gammaflow::frontend {
+
+class CompileError : public Error {
+ public:
+  CompileError(const std::string& what, int line)
+      : Error("CompileError at line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+  [[nodiscard]] int line() const noexcept { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Compiles an AST; throws CompileError on undefined variables, unsupported
+/// constructs (logical operators, literal-only assignments inside loops,
+/// loop-carried values crossing tag contexts), ParseError bubbling from
+/// parse_source.
+[[nodiscard]] dataflow::Graph compile(const ProgramAst& program);
+
+/// parse + compile in one call.
+[[nodiscard]] dataflow::Graph compile_source(std::string_view source);
+
+}  // namespace gammaflow::frontend

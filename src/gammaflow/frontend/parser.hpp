@@ -1,0 +1,15 @@
+// Parser for the frontend language (see ast.hpp for the grammar sketch).
+// Reuses the shared lexer in imperative mode and the shared expression
+// parser for right-hand sides and conditions.
+#pragma once
+
+#include <string_view>
+
+#include "gammaflow/frontend/ast.hpp"
+
+namespace gammaflow::frontend {
+
+/// Throws ParseError with source location on malformed input.
+[[nodiscard]] ProgramAst parse_source(std::string_view source);
+
+}  // namespace gammaflow::frontend

@@ -1,0 +1,50 @@
+#include "gammaflow/gamma/element.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace gammaflow::gamma {
+
+const Value& Element::value() const {
+  if (fields_.empty()) throw TypeError("value() on empty element");
+  return fields_[0];
+}
+
+const std::string& Element::label() const {
+  if (fields_.size() < 2) {
+    throw TypeError("label() on element of arity " + std::to_string(arity()));
+  }
+  return fields_[1].as_str();
+}
+
+std::int64_t Element::tag() const {
+  if (fields_.size() < 3) {
+    throw TypeError("tag() on element of arity " + std::to_string(arity()));
+  }
+  return fields_[2].as_int();
+}
+
+std::string Element::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::size_t Element::hash() const noexcept {
+  std::size_t h = 0x51ed270b76a4d1c3ULL ^ fields_.size();
+  for (const Value& v : fields_) {
+    h ^= v.hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+std::ostream& operator<<(std::ostream& os, const Element& e) {
+  os << '[';
+  for (std::size_t i = 0; i < e.arity(); ++i) {
+    if (i > 0) os << ", ";
+    os << e.field(i);
+  }
+  return os << ']';
+}
+
+}  // namespace gammaflow::gamma

@@ -1,0 +1,100 @@
+// Engine interface: run a Gamma Program on an initial Multiset to the global
+// termination state (no reaction condition holds on any element tuple) and
+// return the final multiset plus execution statistics.
+//
+// Three implementations with identical observable semantics on confluent
+// programs (every program Algorithm 1 emits is confluent because the source
+// dataflow graph is deterministic):
+//   SequentialEngine — Eq. (1) executed literally: each step picks uniformly
+//     among ALL currently enabled matches. The semantic reference; O(matches)
+//     per step, use on small multisets.
+//   IndexedEngine    — index-guided first-match selection with randomized
+//     probe order. The fast single-threaded engine.
+//   ParallelEngine   — worker threads match optimistically under a shared
+//     lock and commit under an exclusive lock, with version-stamped
+//     quiescence detection for termination.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gammaflow/common/error.hpp"
+#include "gammaflow/gamma/multiset.hpp"
+#include "gammaflow/gamma/program.hpp"
+
+namespace gammaflow::gamma {
+
+struct RunOptions {
+  /// Seed for every nondeterministic choice; same seed => same run for the
+  /// deterministic engines.
+  std::uint64_t seed = 1;
+  /// Firing budget across all stages; exceeded => EngineError (guards
+  /// non-terminating programs).
+  std::uint64_t max_steps = 50'000'000;
+  /// Record every firing (reaction name, consumed, produced) in the result.
+  bool record_trace = false;
+  /// Worker count (ParallelEngine only).
+  unsigned workers = std::max(2u, std::thread::hardware_concurrency());
+  /// SequentialEngine only: cap on enabled matches enumerated per step; the
+  /// uniform choice is over the first `uniform_cap` found.
+  std::size_t uniform_cap = 4096;
+};
+
+struct FireEvent {
+  std::string reaction;
+  std::size_t stage = 0;
+  std::vector<Element> consumed;
+  std::vector<Element> produced;
+};
+
+struct RunResult {
+  Multiset final_multiset;
+  /// Total reactions fired.
+  std::uint64_t steps = 0;
+  std::map<std::string, std::uint64_t> fires_by_reaction;
+  std::vector<FireEvent> trace;  // only when record_trace
+  double wall_seconds = 0.0;
+};
+
+class Engine {
+ public:
+  virtual ~Engine() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual RunResult run(const Program& program,
+                                      const Multiset& initial,
+                                      const RunOptions& options) const = 0;
+
+  [[nodiscard]] RunResult run(const Program& program,
+                              const Multiset& initial) const {
+    return run(program, initial, RunOptions{});
+  }
+};
+
+class SequentialEngine final : public Engine {
+ public:
+  using Engine::run;
+  [[nodiscard]] std::string name() const override { return "sequential"; }
+  [[nodiscard]] RunResult run(const Program& program, const Multiset& initial,
+                              const RunOptions& options) const override;
+};
+
+class IndexedEngine final : public Engine {
+ public:
+  using Engine::run;
+  [[nodiscard]] std::string name() const override { return "indexed"; }
+  [[nodiscard]] RunResult run(const Program& program, const Multiset& initial,
+                              const RunOptions& options) const override;
+};
+
+class ParallelEngine final : public Engine {
+ public:
+  using Engine::run;
+  [[nodiscard]] std::string name() const override { return "parallel"; }
+  [[nodiscard]] RunResult run(const Program& program, const Multiset& initial,
+                              const RunOptions& options) const override;
+};
+
+}  // namespace gammaflow::gamma

@@ -1,0 +1,69 @@
+// IndexedEngine: the fast single-threaded engine. Per step it probes
+// reactions in a seeded random order and fires the first enabled match found
+// through the label/arity indexes. A full pass over every reaction with no
+// match is the stage fixed point (the index search is exhaustive, so "no
+// match found" is a proof, not a heuristic).
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+
+#include "gammaflow/common/rng.hpp"
+#include "gammaflow/gamma/engine.hpp"
+#include "gammaflow/gamma/store.hpp"
+
+namespace gammaflow::gamma {
+
+RunResult IndexedEngine::run(const Program& program, const Multiset& initial,
+                             const RunOptions& options) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  RunResult result;
+  Rng rng(options.seed);
+  Store store(initial);
+
+  for (std::size_t stage_idx = 0; stage_idx < program.stages().size();
+       ++stage_idx) {
+    const auto& stage = program.stages()[stage_idx];
+    std::vector<std::size_t> order(stage.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      std::shuffle(order.begin(), order.end(), rng);
+      for (const std::size_t idx : order) {
+        const Reaction& r = stage[idx];
+        // Fire this reaction repeatedly while it stays enabled: cheaper than
+        // re-shuffling after every step, and fairness across reactions is
+        // restored by the shuffled outer pass.
+        while (auto match = find_match(store, r, &rng)) {
+          if (result.steps >= options.max_steps) {
+            throw EngineError("indexed engine exceeded max_steps=" +
+                              std::to_string(options.max_steps));
+          }
+          if (options.record_trace) {
+            FireEvent ev;
+            ev.reaction = r.name();
+            ev.stage = stage_idx;
+            for (const Store::Id id : match->ids) {
+              ev.consumed.push_back(store.element(id));
+            }
+            ev.produced = match->produced;
+            result.trace.push_back(std::move(ev));
+          }
+          ++result.fires_by_reaction[r.name()];
+          ++result.steps;
+          commit(store, *match);
+          progressed = true;
+        }
+      }
+    }
+  }
+
+  result.final_multiset = store.to_multiset();
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace gammaflow::gamma

@@ -1,0 +1,60 @@
+#include "gammaflow/gamma/multiset.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace gammaflow::gamma {
+
+bool Multiset::remove_one(const Element& e) {
+  auto it = std::find(elements_.begin(), elements_.end(), e);
+  if (it == elements_.end()) return false;
+  // Order is not part of multiset identity: swap-pop for O(1) removal.
+  *it = std::move(elements_.back());
+  elements_.pop_back();
+  return true;
+}
+
+std::size_t Multiset::count(const Element& e) const noexcept {
+  return static_cast<std::size_t>(
+      std::count(elements_.begin(), elements_.end(), e));
+}
+
+std::vector<Element> Multiset::canonical() const {
+  std::vector<Element> sorted = elements_;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+std::vector<Element> Multiset::with_label(std::string_view label) const {
+  std::vector<Element> out;
+  for (const Element& e : elements_) {
+    if (e.arity() >= 2 && e.field(1).is_str() && e.field(1).as_str() == label) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+bool operator==(const Multiset& a, const Multiset& b) noexcept {
+  if (a.size() != b.size()) return false;
+  return a.canonical() == b.canonical();
+}
+
+std::string Multiset::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Multiset& m) {
+  os << '{';
+  const auto sorted = m.canonical();
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << sorted[i];
+  }
+  return os << '}';
+}
+
+}  // namespace gammaflow::gamma

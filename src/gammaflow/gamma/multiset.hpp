@@ -1,0 +1,69 @@
+// Multiset: the single shared database of a Gamma program (the "chemical
+// solution"). This is the public value type: ordered storage is an
+// implementation detail, equality and printing are canonical (sorted), and
+// duplicates are first-class. Engines convert to/from their internal indexed
+// stores at run boundaries.
+#pragma once
+
+#include <initializer_list>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gammaflow/gamma/element.hpp"
+
+namespace gammaflow::gamma {
+
+class Multiset {
+ public:
+  Multiset() = default;
+  Multiset(std::initializer_list<Element> elements) : elements_(elements) {}
+  explicit Multiset(std::vector<Element> elements)
+      : elements_(std::move(elements)) {}
+
+  void add(Element e) { elements_.push_back(std::move(e)); }
+  void add(const Multiset& other) {
+    elements_.insert(elements_.end(), other.elements_.begin(),
+                     other.elements_.end());
+  }
+
+  /// Removes one instance equal to `e`; returns false if absent.
+  bool remove_one(const Element& e);
+
+  [[nodiscard]] std::size_t size() const noexcept { return elements_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return elements_.empty(); }
+  [[nodiscard]] std::size_t count(const Element& e) const noexcept;
+
+  [[nodiscard]] const std::vector<Element>& elements() const noexcept {
+    return elements_;
+  }
+  [[nodiscard]] auto begin() const noexcept { return elements_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return elements_.end(); }
+
+  /// Elements sorted lexicographically — the canonical form used for
+  /// equality, hashing, and printing, so two runs with different
+  /// nondeterministic histories compare equal iff they computed the same
+  /// multiset.
+  [[nodiscard]] std::vector<Element> canonical() const;
+
+  /// All elements whose label() (field 1) equals `label`. Convenience for
+  /// inspecting converter-produced multisets ("what's on edge m?").
+  [[nodiscard]] std::vector<Element> with_label(std::string_view label) const;
+
+  /// Multiset equality: same elements with same multiplicities.
+  friend bool operator==(const Multiset& a, const Multiset& b) noexcept;
+  friend bool operator!=(const Multiset& a, const Multiset& b) noexcept {
+    return !(a == b);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<Element> elements_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Multiset& m);
+
+}  // namespace gammaflow::gamma

@@ -1,0 +1,198 @@
+// ParallelEngine: multithreaded multiset rewriting with optimistic matching.
+//
+// Workers search for matches under a SHARED lock (read-only index probing)
+// and commit under an EXCLUSIVE lock, revalidating the match first — element
+// slots are reused, so between search and commit an id may have died or been
+// recycled for a different element. Revalidation simply re-runs the pattern
+// match and branch selection on the current slot contents, which makes the
+// scheme linearizable: every committed firing was enabled at its commit
+// point.
+//
+// Termination ("global termination state" in the paper): the store version
+// counter increments on every mutation. A worker whose exhaustive search
+// fails records the version it searched at; when all workers have failed at
+// the SAME version, no reaction is enabled and the stage has reached its
+// fixed point. Any commit invalidates the count because the version moves.
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <numeric>
+#include <shared_mutex>
+#include <thread>
+
+#include "gammaflow/common/rng.hpp"
+#include "gammaflow/gamma/engine.hpp"
+#include "gammaflow/gamma/store.hpp"
+
+namespace gammaflow::gamma {
+namespace {
+
+constexpr std::uint64_t kCompactInterval = 4096;
+
+struct StageShared {
+  Store store;
+  std::shared_mutex mutex;
+  std::condition_variable_any cv;
+
+  // All guarded by `mutex` (exclusive side):
+  std::uint64_t quiet_version = ~std::uint64_t{0};
+  unsigned quiet_count = 0;
+  bool done = false;
+  std::uint64_t steps = 0;
+  std::uint64_t commits_since_compact = 0;
+  std::map<std::string, std::uint64_t> fires;
+  std::vector<FireEvent> trace;
+  std::exception_ptr error;
+
+  explicit StageShared(Store s) : store(std::move(s)) {}
+};
+
+void worker_loop(StageShared& sh, const std::vector<Reaction>& stage,
+                 std::size_t stage_idx, const RunOptions& options, Rng rng,
+                 unsigned total_workers) {
+  std::vector<std::size_t> order(stage.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::uint64_t my_quiet_version = ~std::uint64_t{0};
+
+  while (true) {
+    // --- search phase (shared lock) ---
+    std::optional<Match> proposal;
+    std::uint64_t v_start = 0;
+    {
+      std::shared_lock lock(sh.mutex);
+      if (sh.done) return;
+      v_start = sh.store.version();
+      std::shuffle(order.begin(), order.end(), rng);
+      const Store& cstore = sh.store;
+      for (const std::size_t idx : order) {
+        proposal = find_match(cstore, stage[idx], &rng);
+        if (proposal) break;
+      }
+    }
+
+    // --- commit phase (exclusive lock) ---
+    std::unique_lock lock(sh.mutex);
+    if (sh.done) return;
+
+    if (proposal) {
+      // Revalidate on current slot contents (ids may have been consumed or
+      // recycled since the search).
+      bool valid = true;
+      std::vector<const Element*> elems;
+      elems.reserve(proposal->ids.size());
+      for (const Store::Id id : proposal->ids) {
+        if (!sh.store.alive(id)) {
+          valid = false;
+          break;
+        }
+        elems.push_back(&sh.store.element(id));
+      }
+      std::optional<std::vector<Element>> produced;
+      if (valid) {
+        expr::Env env;
+        if (proposal->reaction->match(elems, env)) {
+          produced = proposal->reaction->apply(env);
+        }
+      }
+      if (produced) {
+        if (sh.steps >= options.max_steps) {
+          try {
+            throw EngineError("parallel engine exceeded max_steps=" +
+                              std::to_string(options.max_steps));
+          } catch (...) {
+            sh.error = std::current_exception();
+            sh.done = true;
+            sh.cv.notify_all();
+            return;
+          }
+        }
+        if (options.record_trace) {
+          FireEvent ev;
+          ev.reaction = proposal->reaction->name();
+          ev.stage = stage_idx;
+          for (const Element* e : elems) ev.consumed.push_back(*e);
+          ev.produced = *produced;
+          sh.trace.push_back(std::move(ev));
+        }
+        Match fired = std::move(*proposal);
+        fired.produced = std::move(*produced);
+        ++sh.fires[fired.reaction->name()];
+        ++sh.steps;
+        commit(sh.store, fired);
+        if (++sh.commits_since_compact >= kCompactInterval) {
+          sh.store.compact();
+          sh.commits_since_compact = 0;
+        }
+        sh.cv.notify_all();  // wake quiescent workers: version moved
+        continue;
+      }
+      // Invalidated proposal: fall through and re-search. This is progress
+      // for someone else (another worker consumed our elements), so no
+      // quiescence bookkeeping here.
+      continue;
+    }
+
+    // --- failed exhaustive search: quiescence protocol ---
+    if (sh.store.version() != v_start) continue;  // world changed; retry
+    if (sh.quiet_version != v_start) {
+      sh.quiet_version = v_start;
+      sh.quiet_count = 0;
+      my_quiet_version = ~std::uint64_t{0};
+    }
+    if (my_quiet_version != v_start) {
+      my_quiet_version = v_start;
+      if (++sh.quiet_count >= total_workers) {
+        sh.done = true;
+        sh.cv.notify_all();
+        return;
+      }
+    }
+    sh.cv.wait(lock, [&] {
+      return sh.done || sh.store.version() != v_start;
+    });
+    if (sh.done) return;
+  }
+}
+
+}  // namespace
+
+RunResult ParallelEngine::run(const Program& program, const Multiset& initial,
+                              const RunOptions& options) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  const unsigned workers = std::max(1u, options.workers);
+
+  RunResult result;
+  Multiset current = initial;
+  Rng seed_rng(options.seed);
+
+  for (std::size_t stage_idx = 0; stage_idx < program.stages().size();
+       ++stage_idx) {
+    const auto& stage = program.stages()[stage_idx];
+    StageShared shared{Store(current)};
+
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      threads.emplace_back(worker_loop, std::ref(shared), std::cref(stage),
+                           stage_idx, std::cref(options), seed_rng.split(),
+                           workers);
+    }
+    for (auto& t : threads) t.join();
+
+    if (shared.error) std::rethrow_exception(shared.error);
+    result.steps += shared.steps;
+    for (const auto& [name, n] : shared.fires) {
+      result.fires_by_reaction[name] += n;
+    }
+    for (auto& ev : shared.trace) result.trace.push_back(std::move(ev));
+    current = shared.store.to_multiset();
+  }
+
+  result.final_multiset = std::move(current);
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace gammaflow::gamma

@@ -1,0 +1,74 @@
+#include "gammaflow/gamma/program.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "gammaflow/common/error.hpp"
+
+namespace gammaflow::gamma {
+
+Program operator|(Program a, Program b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  if (a.stage_count() != 1 || b.stage_count() != 1) {
+    throw ProgramError(
+        "parallel composition requires single-stage operands; "
+        "compose stages with then() instead");
+  }
+  for (Reaction& r : b.stages_[0]) {
+    a.stages_[0].push_back(std::move(r));
+  }
+  return a;
+}
+
+Program Program::then(Program next) const {
+  Program out = *this;
+  for (auto& stage : next.stages_) {
+    out.stages_.push_back(std::move(stage));
+  }
+  return out;
+}
+
+std::size_t Program::reaction_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& stage : stages_) n += stage.size();
+  return n;
+}
+
+std::vector<const Reaction*> Program::all_reactions() const {
+  std::vector<const Reaction*> out;
+  out.reserve(reaction_count());
+  for (const auto& stage : stages_) {
+    for (const Reaction& r : stage) out.push_back(&r);
+  }
+  return out;
+}
+
+const Reaction* Program::find(const std::string& name) const noexcept {
+  for (const auto& stage : stages_) {
+    for (const Reaction& r : stage) {
+      if (r.name() == name) return &r;
+    }
+  }
+  return nullptr;
+}
+
+std::string Program::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Program& p) {
+  for (std::size_t s = 0; s < p.stages().size(); ++s) {
+    if (s > 0) os << ";\n\n";
+    const auto& stage = p.stages()[s];
+    for (std::size_t i = 0; i < stage.size(); ++i) {
+      if (i > 0) os << "\n\n";
+      os << stage[i];
+    }
+  }
+  return os;
+}
+
+}  // namespace gammaflow::gamma

@@ -1,0 +1,151 @@
+#include "gammaflow/gamma/reaction.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "gammaflow/common/error.hpp"
+#include "gammaflow/expr/eval.hpp"
+
+namespace gammaflow::gamma {
+
+Reaction::Reaction(std::string name, std::vector<Pattern> patterns,
+                   std::vector<Branch> branches)
+    : name_(std::move(name)),
+      patterns_(std::move(patterns)),
+      branches_(std::move(branches)) {
+  validate();
+}
+
+void Reaction::validate() const {
+  if (patterns_.empty()) {
+    throw ProgramError("reaction '" + name_ + "' has an empty replace list");
+  }
+  if (branches_.empty()) {
+    throw ProgramError("reaction '" + name_ + "' has no by clause");
+  }
+  std::set<std::string> bound;
+  for (const Pattern& p : patterns_) {
+    if (p.arity() == 0) {
+      throw ProgramError("reaction '" + name_ + "' has an empty pattern");
+    }
+    for (const std::string& b : p.binders()) bound.insert(b);
+  }
+  for (std::size_t i = 0; i < branches_.size(); ++i) {
+    const Branch& br = branches_[i];
+    if (br.is_else && i + 1 != branches_.size()) {
+      throw ProgramError("reaction '" + name_ + "': else branch must be last");
+    }
+    if (br.is_else && br.condition) {
+      throw ProgramError("reaction '" + name_ +
+                         "': else branch cannot carry a condition");
+    }
+    if (!br.is_else && !br.condition && branches_.size() > 1) {
+      throw ProgramError(
+          "reaction '" + name_ +
+          "': an unconditional branch cannot coexist with other branches");
+    }
+    auto check_vars = [&](const expr::ExprPtr& e, const char* where) {
+      for (const std::string& v : e->free_vars()) {
+        if (!bound.contains(v)) {
+          throw ProgramError("reaction '" + name_ + "': " + where +
+                             " references unbound variable '" + v + "'");
+        }
+      }
+    };
+    if (br.condition) check_vars(br.condition, "condition");
+    for (const auto& tuple : br.outputs) {
+      if (tuple.empty()) {
+        throw ProgramError("reaction '" + name_ + "' produces an empty tuple");
+      }
+      for (const auto& field : tuple) check_vars(field, "output");
+    }
+  }
+}
+
+bool Reaction::match(std::span<const Element* const> elements,
+                     expr::Env& env) const {
+  if (elements.size() != patterns_.size()) return false;
+  env.clear();
+  for (std::size_t i = 0; i < patterns_.size(); ++i) {
+    if (!patterns_[i].match(*elements[i], env)) return false;
+  }
+  return true;
+}
+
+std::optional<std::vector<Element>> Reaction::apply(const expr::Env& env) const {
+  const Branch* firing = nullptr;
+  for (const Branch& br : branches_) {
+    if (br.is_else || !br.condition) {
+      firing = &br;
+      break;
+    }
+    if (expr::eval(br.condition, env).truthy()) {
+      firing = &br;
+      break;
+    }
+  }
+  if (!firing) return std::nullopt;
+
+  std::vector<Element> produced;
+  produced.reserve(firing->outputs.size());
+  for (const auto& tuple : firing->outputs) {
+    std::vector<Value> fields;
+    fields.reserve(tuple.size());
+    for (const auto& field : tuple) fields.push_back(expr::eval(field, env));
+    produced.emplace_back(std::move(fields));
+  }
+  return produced;
+}
+
+std::optional<std::vector<Element>> Reaction::try_fire(
+    std::span<const Element* const> elements) const {
+  expr::Env env;
+  if (!match(elements, env)) return std::nullopt;
+  return apply(env);
+}
+
+bool Reaction::is_shrinking() const noexcept {
+  return std::all_of(branches_.begin(), branches_.end(), [&](const Branch& br) {
+    return br.outputs.size() < patterns_.size();
+  });
+}
+
+std::string Reaction::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Reaction& r) {
+  os << r.name() << " = replace ";
+  for (std::size_t i = 0; i < r.patterns().size(); ++i) {
+    if (i > 0) os << ", ";
+    os << r.patterns()[i];
+  }
+  for (const Branch& br : r.branches()) {
+    os << "\n  by ";
+    if (br.outputs.empty()) {
+      os << '0';
+    } else {
+      for (std::size_t i = 0; i < br.outputs.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << '[';
+        for (std::size_t j = 0; j < br.outputs[i].size(); ++j) {
+          if (j > 0) os << ", ";
+          os << br.outputs[i][j]->to_string();
+        }
+        os << ']';
+      }
+    }
+    if (br.condition) {
+      os << " if " << br.condition->to_string();
+    } else if (br.is_else) {
+      os << " else";
+    }
+  }
+  return os;
+}
+
+}  // namespace gammaflow::gamma

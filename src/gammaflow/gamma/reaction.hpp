@@ -1,0 +1,95 @@
+// Reaction = (condition, action) pair of the Γ operator, in the multi-branch
+// surface form the paper uses:
+//
+//   name = replace <patterns>
+//          by <outputs₁> if <cond₁>
+//          by <outputs₂> else
+//
+// Applicability: the patterns match a tuple of distinct multiset elements
+// AND some branch fires (its condition holds, it is the `else`, or it is
+// unconditional). Firing removes the matched elements and inserts the
+// branch's outputs ("by 0" inserts nothing) — i.e. one step of
+// (M - {x..}) + A(x..) from Eq. (1).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gammaflow/expr/ast.hpp"
+#include "gammaflow/expr/env.hpp"
+#include "gammaflow/gamma/element.hpp"
+#include "gammaflow/gamma/pattern.hpp"
+
+namespace gammaflow::gamma {
+
+struct Branch {
+  /// Guard; null means unconditional (fires whenever patterns match) unless
+  /// is_else is set, in which case it fires when no earlier branch did.
+  expr::ExprPtr condition;
+  bool is_else = false;
+  /// Each output is a tuple of field expressions over the pattern binders.
+  /// Empty vector = "by 0": consume without producing.
+  std::vector<std::vector<expr::ExprPtr>> outputs;
+
+  static Branch unconditional(std::vector<std::vector<expr::ExprPtr>> outputs) {
+    return Branch{nullptr, false, std::move(outputs)};
+  }
+  static Branch when(expr::ExprPtr condition,
+                     std::vector<std::vector<expr::ExprPtr>> outputs) {
+    return Branch{std::move(condition), false, std::move(outputs)};
+  }
+  static Branch otherwise(std::vector<std::vector<expr::ExprPtr>> outputs) {
+    return Branch{nullptr, true, std::move(outputs)};
+  }
+};
+
+class Reaction {
+ public:
+  Reaction(std::string name, std::vector<Pattern> patterns,
+           std::vector<Branch> branches);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<Pattern>& patterns() const noexcept {
+    return patterns_;
+  }
+  [[nodiscard]] const std::vector<Branch>& branches() const noexcept {
+    return branches_;
+  }
+  /// Number of elements consumed per firing.
+  [[nodiscard]] std::size_t arity() const noexcept { return patterns_.size(); }
+
+  /// Binds `elements` (one per pattern, in order) into `env`. Returns false
+  /// on structural mismatch. env content is unspecified on failure.
+  [[nodiscard]] bool match(std::span<const Element* const> elements,
+                           expr::Env& env) const;
+
+  /// Selects the firing branch under `env` and evaluates its outputs.
+  /// nullopt = patterns matched but no branch applies (reaction not enabled
+  /// on this tuple).
+  [[nodiscard]] std::optional<std::vector<Element>> apply(
+      const expr::Env& env) const;
+
+  /// match + apply in one call; elements.size() must equal arity().
+  [[nodiscard]] std::optional<std::vector<Element>> try_fire(
+      std::span<const Element* const> elements) const;
+
+  /// True when every firing preserves or shrinks multiset size — a simple
+  /// sufficient condition for termination of a single-reaction program.
+  [[nodiscard]] bool is_shrinking() const noexcept;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  void validate() const;
+
+  std::string name_;
+  std::vector<Pattern> patterns_;
+  std::vector<Branch> branches_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Reaction& r);
+
+}  // namespace gammaflow::gamma

@@ -1,0 +1,27 @@
+#include "gammaflow/gamma/replay.hpp"
+
+namespace gammaflow::gamma {
+
+Multiset replay_trace(const Multiset& initial,
+                      std::span<const FireEvent> trace) {
+  Multiset m = initial;
+  std::size_t step = 0;
+  for (const FireEvent& ev : trace) {
+    ++step;
+    for (const Element& e : ev.consumed) {
+      if (!m.remove_one(e)) {
+        throw EngineError("replay step " + std::to_string(step) + " (" +
+                          ev.reaction + "): consumed element " +
+                          e.to_string() + " not present in the multiset");
+      }
+    }
+    for (const Element& e : ev.produced) m.add(e);
+  }
+  return m;
+}
+
+bool validate_run(const Multiset& initial, const RunResult& run) {
+  return replay_trace(initial, run.trace) == run.final_multiset;
+}
+
+}  // namespace gammaflow::gamma

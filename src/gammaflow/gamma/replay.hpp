@@ -1,0 +1,25 @@
+// Trace replay: independently validates an engine run by re-applying its
+// recorded firing sequence to the initial multiset with plain multiset
+// arithmetic (no engine involved). Each step checks that the consumed
+// elements were actually present — a linearizability witness for the
+// parallel engine and a cheap cross-check for all of them.
+#pragma once
+
+#include <span>
+
+#include "gammaflow/gamma/engine.hpp"
+
+namespace gammaflow::gamma {
+
+/// Replays `trace` over `initial`. Throws EngineError at the first event
+/// whose consumed elements are not present (an invalid schedule). Returns
+/// the resulting multiset — equal to the run's final_multiset for any trace
+/// an engine legitimately produced.
+[[nodiscard]] Multiset replay_trace(const Multiset& initial,
+                                    std::span<const FireEvent> trace);
+
+/// Convenience: replays a run's own trace and compares against its final
+/// multiset. Returns true when they agree (requires record_trace).
+[[nodiscard]] bool validate_run(const Multiset& initial, const RunResult& run);
+
+}  // namespace gammaflow::gamma

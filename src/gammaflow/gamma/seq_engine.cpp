@@ -1,0 +1,69 @@
+// SequentialEngine: the Γ operator of Eq. (1) executed literally. Each step
+// enumerates the enabled matches of every reaction in the current stage and
+// fires ONE chosen uniformly at random — the closest executable rendering of
+// "let x1..xn ∈ M, let i ∈ [1,m] such that Ri(x1..xn)" with a fair
+// nondeterministic choice. Quadratic-ish per step; the semantic oracle the
+// other engines are tested against.
+#include <chrono>
+
+#include "gammaflow/common/rng.hpp"
+#include "gammaflow/gamma/engine.hpp"
+#include "gammaflow/gamma/store.hpp"
+
+namespace gammaflow::gamma {
+
+RunResult SequentialEngine::run(const Program& program, const Multiset& initial,
+                                const RunOptions& options) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  RunResult result;
+  Rng rng(options.seed);
+  Store store(initial);
+
+  for (std::size_t stage_idx = 0; stage_idx < program.stages().size();
+       ++stage_idx) {
+    const auto& stage = program.stages()[stage_idx];
+    while (true) {
+      // Gather the enabled matches of every reaction, capped for safety on
+      // large multisets. The cap is per step, re-enumerated from scratch, so
+      // no stale match is ever fired.
+      std::vector<Match> matches;
+      for (const Reaction& r : stage) {
+        enumerate_matches(store, r, options.uniform_cap - matches.size(),
+                          [&](const Match& m) {
+                            matches.push_back(m);
+                            return matches.size() < options.uniform_cap;
+                          });
+        if (matches.size() >= options.uniform_cap) break;
+      }
+      if (matches.empty()) break;  // stage fixed point
+
+      const Match& chosen =
+          matches[static_cast<std::size_t>(rng.bounded(matches.size()))];
+      if (result.steps >= options.max_steps) {
+        throw EngineError("sequential engine exceeded max_steps=" +
+                          std::to_string(options.max_steps));
+      }
+      if (options.record_trace) {
+        FireEvent ev;
+        ev.reaction = chosen.reaction->name();
+        ev.stage = stage_idx;
+        for (const Store::Id id : chosen.ids) {
+          ev.consumed.push_back(store.element(id));
+        }
+        ev.produced = chosen.produced;
+        result.trace.push_back(std::move(ev));
+      }
+      ++result.fires_by_reaction[chosen.reaction->name()];
+      ++result.steps;
+      commit(store, chosen);
+    }
+  }
+
+  result.final_multiset = store.to_multiset();
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace gammaflow::gamma

@@ -1,0 +1,185 @@
+#include "gammaflow/gamma/store.hpp"
+
+#include <algorithm>
+
+namespace gammaflow::gamma {
+
+const std::vector<Store::Entry> Store::kEmpty;
+
+Store::Id Store::insert(Element e) {
+  Id id;
+  if (!free_list_.empty()) {
+    id = free_list_.back();
+    free_list_.pop_back();
+    slots_[id] = std::move(e);
+    alive_[id] = true;
+  } else {
+    id = static_cast<Id>(slots_.size());
+    slots_.push_back(std::move(e));
+    alive_.push_back(true);
+    generations_.push_back(0);
+  }
+  const Element& stored = slots_[id];
+  const Entry entry{id, generations_[id]};
+  arity_index_[stored.arity()].push_back(entry);
+  for (std::size_t f = 0; f < stored.arity(); ++f) {
+    field_index_[FieldKey{f, stored.field(f)}].push_back(entry);
+  }
+  ++live_count_;
+  ++version_;
+  return id;
+}
+
+void Store::remove(Id id) {
+  if (!alive(id)) throw EngineError("remove of dead element id");
+  alive_[id] = false;
+  ++generations_[id];  // invalidates every bucket entry for this occupancy
+  free_list_.push_back(id);
+  --live_count_;
+  ++version_;
+  // Index buckets are pruned lazily on traversal.
+}
+
+void Store::prune(std::vector<Entry>& bucket) {
+  // An entry is stale when its slot died OR was reused by a later occupant
+  // (generation mismatch); either way it no longer belongs here.
+  std::erase_if(bucket, [this](Entry e) { return !live(e); });
+}
+
+const std::vector<Store::Entry>& Store::candidates(const Pattern& p) {
+  if (auto key = p.key_constraint()) {
+    auto it = field_index_.find(FieldKey{key->first, key->second});
+    if (it == field_index_.end()) return kEmpty;
+    prune(it->second);
+    return it->second;
+  }
+  auto it = arity_index_.find(p.arity());
+  if (it == arity_index_.end()) return kEmpty;
+  prune(it->second);
+  return it->second;
+}
+
+const std::vector<Store::Entry>& Store::candidates(const Pattern& p) const {
+  if (auto key = p.key_constraint()) {
+    auto it = field_index_.find(FieldKey{key->first, key->second});
+    return it == field_index_.end() ? kEmpty : it->second;
+  }
+  auto it = arity_index_.find(p.arity());
+  return it == arity_index_.end() ? kEmpty : it->second;
+}
+
+void Store::compact() {
+  for (auto& [key, bucket] : field_index_) prune(bucket);
+  for (auto& [arity, bucket] : arity_index_) prune(bucket);
+}
+
+Multiset Store::to_multiset() const {
+  Multiset m;
+  for (std::size_t id = 0; id < slots_.size(); ++id) {
+    if (alive_[id]) m.add(slots_[id]);
+  }
+  return m;
+}
+
+namespace {
+
+// Shared backtracking core. Visits enabled matches of `reaction`; for each,
+// builds a Match and calls `fn`; stops when fn returns false or `limit` is
+// reached. `rng` randomizes the probe order inside each candidate bucket
+// (cyclic start offset — cheap fairness without shuffling).
+//
+// Stale bucket entries (dead or reused slots) are detected by generation
+// stamp and skipped.
+template <typename StoreT>  // Store (pruning) or const Store (read-only)
+std::size_t search(StoreT& store, const Reaction& reaction, std::size_t limit,
+                   Rng* rng, const std::function<bool(Match&)>& fn) {
+  const auto& patterns = reaction.patterns();
+  const std::size_t k = patterns.size();
+
+  // Bucket pointers are stable across the search: candidates() never inserts
+  // map entries and prune() mutates vectors in place.
+  std::vector<const std::vector<Store::Entry>*> buckets(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    buckets[i] = &store.candidates(patterns[i]);
+    if (buckets[i]->empty()) return 0;
+  }
+
+  std::vector<expr::Env> envs(k + 1);
+  std::vector<Store::Id> chosen(k);
+  std::size_t visited = 0;
+  bool stop = false;
+
+  auto dfs = [&](auto&& self, std::size_t depth) -> void {
+    if (stop) return;
+    if (depth == k) {
+      auto produced = reaction.apply(envs[k]);
+      if (!produced) return;  // patterns matched but no branch fires
+      Match m;
+      m.reaction = &reaction;
+      m.ids = chosen;
+      m.env = envs[k];
+      m.produced = std::move(*produced);
+      ++visited;
+      if (!fn(m) || visited >= limit) stop = true;
+      return;
+    }
+    const auto& bucket = *buckets[depth];
+    const std::size_t n = bucket.size();
+    const std::size_t start = rng ? rng->bounded(n) : 0;
+    for (std::size_t t = 0; t < n && !stop; ++t) {
+      const Store::Entry entry = bucket[(start + t) % n];
+      if (!store.live(entry)) continue;
+      const Store::Id id = entry.id;
+      bool dup = false;
+      for (std::size_t d = 0; d < depth; ++d) {
+        if (chosen[d] == id) {
+          dup = true;
+          break;
+        }
+      }
+      if (dup) continue;
+      envs[depth + 1] = envs[depth];
+      if (!patterns[depth].match(store.element(id), envs[depth + 1])) continue;
+      chosen[depth] = id;
+      self(self, depth + 1);
+    }
+  };
+  dfs(dfs, 0);
+  return visited;
+}
+
+}  // namespace
+
+std::optional<Match> find_match(Store& store, const Reaction& reaction,
+                                Rng* rng) {
+  std::optional<Match> found;
+  search(store, reaction, 1, rng, [&](Match& m) {
+    found = std::move(m);
+    return false;
+  });
+  return found;
+}
+
+std::optional<Match> find_match(const Store& store, const Reaction& reaction,
+                                Rng* rng) {
+  std::optional<Match> found;
+  search(store, reaction, 1, rng, [&](Match& m) {
+    found = std::move(m);
+    return false;
+  });
+  return found;
+}
+
+std::size_t enumerate_matches(Store& store, const Reaction& reaction,
+                              std::size_t limit,
+                              const std::function<bool(const Match&)>& fn) {
+  return search(store, reaction, limit, nullptr,
+                [&](Match& m) { return fn(m); });
+}
+
+void commit(Store& store, const Match& match) {
+  for (const Store::Id id : match.ids) store.remove(id);
+  for (const Element& e : match.produced) store.insert(e);
+}
+
+}  // namespace gammaflow::gamma

@@ -1,0 +1,140 @@
+// Indexed element store: the engines' internal multiset representation.
+// Elements live in stable slots; secondary indexes map (field, value) and
+// arity to candidate slot lists so reaction matching probes a bucket instead
+// of scanning the multiset. Buckets are cleaned lazily (dead ids skipped and
+// pruned during iteration).
+//
+// Also hosts the shared matching machinery: backtracking search for a tuple
+// of distinct elements satisfying a reaction's replace list, in three
+// flavors — first match (fast), randomized match (fair), and full
+// enumeration (Eq. (1)-literal uniform choice and match counting).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "gammaflow/common/rng.hpp"
+#include "gammaflow/expr/env.hpp"
+#include "gammaflow/gamma/multiset.hpp"
+#include "gammaflow/gamma/reaction.hpp"
+
+namespace gammaflow::gamma {
+
+class Store {
+ public:
+  using Id = std::uint32_t;
+
+  /// Bucket entry: a slot id stamped with the slot's generation at insert
+  /// time. Slots are reused (free list), so an id alone cannot tell a live
+  /// registration from a stale one left by a previous occupant — without the
+  /// stamp, buckets accumulate duplicate references to reused slots and
+  /// matching degrades from O(live) to O(total firings).
+  struct Entry {
+    Id id;
+    std::uint32_t gen;
+  };
+
+  Store() = default;
+  explicit Store(const Multiset& m) {
+    for (const Element& e : m) insert(e);
+  }
+
+  Id insert(Element e);
+  void remove(Id id);
+
+  [[nodiscard]] bool alive(Id id) const noexcept {
+    return id < alive_.size() && alive_[id];
+  }
+  /// True when `entry` references the CURRENT occupant of its slot.
+  [[nodiscard]] bool live(Entry entry) const noexcept {
+    return alive(entry.id) && generations_[entry.id] == entry.gen;
+  }
+  [[nodiscard]] const Element& element(Id id) const { return slots_[id]; }
+  [[nodiscard]] std::size_t size() const noexcept { return live_count_; }
+
+  /// Entries the pattern could match: the (field,value) bucket when the
+  /// pattern carries a literal constraint, otherwise the arity bucket. May
+  /// contain stale entries; callers must check live(). The list is pruned
+  /// in place.
+  [[nodiscard]] const std::vector<Entry>& candidates(const Pattern& p);
+
+  /// Read-only candidate lookup (no pruning) — safe under a shared lock
+  /// while other threads only hold shared locks. Stale entries linger until
+  /// a mutating call or compact() cleans them.
+  [[nodiscard]] const std::vector<Entry>& candidates(const Pattern& p) const;
+
+  /// Prunes stale entries from every index bucket. The parallel engine calls
+  /// this periodically under its exclusive lock to bound bucket garbage.
+  void compact();
+
+  /// Snapshot back to the public value type.
+  [[nodiscard]] Multiset to_multiset() const;
+
+  /// Monotone count of successful insert/remove operations; engines use it
+  /// as a cheap "has anything changed" version stamp.
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+
+ private:
+  struct FieldKey {
+    std::size_t field;
+    Value value;
+    bool operator==(const FieldKey& o) const noexcept {
+      return field == o.field && value == o.value;
+    }
+  };
+  struct FieldKeyHash {
+    std::size_t operator()(const FieldKey& k) const noexcept {
+      return k.value.hash() * 0x9e3779b97f4a7c15ULL + k.field;
+    }
+  };
+
+  void prune(std::vector<Entry>& bucket);
+
+  std::vector<Element> slots_;
+  std::vector<bool> alive_;
+  std::vector<std::uint32_t> generations_;
+  std::vector<Id> free_list_;
+  std::size_t live_count_ = 0;
+  std::uint64_t version_ = 0;
+  std::unordered_map<FieldKey, std::vector<Entry>, FieldKeyHash> field_index_;
+  std::unordered_map<std::size_t, std::vector<Entry>> arity_index_;
+  static const std::vector<Entry> kEmpty;
+};
+
+struct Match {
+  const Reaction* reaction = nullptr;
+  std::vector<Store::Id> ids;  // one per pattern, all distinct
+  expr::Env env;               // bindings from the replace list
+  std::vector<Element> produced;  // outputs of the firing branch
+};
+
+/// Finds one enabled match for `reaction` (patterns match AND a branch
+/// fires). With `rng`, candidate buckets are probed starting at random
+/// offsets so repeated calls are fair; without, the first match in bucket
+/// order is returned (deterministic).
+[[nodiscard]] std::optional<Match> find_match(Store& store,
+                                              const Reaction& reaction,
+                                              Rng* rng = nullptr);
+
+/// Read-only variant for concurrent searchers holding a shared lock; leaves
+/// index garbage in place (see Store::compact).
+[[nodiscard]] std::optional<Match> find_match(const Store& store,
+                                              const Reaction& reaction,
+                                              Rng* rng = nullptr);
+
+/// Invokes `fn` for every enabled match (ordered tuples of distinct
+/// elements), stopping early when fn returns false or `limit` matches were
+/// visited. Returns the number visited. Exponential in reaction arity —
+/// meant for small multisets (semantics tests) and match counting.
+std::size_t enumerate_matches(Store& store, const Reaction& reaction,
+                              std::size_t limit,
+                              const std::function<bool(const Match&)>& fn);
+
+/// Applies a found match: removes the consumed ids, inserts the produced
+/// elements. Precondition: all ids alive.
+void commit(Store& store, const Match& match);
+
+}  // namespace gammaflow::gamma

@@ -1,0 +1,75 @@
+// Canonical constructions of every artifact printed in the paper, used by
+// tests (to pin them), examples, and the benchmark harness:
+//   Fig. 1  — the expression graph for  m = (x + y) - (k * j)
+//   §III-A1 — its Gamma listing R1..R3 and the initial multiset
+//   §III-A3 — the reduced one-reaction form Rd1
+//   Fig. 2  — the loop graph for  for(i=z; i>0; i--) x = x + y;
+//   §III-A1 — its listing R11..R19 and initial multiset
+//   §III-A3 — the reduced six-reaction form Rd11..Rd16
+#pragma once
+
+#include "gammaflow/dataflow/graph.hpp"
+#include "gammaflow/gamma/multiset.hpp"
+#include "gammaflow/gamma/program.hpp"
+
+namespace gammaflow::paper {
+
+// ---- Fig. 1 (x=1, y=5, k=3, j=2 as printed; parameters for sweeps) ----
+
+/// The Fig. 1 dataflow graph. Edge labels A1,B1,C1,D1,B2,C2,m; vertices
+/// R1 (+), R2 (*), R3 (-); result collected by Output node "m".
+[[nodiscard]] dataflow::Graph fig1_graph(std::int64_t x = 1, std::int64_t y = 5,
+                                         std::int64_t k = 3, std::int64_t j = 2);
+
+/// The paper's Gamma listing R1|R2|R3, parsed from its surface syntax.
+[[nodiscard]] gamma::Program fig1_gamma();
+/// Initial multiset {[1,'A1'], [5,'B1'], [3,'C1'], [2,'D1']}.
+[[nodiscard]] gamma::Multiset fig1_initial(std::int64_t x = 1, std::int64_t y = 5,
+                                           std::int64_t k = 3, std::int64_t j = 2);
+/// The reduced one-reaction program Rd1 (§III-A3).
+[[nodiscard]] gamma::Program fig1_reduced_gamma();
+
+// ---- Fig. 2 (loop; initial x, y, z parameters) ----
+
+/// The Fig. 2 loop graph, exactly as drawn: inctags R11-R13, comparison R14
+/// (id > 0, immediate 0), steers R15-R17, decrement R18 (immediate 1),
+/// accumulate R19. All steer FALSE ports are unconnected (tokens die when
+/// the loop exits), faithfully reproducing the printed reactions' "by 0
+/// else". With `observe_result`, R17's FALSE port is routed to an Output
+/// node "x_final" so the loop's result x + z*y becomes observable — the
+/// natural completion the examples use.
+[[nodiscard]] dataflow::Graph fig2_graph(std::int64_t z, std::int64_t y,
+                                         std::int64_t x,
+                                         bool observe_result = false);
+
+/// The paper's nine-reaction listing R11..R19.
+[[nodiscard]] gamma::Program fig2_gamma();
+/// Initial multiset {[y,'A1',0], [z,'B1',0], [x,'C1',0]}.
+[[nodiscard]] gamma::Multiset fig2_initial(std::int64_t z, std::int64_t y,
+                                           std::int64_t x);
+/// The reduced six-reaction program Rd11..Rd16 (§III-A3).
+[[nodiscard]] gamma::Program fig2_reduced_gamma();
+
+// ---- generators for sweeps / property tests ----
+
+/// Balanced random expression graph with `leaves` Const inputs combined by
+/// random +,-,* nodes into one Output "m" (div/mod excluded to avoid
+/// divide-by-zero in random data). Used by E1's width sweep.
+[[nodiscard]] dataflow::Graph random_expression_graph(std::size_t leaves,
+                                                      std::uint64_t seed);
+
+/// Fig. 2 generalized: `loops` independent accumulation loops side by side
+/// (each its own z/y/x), exercising inter-loop parallelism.
+[[nodiscard]] dataflow::Graph multi_loop_graph(std::size_t loops,
+                                               std::int64_t z,
+                                               bool observe_result = true);
+
+/// A random WELL-FORMED program in the frontend's imperative language:
+/// declarations, arithmetic assignments, if/else blocks, optionally one
+/// trailing bounded for-loop, and outputs. Always compiles and terminates —
+/// the seed generator for whole-pipeline property tests (source -> graph ->
+/// Gamma -> engines all agree).
+[[nodiscard]] std::string random_source_program(std::uint64_t seed,
+                                                bool with_loop = true);
+
+}  // namespace gammaflow::paper

@@ -1,0 +1,60 @@
+// Algorithm 1 of the paper: convert a dynamic dataflow graph D(I, E) into a
+// Gamma program G(R, M).
+//
+//   * every edge label becomes a multiset element label;
+//   * every root (Const) node's emissions become initial multiset elements
+//     [value, label, 0] (line 9);
+//   * every interior node becomes one reaction:
+//       - arithmetic op  -> replace [x0,l(s1),v],[x1,l(s2),v]
+//                           by [x0 op x1, l(o), v]  for every output o
+//         (lines 29-33);
+//       - comparison op  -> two branches producing [1,...] if (x0 op x1) and
+//                           [0,...] else (lines 23-28);
+//       - steer          -> by <true-port labels> if x1 == 1,
+//                           by <false-port labels> else ("by 0" when the
+//                           false port is unconnected) (lines 13-19);
+//       - inctag/dectag  -> single unconditional branch with tag v±1
+//                           (lines 21-22);
+//   * an input port fed by several edges (token merge, e.g. the loop-back
+//     A1/A11 in Fig. 2) binds its label to a variable and adds the paper's
+//     disjunction condition (x=='A1') or (x=='A11') to every branch;
+//   * Output nodes become nothing: their incoming elements simply stay in
+//     the final multiset, which is how the converted program exposes its
+//     results (the 'm' element of Fig. 1).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gammaflow/dataflow/graph.hpp"
+#include "gammaflow/gamma/multiset.hpp"
+#include "gammaflow/gamma/program.hpp"
+
+namespace gammaflow::translate {
+
+struct DfToGammaOptions {
+  /// Element shape: tagged triples [value,label,tag] (needed whenever the
+  /// graph manipulates tags) or the untagged pairs [value,label] the paper
+  /// uses for Fig. 1. Auto picks pairs iff the graph has no IncTag/DecTag.
+  enum class Shape { Auto, Pairs, Triples };
+  Shape shape = Shape::Auto;
+};
+
+struct GammaConversion {
+  gamma::Program program;
+  gamma::Multiset initial;
+  /// Output-node name -> the edge labels whose elements carry that output's
+  /// values in the final multiset (e.g. "m" -> {"m"} in Fig. 1; several
+  /// labels when the output port is an if-join merge).
+  std::map<std::string, std::vector<std::string>> output_labels;
+  /// Whether tagged triples were emitted.
+  bool tagged = false;
+};
+
+/// Converts `graph` (validated first). Throws TranslateError when a pairs
+/// shape is forced on a graph containing tag-manipulating nodes.
+[[nodiscard]] GammaConversion dataflow_to_gamma(
+    const dataflow::Graph& graph, const DfToGammaOptions& options = {});
+
+}  // namespace gammaflow::translate

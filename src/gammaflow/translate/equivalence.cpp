@@ -1,0 +1,92 @@
+#include "gammaflow/translate/equivalence.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace gammaflow::translate {
+
+std::vector<std::pair<dataflow::Tag, Value>> observed_elements(
+    const gamma::Multiset& m, const std::string& label) {
+  std::vector<std::pair<dataflow::Tag, Value>> out;
+  for (const gamma::Element& e : m) {
+    if (e.arity() >= 2 && e.field(1).is_str() && e.field(1).as_str() == label) {
+      const dataflow::Tag tag =
+          e.arity() >= 3 && e.field(2).is_int()
+              ? static_cast<dataflow::Tag>(e.field(2).as_int())
+              : 0;
+      out.emplace_back(tag, e.field(0));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+EquivalenceReport check_equivalence(const dataflow::Graph& graph,
+                                    const dataflow::DfEngine& df_engine,
+                                    const gamma::Engine& gamma_engine,
+                                    std::uint64_t seed,
+                                    const DfToGammaOptions& convert_options) {
+  EquivalenceReport report;
+  const GammaConversion conv = dataflow_to_gamma(graph, convert_options);
+
+  report.dataflow_result = df_engine.run(graph);
+  gamma::RunOptions gopts;
+  gopts.seed = seed;
+  report.gamma_result = gamma_engine.run(conv.program, conv.initial, gopts);
+
+  std::ostringstream detail;
+  bool ok = true;
+  for (const auto& [output_name, labels] : conv.output_labels) {
+    auto df_tokens = [&] {
+      auto it = report.dataflow_result.outputs.find(output_name);
+      std::vector<std::pair<dataflow::Tag, Value>> v;
+      if (it != report.dataflow_result.outputs.end()) v = it->second;
+      std::sort(v.begin(), v.end());
+      return v;
+    }();
+    std::vector<std::pair<dataflow::Tag, Value>> gamma_tokens;
+    for (const std::string& label : labels) {
+      const auto part =
+          observed_elements(report.gamma_result.final_multiset, label);
+      gamma_tokens.insert(gamma_tokens.end(), part.begin(), part.end());
+    }
+    std::sort(gamma_tokens.begin(), gamma_tokens.end());
+    if (df_tokens != gamma_tokens) {
+      ok = false;
+      detail << "output '" << output_name << "' ("
+             << labels.size() << " label(s), first '"
+             << (labels.empty() ? std::string() : labels.front())
+             << "'): dataflow produced " << df_tokens.size()
+             << " tokens, gamma left " << gamma_tokens.size() << " elements";
+      const std::size_t n = std::min(df_tokens.size(), gamma_tokens.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        if (df_tokens[i] != gamma_tokens[i]) {
+          detail << "; first diff at #" << i << ": df (tag "
+                 << df_tokens[i].first << ", " << df_tokens[i].second
+                 << ") vs gamma (tag " << gamma_tokens[i].first << ", "
+                 << gamma_tokens[i].second << ")";
+          break;
+        }
+      }
+      detail << ". ";
+    }
+  }
+  report.equivalent = ok;
+  report.detail = detail.str();
+  return report;
+}
+
+EquivalenceReport check_equivalence_seeds(const dataflow::Graph& graph,
+                                          std::uint64_t first_seed,
+                                          std::uint64_t seeds) {
+  const dataflow::Interpreter df_engine;
+  const gamma::IndexedEngine gamma_engine;
+  EquivalenceReport last;
+  for (std::uint64_t s = 0; s < seeds; ++s) {
+    last = check_equivalence(graph, df_engine, gamma_engine, first_seed + s);
+    if (!last.equivalent) return last;
+  }
+  return last;
+}
+
+}  // namespace gammaflow::translate

@@ -1,0 +1,43 @@
+// Cross-model equivalence checking: run a dataflow graph on a dataflow
+// engine and its Algorithm-1 conversion on a Gamma engine, then compare the
+// observable results — for every Output node, the (tag, value) tokens it
+// received must equal the [value, label, tag] elements left in the final
+// multiset under that output's edge label. This is the executable form of
+// the paper's equivalence claim, used by tests, examples, and benches.
+#pragma once
+
+#include <string>
+
+#include "gammaflow/dataflow/engine.hpp"
+#include "gammaflow/gamma/engine.hpp"
+#include "gammaflow/translate/df_to_gamma.hpp"
+
+namespace gammaflow::translate {
+
+struct EquivalenceReport {
+  bool equivalent = false;
+  /// Human-readable mismatch description (empty when equivalent).
+  std::string detail;
+  dataflow::DfRunResult dataflow_result;
+  gamma::RunResult gamma_result;
+};
+
+/// Extracts the observable (tag, value) pairs of `label` from a final
+/// multiset (tag 0 for untagged pair elements).
+[[nodiscard]] std::vector<std::pair<dataflow::Tag, Value>> observed_elements(
+    const gamma::Multiset& m, const std::string& label);
+
+/// Runs both sides and compares observables. `seed` drives the Gamma
+/// engine's nondeterministic choices.
+[[nodiscard]] EquivalenceReport check_equivalence(
+    const dataflow::Graph& graph, const dataflow::DfEngine& df_engine,
+    const gamma::Engine& gamma_engine, std::uint64_t seed = 1,
+    const DfToGammaOptions& convert_options = {});
+
+/// Convenience: Interpreter vs IndexedEngine across `seeds` consecutive
+/// seeds; returns the first failing report or the last passing one.
+[[nodiscard]] EquivalenceReport check_equivalence_seeds(
+    const dataflow::Graph& graph, std::uint64_t first_seed = 1,
+    std::uint64_t seeds = 10);
+
+}  // namespace gammaflow::translate

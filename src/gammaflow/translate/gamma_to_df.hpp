@@ -1,0 +1,93 @@
+// Algorithm 2 of the paper and its completion.
+//
+// 1. per_reaction_graph — Algorithm 2 as printed: one reaction becomes a
+//    dataflow graph whose roots are the replace-list elements (lines 2-4);
+//    a by-condition becomes comparison nodes plus one steer per consumed
+//    element that feeds the outputs (lines 6-12); by-expressions become
+//    arithmetic node trees hanging off the steer TRUE ports (lines 13-16),
+//    or directly off the roots when unconditional (lines 18-21).
+//
+// 2. instantiate / instantiate_mapping — step 2 of the paper's procedure
+//    (Fig. 4): replicate the per-reaction graph floor(|M|/arity) times to
+//    cover the whole multiset, wiring each chunk of elements into one
+//    instance's roots. One round of parallel rewriting as pure dataflow.
+//    map_until_fixpoint iterates rounds (reshuffling between them) until the
+//    reaction is disabled on the surviving multiset — the "complex mapping
+//    algorithm" the paper leaves out, in its simplest correct form.
+//
+// 3. reconstruct_graph — the paper's future work (§IV): rebuild a whole
+//    dataflow graph from a converted Gamma program by recognizing node kinds
+//    from reaction shapes (§III-A2's observations): tag+1 output => inctag;
+//    two-input if(x==1)/else routing => steer; 1/0-producing comparison
+//    branches => cmp; unconditional arithmetic => expression trees. Initial
+//    multiset elements become Const roots; produced-but-never-consumed
+//    labels become Output sinks. Composing with Algorithm 1 gives the
+//    round-trip the paper demonstrates on Fig. 1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gammaflow/dataflow/graph.hpp"
+#include "gammaflow/gamma/engine.hpp"
+#include "gammaflow/gamma/multiset.hpp"
+#include "gammaflow/gamma/program.hpp"
+
+namespace gammaflow::translate {
+
+/// Result of Algorithm 2 on one reaction: the graph plus which Const roots
+/// correspond to which replace-list position (for instantiation).
+struct ReactionGraph {
+  dataflow::Graph graph;
+  /// roots[i] = Const node holding the value of replace-list element i.
+  std::vector<dataflow::NodeId> roots;
+  /// Output node names of produced elements, in by-list order.
+  std::vector<std::string> produced_outputs;
+  /// Output node names that re-emit consumed elements when the condition is
+  /// false (the "unreacted" path), one per steered input.
+  std::vector<std::string> unreacted_outputs;
+};
+
+/// Algorithm 2 on a single reaction. Placeholder root values (nil) unless
+/// `seed` provides one element per pattern. Supported shape: single
+/// conditional or unconditional branch whose condition is a comparison over
+/// value variables and whose outputs are arithmetic expressions / variables;
+/// richer reactions throw TranslateError.
+[[nodiscard]] ReactionGraph per_reaction_graph(
+    const gamma::Reaction& reaction,
+    const std::vector<gamma::Element>* seed = nullptr);
+
+/// Fig. 4: replicate the reaction graph over `m`, floor(|M|/arity) instances
+/// (elements taken in multiset order), leftover elements pass through.
+struct MappingResult {
+  dataflow::Graph graph;
+  std::size_t instances = 0;
+  std::size_t leftover = 0;
+};
+[[nodiscard]] MappingResult instantiate_mapping(const gamma::Reaction& reaction,
+                                                const gamma::Multiset& m);
+
+/// Runs mapped rounds until the reaction is globally disabled: each round
+/// instantiates Fig. 4's replication on the current multiset, executes it
+/// with the dataflow interpreter, and feeds produced + unreacted elements to
+/// the next round (shuffled by `seed`). A disabled check via the Gamma
+/// matcher decides true fixpoints. Returns the final multiset.
+struct MappingRun {
+  gamma::Multiset result;
+  std::size_t rounds = 0;
+  std::uint64_t total_fires = 0;
+};
+[[nodiscard]] MappingRun map_until_fixpoint(const gamma::Reaction& reaction,
+                                            const gamma::Multiset& initial,
+                                            std::uint64_t seed = 1,
+                                            std::size_t max_rounds = 1'000'000);
+
+/// Future-work reconstruction: whole Gamma program + initial multiset back
+/// to a dataflow graph. Handles the image of Algorithm 1 (arith/cmp/steer/
+/// inctag/dectag shapes, token-merge label disjunctions) plus k-ary
+/// unconditional expression reactions (e.g. the reduced Rd1). Throws
+/// TranslateError with the offending reaction otherwise.
+[[nodiscard]] dataflow::Graph reconstruct_graph(const gamma::Program& program,
+                                                const gamma::Multiset& initial);
+
+}  // namespace gammaflow::translate

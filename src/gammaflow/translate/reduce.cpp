@@ -1,0 +1,462 @@
+#include "gammaflow/translate/reduce.hpp"
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "gammaflow/common/error.hpp"
+#include "gammaflow/expr/simplify.hpp"
+
+namespace gammaflow::translate {
+
+using expr::BinOp;
+using expr::Expr;
+using expr::ExprPtr;
+using gamma::Branch;
+using gamma::Pattern;
+using gamma::PatternField;
+using gamma::Reaction;
+
+namespace {
+
+/// A reaction that can be folded into its consumer: one unconditional
+/// branch, one output, literal pattern labels, tag preserved.
+struct ProducerShape {
+  std::string out_label;
+  ExprPtr out_value;
+  std::string tag_var;  // empty when untagged
+  std::size_t element_arity;
+};
+
+std::optional<ProducerShape> producer_shape(const Reaction& r) {
+  if (r.branches().size() != 1) return std::nullopt;
+  const Branch& br = r.branches()[0];
+  if (br.condition || br.is_else || br.outputs.size() != 1) return std::nullopt;
+
+  const std::size_t nfields = r.patterns().front().fields().size();
+  if (nfields < 2) return std::nullopt;  // unlabeled elements can't be routed
+  ProducerShape shape;
+  shape.element_arity = nfields;
+  for (const Pattern& p : r.patterns()) {
+    if (p.fields().size() != nfields) return std::nullopt;
+    if (!p.fields()[0].is_binder()) return std::nullopt;
+    if (p.fields()[1].is_binder()) return std::nullopt;  // wildcard label
+    if (nfields == 3) {
+      if (!p.fields()[2].is_binder()) return std::nullopt;
+      if (shape.tag_var.empty()) shape.tag_var = p.fields()[2].name();
+      if (p.fields()[2].name() != shape.tag_var) return std::nullopt;
+    }
+  }
+  const auto& tuple = br.outputs[0];
+  if (tuple.size() != nfields) return std::nullopt;
+  if (tuple[1]->kind() != Expr::Kind::Literal || !tuple[1]->literal().is_str()) {
+    return std::nullopt;
+  }
+  if (nfields == 3) {
+    if (tuple[2]->kind() != Expr::Kind::Var ||
+        tuple[2]->var() != shape.tag_var) {
+      return std::nullopt;  // tag must be preserved verbatim
+    }
+  }
+  shape.out_label = tuple[1]->literal().as_str();
+  shape.out_value = tuple[0];
+  return shape;
+}
+
+/// All binder names of a reaction.
+std::set<std::string> binders_of(const Reaction& r) {
+  std::set<std::string> out;
+  for (const Pattern& p : r.patterns()) {
+    for (const std::string& b : p.binders()) out.insert(b);
+  }
+  return out;
+}
+
+/// Counts (producers, consumers) of each label literal across the stage.
+struct LabelUse {
+  std::vector<std::pair<std::size_t, std::size_t>> producers;  // (rx, branch)
+  std::vector<std::pair<std::size_t, std::size_t>> consumers;  // (rx, pattern)
+};
+
+std::map<std::string, LabelUse> label_uses(const std::vector<Reaction>& stage) {
+  std::map<std::string, LabelUse> uses;
+  for (std::size_t i = 0; i < stage.size(); ++i) {
+    for (std::size_t bi = 0; bi < stage[i].branches().size(); ++bi) {
+      for (const auto& tuple : stage[i].branches()[bi].outputs) {
+        if (tuple.size() >= 2 && tuple[1]->kind() == Expr::Kind::Literal &&
+            tuple[1]->literal().is_str()) {
+          uses[tuple[1]->literal().as_str()].producers.emplace_back(i, bi);
+        }
+      }
+    }
+    for (std::size_t pi = 0; pi < stage[i].patterns().size(); ++pi) {
+      const Pattern& p = stage[i].patterns()[pi];
+      if (p.fields().size() >= 2 && !p.fields()[1].is_binder() &&
+          p.fields()[1].value().is_str()) {
+        uses[p.fields()[1].value().as_str()].consumers.emplace_back(i, pi);
+      }
+    }
+  }
+  return uses;
+}
+
+/// Renames every variable in `e` according to `renames`.
+ExprPtr rename_vars(const ExprPtr& e,
+                    const std::map<std::string, std::string>& renames) {
+  std::vector<std::pair<std::string, ExprPtr>> subst;
+  subst.reserve(renames.size());
+  for (const auto& [from, to] : renames) {
+    subst.emplace_back(from, Expr::var(to));
+  }
+  return expr::substitute(e, subst);
+}
+
+Pattern rename_pattern(const Pattern& p,
+                       const std::map<std::string, std::string>& renames) {
+  std::vector<PatternField> fields;
+  for (const PatternField& f : p.fields()) {
+    if (f.is_binder()) {
+      auto it = renames.find(f.name());
+      fields.push_back(
+          PatternField::bind(it == renames.end() ? f.name() : it->second));
+    } else {
+      fields.push_back(f);
+    }
+  }
+  return Pattern(std::move(fields));
+}
+
+/// Fuses producer `prod` into consumer `cons` at pattern `pattern_idx`.
+Reaction fuse_pair(const Reaction& cons, std::size_t pattern_idx,
+                   const Reaction& prod, const ProducerShape& shape,
+                   bool do_simplify) {
+  // Fresh names for the producer's binders, mapping its tag variable onto
+  // the consumer's so the fused patterns share one iteration constraint.
+  // Chosen fresh names join `taken` immediately: two producer binders must
+  // never converge on the same identifier (e.g. id1 -> id1_1 colliding with
+  // an existing id1_1 after repeated fusions).
+  std::set<std::string> taken = binders_of(cons);
+  std::map<std::string, std::string> renames;
+  std::string cons_tag;
+  const Pattern& target = cons.patterns()[pattern_idx];
+  if (target.fields().size() == 3) cons_tag = target.fields()[2].name();
+  taken.insert(cons_tag);
+
+  std::size_t counter = 0;
+  for (const std::string& b : binders_of(prod)) {
+    if (!shape.tag_var.empty() && b == shape.tag_var && !cons_tag.empty()) {
+      renames[b] = cons_tag;
+      continue;
+    }
+    std::string fresh = b;
+    while (taken.contains(fresh)) {
+      fresh = b + "_" + std::to_string(++counter);
+    }
+    taken.insert(fresh);
+    renames[b] = fresh;
+  }
+
+  std::vector<Pattern> patterns;
+  for (std::size_t i = 0; i < cons.patterns().size(); ++i) {
+    if (i == pattern_idx) {
+      for (const Pattern& p : prod.patterns()) {
+        patterns.push_back(rename_pattern(p, renames));
+      }
+    } else {
+      patterns.push_back(cons.patterns()[i]);
+    }
+  }
+
+  // Substitute the consumed value variable by the producer's output value.
+  const std::string value_var = target.fields()[0].name();
+  const ExprPtr replacement = rename_vars(shape.out_value, renames);
+  const std::vector<std::pair<std::string, ExprPtr>> subst = {
+      {value_var, replacement}};
+
+  std::vector<Branch> branches;
+  for (const Branch& br : cons.branches()) {
+    Branch nb;
+    nb.is_else = br.is_else;
+    if (br.condition) {
+      nb.condition = expr::substitute(br.condition, subst);
+      if (do_simplify) nb.condition = expr::simplify(nb.condition);
+    }
+    for (const auto& tuple : br.outputs) {
+      auto& out = nb.outputs.emplace_back();
+      for (const ExprPtr& field : tuple) {
+        ExprPtr sub = expr::substitute(field, subst);
+        out.push_back(do_simplify ? expr::simplify(sub) : sub);
+      }
+    }
+    branches.push_back(std::move(nb));
+  }
+  return Reaction(cons.name(), std::move(patterns), std::move(branches));
+}
+
+std::vector<Reaction> fuse_stage(std::vector<Reaction> stage,
+                                 const std::set<std::string>& forbidden,
+                                 const FuseOptions& options) {
+  std::size_t steps = 0;
+  while (options.max_steps == 0 || steps < options.max_steps) {
+    const auto uses = label_uses(stage);
+    bool fused = false;
+    for (const auto& [label, use] : uses) {
+      if (forbidden.contains(label)) continue;
+      if (use.producers.size() != 1 || use.consumers.size() != 1) continue;
+      const std::size_t prod_idx = use.producers[0].first;
+      const auto [cons_idx, pattern_idx] = use.consumers[0];
+      if (prod_idx == cons_idx) continue;  // self-loop label
+      const auto shape = producer_shape(stage[prod_idx]);
+      if (!shape || shape->out_label != label) continue;
+      const Pattern& target = stage[cons_idx].patterns()[pattern_idx];
+      if (target.fields().size() != shape->element_arity) continue;
+      // The consumed value variable must bind exactly here (a repeat binder
+      // is an equality constraint substitution would silently drop).
+      const std::string& vvar = target.fields()[0].name();
+      std::size_t binds = 0;
+      for (const Pattern& p : stage[cons_idx].patterns()) {
+        for (const PatternField& f : p.fields()) {
+          if (f.is_binder() && f.name() == vvar) ++binds;
+        }
+      }
+      if (binds != 1) continue;
+
+      Reaction merged = fuse_pair(stage[cons_idx], pattern_idx,
+                                  stage[prod_idx], *shape, options.simplify);
+      std::vector<Reaction> next;
+      for (std::size_t i = 0; i < stage.size(); ++i) {
+        if (i == prod_idx) continue;
+        if (i == cons_idx) {
+          next.push_back(merged);
+        } else {
+          next.push_back(stage[i]);
+        }
+      }
+      stage = std::move(next);
+      fused = true;
+      ++steps;
+      break;  // label_uses is stale; recompute
+    }
+    if (!fused) break;
+  }
+  return stage;
+}
+
+}  // namespace
+
+gamma::Program fuse_reactions(const gamma::Program& program,
+                              const gamma::Multiset& initial,
+                              const FuseOptions& options) {
+  std::set<std::string> forbidden(options.preserve_labels.begin(),
+                                  options.preserve_labels.end());
+  for (const auto& e : initial) {
+    if (e.arity() >= 2 && e.field(1).is_str()) {
+      forbidden.insert(e.field(1).as_str());
+    }
+  }
+
+  gamma::Program out;
+  bool first = true;
+  for (const auto& stage : program.stages()) {
+    gamma::Program stage_program(fuse_stage(stage, forbidden, options));
+    out = first ? std::move(stage_program) : out.then(stage_program);
+    first = false;
+  }
+  return out;
+}
+
+namespace {
+
+struct Expander {
+  const Reaction& original;
+  std::function<std::string(std::size_t)> fresh;
+  std::vector<Reaction> result;
+  std::size_t next_label = 0;
+  std::size_t next_rx = 0;
+  std::string tag_var;
+  std::size_t element_arity = 2;
+
+  /// A value available as a multiset element under `label`.
+  struct Operand {
+    std::string label;
+  };
+
+  /// Emits one binary reaction consuming `a` (and `b` when binary) and
+  /// producing `out_label`; `body` is the output value over id1/id2.
+  void emit(const std::optional<Operand>& a, const std::optional<Operand>& b,
+            const ExprPtr& body, const std::string& out_label) {
+    std::vector<Pattern> patterns;
+    auto add_pattern = [&](const Operand& op, const std::string& var) {
+      std::vector<PatternField> fields;
+      fields.push_back(PatternField::bind(var));
+      fields.push_back(PatternField::literal(Value(op.label)));
+      if (element_arity == 3) fields.push_back(PatternField::bind(tag_var));
+      patterns.push_back(Pattern(std::move(fields)));
+    };
+    if (a) add_pattern(*a, "id1");
+    if (b) add_pattern(*b, "id2");
+
+    std::vector<ExprPtr> tuple;
+    tuple.push_back(body);
+    tuple.push_back(Expr::lit(Value(out_label)));
+    if (element_arity == 3) tuple.push_back(Expr::var(tag_var));
+
+    const std::string name = out_label == final_label()
+                                 ? original.name()
+                                 : original.name() + "_e" + std::to_string(++next_rx);
+    std::vector<std::vector<ExprPtr>> outputs;
+    outputs.push_back(std::move(tuple));
+    std::vector<Branch> branches;
+    branches.push_back(Branch::unconditional(std::move(outputs)));
+    result.emplace_back(name, std::move(patterns), std::move(branches));
+  }
+
+  [[nodiscard]] std::string final_label() const { return final_label_; }
+  std::string final_label_;
+
+  std::string make_label() {
+    const std::size_t k = next_label++;
+    return fresh ? fresh(k) : original.name() + "_t" + std::to_string(k);
+  }
+
+  /// Lowers `e`; returns either an Operand (element carrying the value) or
+  /// an inline literal expression.
+  struct Lowered {
+    std::optional<Operand> operand;
+    ExprPtr literal;  // set iff operand is empty
+  };
+
+  Lowered lower(const ExprPtr& e,
+                const std::map<std::string, std::string>& var_labels,
+                const std::string& target_label) {
+    switch (e->kind()) {
+      case Expr::Kind::Literal:
+        return Lowered{std::nullopt, e};
+      case Expr::Kind::Var: {
+        auto it = var_labels.find(e->var());
+        if (it == var_labels.end()) {
+          throw TranslateError("expand: variable '" + e->var() +
+                               "' is not a pattern value binder");
+        }
+        return Lowered{Operand{it->second}, nullptr};
+      }
+      case Expr::Kind::Unary: {
+        if (e->un_op() != expr::UnOp::Neg) {
+          throw TranslateError("expand: cannot split 'not'");
+        }
+        return lower(Expr::binary(BinOp::Sub, Expr::lit(Value(std::int64_t{0})),
+                                  e->operand()),
+                     var_labels, target_label);
+      }
+      case Expr::Kind::Binary: {
+        const Lowered lhs = lower(e->lhs(), var_labels, make_label());
+        const Lowered rhs = lower(e->rhs(), var_labels, make_label());
+        if (!lhs.operand && !rhs.operand) {
+          return Lowered{std::nullopt,
+                         expr::simplify(Expr::binary(e->bin_op(), lhs.literal,
+                                                     rhs.literal))};
+        }
+        ExprPtr left_body =
+            lhs.operand ? Expr::var("id1") : lhs.literal;
+        ExprPtr right_body =
+            rhs.operand ? Expr::var(lhs.operand ? "id2" : "id1") : rhs.literal;
+        emit(lhs.operand, rhs.operand,
+             Expr::binary(e->bin_op(), left_body, right_body), target_label);
+        return Lowered{Operand{target_label}, nullptr};
+      }
+    }
+    throw TranslateError("expand: unreachable expression kind");
+  }
+};
+
+}  // namespace
+
+std::vector<Reaction> expand_reaction(
+    const Reaction& reaction,
+    const std::function<std::string(std::size_t)>& fresh) {
+  if (reaction.branches().size() != 1 || reaction.branches()[0].condition ||
+      reaction.branches()[0].outputs.size() != 1) {
+    return {reaction};  // not an expression reaction; unchanged
+  }
+  const auto& tuple = reaction.branches()[0].outputs[0];
+  const std::size_t nfields = reaction.patterns().front().fields().size();
+  if (nfields < 2 || tuple.size() != nfields ||
+      tuple[1]->kind() != Expr::Kind::Literal || !tuple[1]->literal().is_str()) {
+    return {reaction};
+  }
+  if (tuple[0]->kind() != Expr::Kind::Binary) return {reaction};
+
+  // A single-operator body is already in expanded form; keep the reaction
+  // verbatim (including its variable names).
+  {
+    std::function<std::size_t(const Expr&)> ops = [&](const Expr& e) -> std::size_t {
+      switch (e.kind()) {
+        case Expr::Kind::Binary: return 1 + ops(*e.lhs()) + ops(*e.rhs());
+        case Expr::Kind::Unary: return 1 + ops(*e.operand());
+        default: return 0;
+      }
+    };
+    if (ops(*tuple[0]) <= 1) return {reaction};
+  }
+
+  // Every value binder must occur exactly once in the body: splitting a
+  // shared subexpression would make two reactions race for one element.
+  {
+    std::function<void(const ExprPtr&, std::map<std::string, int>&)> count =
+        [&](const ExprPtr& e, std::map<std::string, int>& uses) {
+          switch (e->kind()) {
+            case Expr::Kind::Var: ++uses[e->var()]; break;
+            case Expr::Kind::Unary: count(e->operand(), uses); break;
+            case Expr::Kind::Binary:
+              count(e->lhs(), uses);
+              count(e->rhs(), uses);
+              break;
+            case Expr::Kind::Literal: break;
+          }
+        };
+    std::map<std::string, int> uses;
+    count(tuple[0], uses);
+    for (const auto& [var, n] : uses) {
+      if (n > 1) return {reaction};
+    }
+  }
+
+  // Map value binders to their element labels; each must be used once.
+  std::map<std::string, std::string> var_labels;
+  std::string tag_var;
+  for (const Pattern& p : reaction.patterns()) {
+    if (p.fields().size() != nfields || !p.fields()[0].is_binder() ||
+        p.fields()[1].is_binder()) {
+      return {reaction};
+    }
+    var_labels[p.fields()[0].name()] = p.fields()[1].value().as_str();
+    if (nfields == 3) {
+      if (!p.fields()[2].is_binder()) return {reaction};
+      tag_var = p.fields()[2].name();
+    }
+  }
+
+  Expander ex{reaction, fresh, {}, 0, 0, tag_var, nfields, {}};
+  ex.final_label_ = tuple[1]->literal().as_str();
+  const Expander::Lowered top =
+      ex.lower(tuple[0], var_labels, ex.final_label_);
+  if (!top.operand) return {reaction};  // folded to a literal; keep original
+  return std::move(ex.result);
+}
+
+gamma::Program expand_program(const gamma::Program& program) {
+  gamma::Program out;
+  bool first = true;
+  for (const auto& stage : program.stages()) {
+    std::vector<Reaction> expanded;
+    for (const Reaction& r : stage) {
+      for (Reaction& e : expand_reaction(r)) expanded.push_back(std::move(e));
+    }
+    gamma::Program stage_program(std::move(expanded));
+    out = first ? std::move(stage_program) : out.then(stage_program);
+    first = false;
+  }
+  return out;
+}
+
+}  // namespace gammaflow::translate

@@ -1,0 +1,46 @@
+// §III-A3 "Reductions": fuse chains of reactions into fewer, coarser
+// reactions (R1,R2,R3 -> Rd1) and the inverse expansion. Fusion trades match
+// opportunities (parallelism) for per-firing work — the paper's observation
+// that "the opportunity to explore the parallelism of reactions decreases"
+// is quantified by bench_reductions using these passes.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "gammaflow/gamma/multiset.hpp"
+#include "gammaflow/gamma/program.hpp"
+
+namespace gammaflow::translate {
+
+struct FuseOptions {
+  /// Labels that must survive (program results, e.g. 'm'); reactions
+  /// producing them can still fuse forward, but a label listed here is never
+  /// eliminated as an intermediate.
+  std::vector<std::string> preserve_labels;
+  /// Cap on fusion steps (0 = to fixpoint).
+  std::size_t max_steps = 0;
+  /// Run the expression simplifier on fused bodies.
+  bool simplify = true;
+};
+
+/// Fuses producer->consumer pairs where the producer has one unconditional
+/// branch with a single tag-preserving output, its label has exactly one
+/// producer and one consumer (a private intermediate edge), and the label is
+/// absent from `initial` and not preserved. Returns the reduced program.
+[[nodiscard]] gamma::Program fuse_reactions(const gamma::Program& program,
+                                            const gamma::Multiset& initial,
+                                            const FuseOptions& options = {});
+
+/// Inverse reduction: splits one k-ary unconditional expression reaction
+/// into binary-operator reactions with fresh intermediate labels (Rd1 ->
+/// R1,R2,R3 shape). `fresh` generates intermediate label names; defaults to
+/// "<name>_t<k>".
+[[nodiscard]] std::vector<gamma::Reaction> expand_reaction(
+    const gamma::Reaction& reaction,
+    const std::function<std::string(std::size_t)>& fresh = nullptr);
+
+/// Expands every eligible reaction of a single-stage program.
+[[nodiscard]] gamma::Program expand_program(const gamma::Program& program);
+
+}  // namespace gammaflow::translate

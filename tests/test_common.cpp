@@ -1,0 +1,280 @@
+// Tests for the common substrate: label interning, RNG determinism, stats,
+// thread pool, MPSC queue.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "gammaflow/common/label.hpp"
+#include "gammaflow/common/mpsc_queue.hpp"
+#include "gammaflow/common/rng.hpp"
+#include "gammaflow/common/stats.hpp"
+#include "gammaflow/common/thread_pool.hpp"
+
+namespace gammaflow {
+namespace {
+
+TEST(Label, InterningIsIdempotent) {
+  Label a("edge_A1");
+  Label b("edge_A1");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.id(), b.id());
+  EXPECT_EQ(a.str(), "edge_A1");
+}
+
+TEST(Label, DistinctNamesDistinctIds) {
+  Label a("lbl_one");
+  Label b("lbl_two");
+  EXPECT_NE(a, b);
+  EXPECT_NE(a.id(), b.id());
+}
+
+TEST(Label, DefaultIsEmpty) {
+  Label l;
+  EXPECT_TRUE(l.empty());
+  EXPECT_EQ(l.str(), "");
+  EXPECT_EQ(l, Label(""));
+}
+
+TEST(Label, OrderingFollowsCreation) {
+  Label a("order_first");
+  Label b("order_second");
+  EXPECT_TRUE(a < b);
+}
+
+TEST(Label, ConcurrentInterningIsConsistent) {
+  constexpr int kThreads = 8;
+  constexpr int kNames = 50;
+  std::vector<std::vector<Label::Id>> seen(kThreads,
+                                           std::vector<Label::Id>(kNames));
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kNames; ++i) {
+        seen[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)] =
+            Label("conc_" + std::to_string(i)).id();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(t)], seen[0]);
+  }
+}
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.bounded(bound), bound);
+    }
+  }
+  EXPECT_EQ(rng.bounded(0), 0u);
+  EXPECT_EQ(rng.bounded(1), 0u);
+}
+
+TEST(Rng, BoundedCoversAllResidues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.bounded(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.split();
+  Rng a2(5);
+  Rng child2 = a2.split();
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(child(), child2());
+  // Parent and child streams should diverge.
+  Rng parent(5);
+  (void)parent();  // split consumed one draw
+  int same = 0;
+  Rng c3 = Rng(5).split();
+  for (int i = 0; i < 32; ++i) {
+    if (parent() == c3()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UsableWithStdShuffle) {
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  Rng rng(9);
+  std::shuffle(v.begin(), v.end(), rng);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<int>{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+TEST(Summary, WelfordMoments) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.observe(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Summary, MergeMatchesSingleStream) {
+  Summary all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10;
+    all.observe(x);
+    (i % 2 == 0 ? a : b).observe(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Summary, MergeWithEmpty) {
+  Summary a, empty;
+  a.observe(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  Summary b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+}
+
+TEST(StatsRegistry, RecordAndQuery) {
+  StatsRegistry reg;
+  reg.record("latency", 1.0);
+  reg.record("latency", 3.0);
+  reg.count("fires");
+  reg.count("fires", 4);
+  EXPECT_EQ(reg.summary("latency").count(), 2u);
+  EXPECT_DOUBLE_EQ(reg.summary("latency").mean(), 2.0);
+  EXPECT_EQ(reg.counter("fires"), 5u);
+  EXPECT_EQ(reg.counter("missing"), 0u);
+  EXPECT_EQ(reg.summary("missing").count(), 0u);
+  reg.clear();
+  EXPECT_EQ(reg.counter("fires"), 0u);
+}
+
+TEST(Counter, ConcurrentAdds) {
+  Counter c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) c.add();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.get(), 40000u);
+}
+
+TEST(ThreadPool, SubmitReturnsResults) {
+  ThreadPool pool(3);
+  auto f1 = pool.submit([] { return 21 * 2; });
+  auto f2 = pool.submit([] { return std::string("ok"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW((void)f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPool, SizeClampedToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(MpscQueue, FifoOrderSingleProducer) {
+  MpscQueue<int> q;
+  for (int i = 0; i < 10; ++i) q.push(i);
+  for (int i = 0; i < 10; ++i) {
+    auto v = q.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(MpscQueue, DrainEmptiesQueue) {
+  MpscQueue<int> q;
+  q.push(1);
+  q.push(2);
+  std::vector<int> out;
+  EXPECT_EQ(q.drain(out), 2u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2}));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(MpscQueue, ConcurrentProducersDeliverAll) {
+  MpscQueue<int> q;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 5000;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) q.push(p * kPerProducer + i);
+    });
+  }
+  std::set<int> received;
+  std::size_t count = 0;
+  while (count < kProducers * kPerProducer) {
+    if (auto v = q.try_pop()) {
+      received.insert(*v);
+      ++count;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  for (auto& p : producers) p.join();
+  EXPECT_EQ(received.size(), static_cast<std::size_t>(kProducers * kPerProducer));
+}
+
+}  // namespace
+}  // namespace gammaflow

@@ -1,0 +1,204 @@
+// Algorithm 1: structure of converted programs — the paper's listings are
+// pinned (reaction shapes, labels, initial multisets, conditions).
+#include <gtest/gtest.h>
+
+#include "gammaflow/gamma/engine.hpp"
+#include "gammaflow/paper/figures.hpp"
+#include "gammaflow/translate/df_to_gamma.hpp"
+
+namespace gammaflow::translate {
+namespace {
+
+using gamma::Element;
+using gamma::Multiset;
+using gamma::Pattern;
+using gamma::Reaction;
+
+TEST(Alg1, Fig1ProducesThePaperListing) {
+  const GammaConversion conv = dataflow_to_gamma(paper::fig1_graph());
+  EXPECT_FALSE(conv.tagged);  // no inctag => pair elements, like the paper
+  EXPECT_EQ(conv.program.reaction_count(), 3u);
+
+  const Reaction* r1 = conv.program.find("R1");
+  ASSERT_NE(r1, nullptr);
+  EXPECT_EQ(r1->patterns()[0], Pattern::labeled("id1", "A1"));
+  EXPECT_EQ(r1->patterns()[1], Pattern::labeled("id2", "B1"));
+  ASSERT_EQ(r1->branches().size(), 1u);
+  EXPECT_EQ(r1->branches()[0].outputs[0][0]->to_string(), "id1 + id2");
+  EXPECT_EQ(r1->branches()[0].outputs[0][1]->literal(), Value("B2"));
+
+  const Reaction* r3 = conv.program.find("R3");
+  ASSERT_NE(r3, nullptr);
+  EXPECT_EQ(r3->branches()[0].outputs[0][0]->to_string(), "id1 - id2");
+  EXPECT_EQ(r3->branches()[0].outputs[0][1]->literal(), Value("m"));
+}
+
+TEST(Alg1, Fig1InitialMultisetMatchesPaper) {
+  const GammaConversion conv = dataflow_to_gamma(paper::fig1_graph());
+  EXPECT_EQ(conv.initial, paper::fig1_initial());
+}
+
+TEST(Alg1, Fig1OutputLabelMapsToM) {
+  const GammaConversion conv = dataflow_to_gamma(paper::fig1_graph());
+  ASSERT_EQ(conv.output_labels.size(), 1u);
+  EXPECT_EQ(conv.output_labels.at("m"), std::vector<std::string>{"m"});
+}
+
+TEST(Alg1, Fig1ConvertedEqualsPaperListingBehaviour) {
+  const GammaConversion conv = dataflow_to_gamma(paper::fig1_graph());
+  const gamma::IndexedEngine eng;
+  const auto converted = eng.run(conv.program, conv.initial);
+  const auto paper_listing = eng.run(paper::fig1_gamma(), paper::fig1_initial());
+  EXPECT_EQ(converted.final_multiset, paper_listing.final_multiset);
+  EXPECT_EQ(converted.final_multiset,
+            (Multiset{Element::labeled(Value(0), "m")}));
+}
+
+TEST(Alg1, Fig2ProducesNineReactions) {
+  const GammaConversion conv =
+      dataflow_to_gamma(paper::fig2_graph(3, 5, 100, false));
+  EXPECT_TRUE(conv.tagged);  // inctag present => triples
+  EXPECT_EQ(conv.program.reaction_count(), 9u);
+  for (const char* name :
+       {"R11", "R12", "R13", "R14", "R15", "R16", "R17", "R18", "R19"}) {
+    EXPECT_NE(conv.program.find(name), nullptr) << name;
+  }
+}
+
+TEST(Alg1, Fig2InctagReactionShape) {
+  // R11 = replace [id1,x,v] by [id1,'A12',v+1] if (x=='A1') or (x=='A11')
+  const GammaConversion conv =
+      dataflow_to_gamma(paper::fig2_graph(3, 5, 100, false));
+  const Reaction* r11 = conv.program.find("R11");
+  ASSERT_NE(r11, nullptr);
+  EXPECT_EQ(r11->arity(), 1u);
+  EXPECT_TRUE(r11->patterns()[0].fields()[1].is_binder());  // label var x
+  ASSERT_EQ(r11->branches().size(), 1u);
+  EXPECT_EQ(r11->branches()[0].condition->to_string(),
+            "x == 'A1' or x == 'A11'");
+  const auto& out = r11->branches()[0].outputs[0];
+  EXPECT_EQ(out[0]->to_string(), "id1");
+  EXPECT_EQ(out[1]->literal(), Value("A12"));
+  EXPECT_EQ(out[2]->to_string(), "v + 1");
+}
+
+TEST(Alg1, Fig2ComparisonReactionShape) {
+  // R14 = replace [id1,'B12',v] by [1,'B14',v],[1,'B15',v],[1,'B16',v]
+  //       if id1 > 0  by [0,...],[0,...],[0,...] else
+  const GammaConversion conv =
+      dataflow_to_gamma(paper::fig2_graph(3, 5, 100, false));
+  const Reaction* r14 = conv.program.find("R14");
+  ASSERT_NE(r14, nullptr);
+  EXPECT_EQ(r14->arity(), 1u);
+  ASSERT_EQ(r14->branches().size(), 2u);
+  EXPECT_EQ(r14->branches()[0].condition->to_string(), "id1 > 0");
+  EXPECT_EQ(r14->branches()[0].outputs.size(), 3u);
+  EXPECT_EQ(r14->branches()[0].outputs[0][0]->literal(), Value(1));
+  EXPECT_TRUE(r14->branches()[1].is_else);
+  EXPECT_EQ(r14->branches()[1].outputs[0][0]->literal(), Value(0));
+}
+
+TEST(Alg1, Fig2SteerReactionShape) {
+  // R16 = replace [id1,'B13',v],[id2,'B15',v] by [id1,'B17',v]
+  //       if id2 == 1  by 0 else
+  const GammaConversion conv =
+      dataflow_to_gamma(paper::fig2_graph(3, 5, 100, false));
+  const Reaction* r16 = conv.program.find("R16");
+  ASSERT_NE(r16, nullptr);
+  EXPECT_EQ(r16->arity(), 2u);
+  EXPECT_EQ(r16->patterns()[0], Pattern::tagged("id1", "B13", "v"));
+  EXPECT_EQ(r16->patterns()[1], Pattern::tagged("id2", "B15", "v"));
+  ASSERT_EQ(r16->branches().size(), 2u);
+  EXPECT_EQ(r16->branches()[0].condition->to_string(), "id2 == 1");
+  EXPECT_EQ(r16->branches()[0].outputs.size(), 1u);
+  EXPECT_TRUE(r16->branches()[1].is_else);
+  EXPECT_TRUE(r16->branches()[1].outputs.empty());  // by 0
+}
+
+TEST(Alg1, Fig2DecrementReactionShape) {
+  // R18 = replace [id1,'B17',v] by [id1 - 1,'B11',v]
+  const GammaConversion conv =
+      dataflow_to_gamma(paper::fig2_graph(3, 5, 100, false));
+  const Reaction* r18 = conv.program.find("R18");
+  ASSERT_NE(r18, nullptr);
+  ASSERT_EQ(r18->branches().size(), 1u);
+  EXPECT_EQ(r18->branches()[0].condition, nullptr);
+  EXPECT_EQ(r18->branches()[0].outputs[0][0]->to_string(), "id1 - 1");
+  EXPECT_EQ(r18->branches()[0].outputs[0][2]->to_string(), "v");
+}
+
+TEST(Alg1, Fig2InitialMultisetMatchesPaper) {
+  const GammaConversion conv =
+      dataflow_to_gamma(paper::fig2_graph(3, 5, 100, false));
+  EXPECT_EQ(conv.initial, paper::fig2_initial(3, 5, 100));
+}
+
+TEST(Alg1, Fig2ConvertedMatchesPaperListingBehaviour) {
+  const GammaConversion conv =
+      dataflow_to_gamma(paper::fig2_graph(3, 5, 100, false));
+  const gamma::IndexedEngine eng;
+  const auto converted = eng.run(conv.program, conv.initial);
+  const auto listing = eng.run(paper::fig2_gamma(), paper::fig2_initial(3, 5, 100));
+  EXPECT_EQ(converted.final_multiset, listing.final_multiset);
+  EXPECT_TRUE(converted.final_multiset.empty());  // everything reacts away
+}
+
+TEST(Alg1, ShapeOptionsControlElementArity) {
+  const auto pairs = dataflow_to_gamma(
+      paper::fig1_graph(), {DfToGammaOptions::Shape::Pairs});
+  EXPECT_EQ(pairs.initial.elements()[0].arity(), 2u);
+
+  const auto triples = dataflow_to_gamma(
+      paper::fig1_graph(), {DfToGammaOptions::Shape::Triples});
+  EXPECT_EQ(triples.initial.elements()[0].arity(), 3u);
+
+  EXPECT_THROW((void)dataflow_to_gamma(paper::fig2_graph(1, 1, 1, false),
+                                       {DfToGammaOptions::Shape::Pairs}),
+               TranslateError);
+}
+
+TEST(Alg1, TriplesShapeStillComputesFig1) {
+  const auto conv = dataflow_to_gamma(paper::fig1_graph(),
+                                      {DfToGammaOptions::Shape::Triples});
+  const auto r = gamma::IndexedEngine().run(conv.program, conv.initial);
+  EXPECT_EQ(r.final_multiset, (Multiset{Element::tagged(Value(0), "m", 0)}));
+}
+
+TEST(Alg1, ObservedFig2ResultMatchesDataflow) {
+  // With the observer output, the surviving x_final element equals the
+  // dataflow token, tag included.
+  const dataflow::Graph g = paper::fig2_graph(4, 5, 100, true);
+  const GammaConversion conv = dataflow_to_gamma(g);
+  const auto r = gamma::IndexedEngine().run(conv.program, conv.initial);
+  const auto observed = r.final_multiset.with_label("x_final");
+  ASSERT_EQ(observed.size(), 1u);
+  EXPECT_EQ(observed[0].value(), Value(120));
+  EXPECT_EQ(observed[0].tag(), 5);  // exits at iteration z+1
+}
+
+TEST(Alg1, UnnamedNodesGetGeneratedNames) {
+  dataflow::GraphBuilder b;
+  auto c1 = b.constant(Value(1));
+  auto c2 = b.constant(Value(2));
+  b.output(b.arith(expr::BinOp::Add, c1, c2), "o");
+  const auto conv = dataflow_to_gamma(std::move(b).build());
+  EXPECT_EQ(conv.program.reaction_count(), 1u);
+  EXPECT_EQ(conv.program.all_reactions()[0]->name()[0], 'R');
+}
+
+TEST(Alg1, DuplicateNodeNamesDisambiguated) {
+  dataflow::GraphBuilder b;
+  auto c1 = b.constant(Value(1));
+  auto c2 = b.constant(Value(2));
+  auto s1 = b.arith(expr::BinOp::Add, c1, c2, "same");
+  auto s2 = b.arith(expr::BinOp::Mul, c1, c2, "same");
+  b.output(s1, "o1");
+  b.output(s2, "o2");
+  const auto conv = dataflow_to_gamma(std::move(b).build());
+  std::set<std::string> names;
+  for (const auto* r : conv.program.all_reactions()) names.insert(r->name());
+  EXPECT_EQ(names.size(), 2u);
+}
+
+}  // namespace
+}  // namespace gammaflow::translate

@@ -1,0 +1,229 @@
+// Distributed Gamma (§IV future work): sharded multisets, stirring,
+// consolidation, and Safra termination detection — determinism, correctness
+// against the centralized engines, and protocol edge cases.
+#include <gtest/gtest.h>
+
+#include "gammaflow/distrib/cluster.hpp"
+#include "gammaflow/gamma/dsl/parser.hpp"
+#include "gammaflow/gamma/engine.hpp"
+#include "gammaflow/paper/figures.hpp"
+#include "gammaflow/translate/df_to_gamma.hpp"
+
+namespace gammaflow::distrib {
+namespace {
+
+gamma::Multiset ints(std::int64_t from, std::int64_t to) {
+  gamma::Multiset m;
+  for (std::int64_t i = from; i <= to; ++i) m.add(gamma::Element{Value(i)});
+  return m;
+}
+
+ClusterOptions opts(std::size_t nodes, std::uint64_t seed = 7) {
+  ClusterOptions o;
+  o.nodes = nodes;
+  o.seed = seed;
+  return o;
+}
+
+TEST(Distrib, SumMatchesCentralizedOnEveryClusterSize) {
+  const auto p = gamma::dsl::parse_program("R = replace x, y by x + y");
+  const gamma::Multiset m = ints(1, 60);
+  const auto expected = gamma::IndexedEngine().run(p, m).final_multiset;
+  for (const std::size_t nodes : {1u, 2u, 3u, 5u, 8u, 16u}) {
+    const auto r = run_distributed(p, m, opts(nodes));
+    EXPECT_EQ(r.final_multiset, expected) << nodes << " nodes";
+    EXPECT_EQ(r.fires, 59u) << nodes << " nodes";
+  }
+}
+
+TEST(Distrib, MinWithConditionConverges) {
+  const auto p = gamma::dsl::parse_program("R = replace x, y by x where x < y");
+  const auto r = run_distributed(p, ints(10, 50), opts(6));
+  EXPECT_EQ(r.final_multiset, (gamma::Multiset{gamma::Element{Value(10)}}));
+}
+
+TEST(Distrib, DeterministicFromSeed) {
+  const auto p = gamma::dsl::parse_program("R = replace x, y by x + y");
+  const gamma::Multiset m = ints(1, 40);
+  const auto a = run_distributed(p, m, opts(4, 11));
+  const auto b = run_distributed(p, m, opts(4, 11));
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.fires_by_node, b.fires_by_node);
+  EXPECT_EQ(a.final_multiset, b.final_multiset);
+}
+
+TEST(Distrib, SeedsChangeScheduleNotResult) {
+  const auto p = gamma::dsl::parse_program("R = replace x, y by x + y");
+  const gamma::Multiset m = ints(1, 40);
+  std::set<std::uint64_t> migration_counts;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto r = run_distributed(p, m, opts(4, seed));
+    EXPECT_EQ(r.final_multiset,
+              (gamma::Multiset{gamma::Element{Value(820)}}));
+    migration_counts.insert(r.migrations);
+  }
+  EXPECT_GT(migration_counts.size(), 1u);  // schedules genuinely differ
+}
+
+TEST(Distrib, PlacementPoliciesAgreeOnResult) {
+  const auto p = gamma::dsl::parse_program("R = replace x, y by x + y");
+  const gamma::Multiset m = ints(1, 30);
+  for (const Placement pl :
+       {Placement::Hash, Placement::RoundRobin, Placement::Single}) {
+    ClusterOptions o = opts(4);
+    o.placement = pl;
+    EXPECT_EQ(run_distributed(p, m, o).final_multiset,
+              (gamma::Multiset{gamma::Element{Value(465)}}));
+  }
+}
+
+TEST(Distrib, LabeledPartnersSeparatedByShardingStillMeet) {
+  // A reaction needing an 'a' and a 'b' element; hash placement scatters
+  // them. Stirring/consolidation must co-locate every pair.
+  const auto p = gamma::dsl::parse_program(
+      "R = replace [x,'a'], [y,'b'] by [x + y, 'c']");
+  gamma::Multiset m;
+  for (int i = 0; i < 12; ++i) {
+    m.add(gamma::Element::labeled(Value(i), "a"));
+    m.add(gamma::Element::labeled(Value(100 + i), "b"));
+  }
+  const auto r = run_distributed(p, m, opts(4));
+  EXPECT_EQ(r.final_multiset.size(), 12u);
+  EXPECT_EQ(r.final_multiset.with_label("c").size(), 12u);
+  EXPECT_EQ(r.final_multiset.with_label("a").size(), 0u);
+}
+
+TEST(Distrib, ConvertedFig1ProgramRunsDistributed) {
+  const auto conv = translate::dataflow_to_gamma(paper::fig1_graph());
+  const auto r = run_distributed(conv.program, conv.initial, opts(3));
+  EXPECT_EQ(r.final_multiset,
+            (gamma::Multiset{gamma::Element::labeled(Value(0), "m")}));
+}
+
+TEST(Distrib, ConvertedFig2LoopRunsDistributed) {
+  // The full tagged-token loop as distributed chemistry.
+  const auto conv =
+      translate::dataflow_to_gamma(paper::fig2_graph(4, 5, 100, true));
+  const auto r = run_distributed(conv.program, conv.initial, opts(3, 5));
+  const auto observed = r.final_multiset.with_label("x_final");
+  ASSERT_EQ(observed.size(), 1u);
+  EXPECT_EQ(observed[0].value(), Value(120));
+}
+
+TEST(Distrib, EmptyMultisetTerminatesImmediately) {
+  const auto p = gamma::dsl::parse_program("R = replace x, y by x + y");
+  const auto r = run_distributed(p, gamma::Multiset{}, opts(4));
+  EXPECT_TRUE(r.final_multiset.empty());
+  EXPECT_EQ(r.fires, 0u);
+  EXPECT_GE(r.token_laps, 1u);  // at least one clean Safra lap ran
+}
+
+TEST(Distrib, DisabledProgramPreservesMultiset) {
+  const auto p = gamma::dsl::parse_program("R = replace x, y by x where x < y");
+  gamma::Multiset m{gamma::Element{Value(4)}, gamma::Element{Value(4)},
+                    gamma::Element{Value(4)}};
+  const auto r = run_distributed(p, m, opts(3));
+  EXPECT_EQ(r.final_multiset, m);
+  EXPECT_EQ(r.fires, 0u);
+}
+
+TEST(Distrib, SingleNodeDegeneratesToLocalEngine) {
+  const auto p = gamma::dsl::parse_program("R = replace x, y by x + y");
+  const auto r = run_distributed(p, ints(1, 20), opts(1));
+  EXPECT_EQ(r.final_multiset, (gamma::Multiset{gamma::Element{Value(210)}}));
+  EXPECT_EQ(r.migrations, 0u);
+  EXPECT_EQ(r.messages, 0u);
+}
+
+TEST(Distrib, FiresSpreadAcrossNodes) {
+  const auto p = gamma::dsl::parse_program("R = replace x, y by x + y");
+  const auto r = run_distributed(p, ints(1, 200), opts(4));
+  std::size_t nodes_that_fired = 0;
+  for (const auto f : r.fires_by_node) nodes_that_fired += f > 0;
+  EXPECT_GE(nodes_that_fired, 2u);  // genuinely parallel chemistry
+}
+
+TEST(Distrib, MultiStageProgramRejected) {
+  const auto p = gamma::dsl::parse_program(
+      "A = replace [x,'p'] by [x,'q'] ; B = replace [x,'q'] by [x,'r']");
+  EXPECT_THROW((void)run_distributed(p, gamma::Multiset{}, opts(2)),
+               ProgramError);
+}
+
+TEST(Distrib, ZeroNodesRejected) {
+  const auto p = gamma::dsl::parse_program("R = replace x, y by x + y");
+  EXPECT_THROW((void)run_distributed(p, gamma::Multiset{}, opts(0)),
+               ProgramError);
+}
+
+TEST(Distrib, MaxRoundsGuards) {
+  // Non-terminating chemistry: the cluster must hit the guard, not spin.
+  const auto p = gamma::dsl::parse_program("R = replace x by x + 1");
+  ClusterOptions o = opts(3);
+  o.max_rounds = 50;
+  EXPECT_THROW((void)run_distributed(p, ints(1, 4), o), EngineError);
+}
+
+TEST(Distrib, HighLatencyStillTerminates) {
+  const auto p = gamma::dsl::parse_program("R = replace x, y by x + y");
+  ClusterOptions o = opts(4);
+  o.latency = 5;
+  const auto r = run_distributed(p, ints(1, 30), o);
+  EXPECT_EQ(r.final_multiset, (gamma::Multiset{gamma::Element{Value(465)}}));
+}
+
+TEST(Distrib, ConsolidationThresholdAffectsSchedule) {
+  const auto p = gamma::dsl::parse_program(
+      "R = replace [x,'a'], [y,'b'] by [x + y, 'c']");
+  gamma::Multiset m;
+  for (int i = 0; i < 8; ++i) {
+    m.add(gamma::Element::labeled(Value(i), "a"));
+    m.add(gamma::Element::labeled(Value(i), "b"));
+  }
+  ClusterOptions eager = opts(4);
+  eager.consolidate_after = 1;
+  ClusterOptions lazy = opts(4);
+  lazy.consolidate_after = 10;
+  const auto re = run_distributed(p, m, eager);
+  const auto rl = run_distributed(p, m, lazy);
+  // Which 'a' pairs with which 'b' is schedule-dependent (Gamma
+  // nondeterminism); the invariants are the count and the total sum.
+  auto total = [](const gamma::Multiset& ms) {
+    std::int64_t sum = 0;
+    for (const auto& e : ms) sum += e.value().as_int();
+    return sum;
+  };
+  EXPECT_EQ(re.final_multiset.with_label("c").size(), 8u);
+  EXPECT_EQ(rl.final_multiset.with_label("c").size(), 8u);
+  EXPECT_EQ(total(re.final_multiset), total(rl.final_multiset));
+  // The knob really changes the protocol: message traffic differs.
+  EXPECT_NE(re.messages, rl.messages);
+}
+
+// Parameterized sweep: cluster size x seed grid, gcd workload (conditions +
+// growth), all must agree with the centralized oracle.
+class DistribGrid
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {};
+
+TEST_P(DistribGrid, GcdMatchesCentralized) {
+  const auto [nodes, seed] = GetParam();
+  const auto p = gamma::dsl::parse_program(
+      "R = replace x, y by [x - y], [y] where x > y");
+  gamma::Multiset m{gamma::Element{Value(24)}, gamma::Element{Value(36)},
+                    gamma::Element{Value(60)}, gamma::Element{Value(84)}};
+  const auto expected = gamma::IndexedEngine().run(p, m).final_multiset;
+  const auto r = run_distributed(p, m, opts(nodes, seed));
+  EXPECT_EQ(r.final_multiset, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DistribGrid,
+    ::testing::Combine(::testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{4}, std::size_t{7}),
+                       ::testing::Values(std::uint64_t{1}, std::uint64_t{2},
+                                         std::uint64_t{3})));
+
+}  // namespace
+}  // namespace gammaflow::distrib

@@ -1,0 +1,142 @@
+// The paper's headline claim, executed: dataflow graphs and their converted
+// Gamma programs compute the same observables — across engines, seeds, and
+// randomly generated graphs.
+#include <gtest/gtest.h>
+
+#include "gammaflow/frontend/compile.hpp"
+#include "gammaflow/paper/figures.hpp"
+#include "gammaflow/translate/df_to_gamma.hpp"
+#include "gammaflow/translate/equivalence.hpp"
+
+namespace gammaflow::translate {
+namespace {
+
+TEST(Equivalence, Fig1AcrossAllEngineCombinations) {
+  const dataflow::Graph g = paper::fig1_graph();
+  const dataflow::Interpreter di;
+  const dataflow::ParallelEngine dp;
+  const gamma::SequentialEngine gs;
+  const gamma::IndexedEngine gi;
+  const gamma::ParallelEngine gp;
+  for (const dataflow::DfEngine* de :
+       std::initializer_list<const dataflow::DfEngine*>{&di, &dp}) {
+    for (const gamma::Engine* ge :
+         std::initializer_list<const gamma::Engine*>{&gs, &gi, &gp}) {
+      const auto rep = check_equivalence(g, *de, *ge, 7);
+      EXPECT_TRUE(rep.equivalent)
+          << de->name() << " vs " << ge->name() << ": " << rep.detail;
+    }
+  }
+}
+
+TEST(Equivalence, Fig2LoopWithObserver) {
+  const auto rep =
+      check_equivalence_seeds(paper::fig2_graph(5, 3, 10, true), 1, 10);
+  EXPECT_TRUE(rep.equivalent) << rep.detail;
+  EXPECT_EQ(rep.dataflow_result.single_output("x_final"), Value(25));
+}
+
+TEST(Equivalence, Fig2LoopNoObserverBothSidesEmpty) {
+  const auto rep =
+      check_equivalence_seeds(paper::fig2_graph(3, 5, 100, false), 1, 5);
+  EXPECT_TRUE(rep.equivalent) << rep.detail;
+  EXPECT_TRUE(rep.gamma_result.final_multiset.empty());
+}
+
+TEST(Equivalence, Fig2IterationSweep) {
+  for (const std::int64_t z : {0, 1, 2, 8, 25}) {
+    const auto rep =
+        check_equivalence_seeds(paper::fig2_graph(z, 2, 5, true), 3, 3);
+    EXPECT_TRUE(rep.equivalent) << "z=" << z << ": " << rep.detail;
+    EXPECT_EQ(rep.dataflow_result.single_output("x_final"), Value(5 + 2 * z));
+  }
+}
+
+TEST(Equivalence, MultiLoopGraphs) {
+  const auto rep =
+      check_equivalence_seeds(paper::multi_loop_graph(3, 4, true), 1, 3);
+  EXPECT_TRUE(rep.equivalent) << rep.detail;
+}
+
+TEST(Equivalence, MismatchIsDetectedAndDescribed) {
+  // Sanity-check the checker itself: compare fig1 against a Gamma run of a
+  // DIFFERENT program by corrupting the conversion path — here we simply
+  // verify a report with differing observables is not silently "equivalent".
+  const dataflow::Graph g1 = paper::fig1_graph(1, 5, 3, 2);   // m = 0
+  const dataflow::Graph g2 = paper::fig1_graph(2, 5, 3, 2);   // m = 1
+  const GammaConversion conv2 = dataflow_to_gamma(g2);
+  const auto df = dataflow::Interpreter().run(g1);
+  const auto gm = gamma::IndexedEngine().run(conv2.program, conv2.initial);
+  const auto df_tokens = df.outputs.at("m");
+  const auto gm_tokens = observed_elements(gm.final_multiset, "m");
+  EXPECT_NE(df_tokens, gm_tokens);
+}
+
+TEST(Equivalence, ObservedElementsSortsByTagThenValue) {
+  gamma::Multiset m;
+  m.add(gamma::Element::tagged(Value(30), "o", 2));
+  m.add(gamma::Element::tagged(Value(10), "o", 1));
+  m.add(gamma::Element::tagged(Value(20), "o", 1));
+  m.add(gamma::Element::tagged(Value(99), "other", 0));
+  m.add(gamma::Element::labeled(Value(5), "o"));  // untagged => tag 0
+  const auto v = observed_elements(m, "o");
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0], (std::pair<dataflow::Tag, Value>{0, Value(5)}));
+  EXPECT_EQ(v[1], (std::pair<dataflow::Tag, Value>{1, Value(10)}));
+  EXPECT_EQ(v[2], (std::pair<dataflow::Tag, Value>{1, Value(20)}));
+  EXPECT_EQ(v[3], (std::pair<dataflow::Tag, Value>{2, Value(30)}));
+}
+
+// Property: random expression graphs are equivalent for every seed.
+class RandomGraphEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {};
+
+TEST_P(RandomGraphEquivalence, HoldsForRandomExpressions) {
+  const auto [leaves, seed] = GetParam();
+  const dataflow::Graph g = paper::random_expression_graph(leaves, seed);
+  const auto rep = check_equivalence_seeds(g, seed, 3);
+  EXPECT_TRUE(rep.equivalent) << "leaves=" << leaves << " seed=" << seed
+                              << ": " << rep.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomGraphEquivalence,
+    ::testing::Combine(::testing::Values(std::size_t{2}, std::size_t{4},
+                                         std::size_t{8}, std::size_t{16},
+                                         std::size_t{32}),
+                       ::testing::Values(std::uint64_t{1}, std::uint64_t{2},
+                                         std::uint64_t{3})));
+
+TEST(Equivalence, IfJoinOutputsObserveEveryProducerLabel) {
+  // Regression (found by the pipeline property suite): a copy assignment in
+  // an if-branch makes an Output node a multi-producer merge; the converted
+  // program's observable must be gathered across ALL producer edge labels,
+  // not just the first.
+  const dataflow::Graph g = frontend::compile_source(R"(
+    int a = 4; int b = -1;
+    if (a > b) { b = a + 1; } else { a = b; }
+    output a;
+    output b;
+  )");
+  const auto conv = dataflow_to_gamma(g);
+  // 'a' joins two branch definitions: two observable labels.
+  EXPECT_EQ(conv.output_labels.at("a").size(), 2u);
+  const auto rep = check_equivalence_seeds(g, 1, 5);
+  EXPECT_TRUE(rep.equivalent) << rep.detail;
+  EXPECT_EQ(rep.dataflow_result.single_output("a"), Value(4));
+  EXPECT_EQ(rep.dataflow_result.single_output("b"), Value(5));
+}
+
+TEST(Equivalence, RandomGraphsAgainstSequentialOracle) {
+  // The Eq. (1)-literal engine agrees too (smaller sizes: it is O(matches)).
+  const gamma::SequentialEngine oracle;
+  const dataflow::Interpreter di;
+  for (std::uint64_t seed = 10; seed < 16; ++seed) {
+    const dataflow::Graph g = paper::random_expression_graph(6, seed);
+    const auto rep = check_equivalence(g, di, oracle, seed);
+    EXPECT_TRUE(rep.equivalent) << rep.detail;
+  }
+}
+
+}  // namespace
+}  // namespace gammaflow::translate

@@ -1,0 +1,202 @@
+// Lexer and expression parser: tokens, precedence, locations, errors, and
+// the print->parse round-trip property.
+#include <gtest/gtest.h>
+
+#include "gammaflow/common/rng.hpp"
+#include "gammaflow/expr/lexer.hpp"
+#include "gammaflow/expr/parser.hpp"
+
+namespace gammaflow::expr {
+namespace {
+
+TEST(Lexer, BasicTokens) {
+  auto toks = tokenize("replace [id1, 'A1', v] by 3 + 4.5");
+  ASSERT_GE(toks.size(), 12u);
+  EXPECT_EQ(toks[0].kind, TokenKind::KwReplace);
+  EXPECT_EQ(toks[1].kind, TokenKind::LBracket);
+  EXPECT_EQ(toks[2].kind, TokenKind::Ident);
+  EXPECT_EQ(toks[2].text, "id1");
+  EXPECT_EQ(toks[3].kind, TokenKind::Comma);
+  EXPECT_EQ(toks[4].kind, TokenKind::StrLit);
+  EXPECT_EQ(toks[4].value, Value("A1"));
+  EXPECT_EQ(toks.back().kind, TokenKind::End);
+}
+
+TEST(Lexer, KeywordsAreCaseInsensitive) {
+  // The paper's listings write "If id1 > 0".
+  auto toks = tokenize("If REPLACE By eLsE Where");
+  EXPECT_EQ(toks[0].kind, TokenKind::KwIf);
+  EXPECT_EQ(toks[1].kind, TokenKind::KwReplace);
+  EXPECT_EQ(toks[2].kind, TokenKind::KwBy);
+  EXPECT_EQ(toks[3].kind, TokenKind::KwElse);
+  EXPECT_EQ(toks[4].kind, TokenKind::KwWhere);
+}
+
+TEST(Lexer, NumbersIntAndReal) {
+  auto toks = tokenize("42 3.25 1e3 7");
+  EXPECT_EQ(toks[0].kind, TokenKind::IntLit);
+  EXPECT_EQ(toks[0].value, Value(42));
+  EXPECT_EQ(toks[1].kind, TokenKind::RealLit);
+  EXPECT_EQ(toks[1].value, Value(3.25));
+  EXPECT_EQ(toks[2].kind, TokenKind::RealLit);
+  EXPECT_EQ(toks[2].value, Value(1000.0));
+  EXPECT_EQ(toks[3].kind, TokenKind::IntLit);
+}
+
+TEST(Lexer, MultiCharOperators) {
+  auto toks = tokenize("<= >= == != < >");
+  EXPECT_EQ(toks[0].kind, TokenKind::Le);
+  EXPECT_EQ(toks[1].kind, TokenKind::Ge);
+  EXPECT_EQ(toks[2].kind, TokenKind::EqEq);
+  EXPECT_EQ(toks[3].kind, TokenKind::Ne);
+  EXPECT_EQ(toks[4].kind, TokenKind::Lt);
+  EXPECT_EQ(toks[5].kind, TokenKind::Gt);
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  auto toks = tokenize("1 # the rest is ignored == !=\n2");
+  EXPECT_EQ(toks[0].value, Value(1));
+  EXPECT_EQ(toks[1].value, Value(2));
+  EXPECT_EQ(toks[2].kind, TokenKind::End);
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  auto toks = tokenize("a\n  b");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[0].column, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[1].column, 3);
+}
+
+TEST(Lexer, UnterminatedStringThrows) {
+  EXPECT_THROW((void)tokenize("'abc"), ParseError);
+  EXPECT_THROW((void)tokenize("'ab\nc'"), ParseError);
+}
+
+TEST(Lexer, UnknownCharacterThrows) {
+  try {
+    (void)tokenize("a $ b");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 1);
+    EXPECT_EQ(e.column(), 3);
+  }
+}
+
+TEST(Lexer, BareBangThrows) { EXPECT_THROW((void)tokenize("!x"), ParseError); }
+
+TEST(Lexer, TrueFalseCarryValues) {
+  auto toks = tokenize("true false nil");
+  EXPECT_EQ(toks[0].value, Value(true));
+  EXPECT_EQ(toks[1].value, Value(false));
+  EXPECT_EQ(toks[2].kind, TokenKind::KwNil);
+}
+
+TEST(Parser, PrecedenceLadder) {
+  // or < and < cmp < addsub < muldiv < unary
+  auto e = parse_expression("a or b and c == d + e * -f");
+  EXPECT_EQ(e->bin_op(), BinOp::Or);
+  EXPECT_EQ(e->rhs()->bin_op(), BinOp::And);
+  EXPECT_EQ(e->rhs()->rhs()->bin_op(), BinOp::Eq);
+  EXPECT_EQ(e->rhs()->rhs()->rhs()->bin_op(), BinOp::Add);
+  EXPECT_EQ(e->rhs()->rhs()->rhs()->rhs()->bin_op(), BinOp::Mul);
+  EXPECT_EQ(e->rhs()->rhs()->rhs()->rhs()->rhs()->kind(), Expr::Kind::Unary);
+}
+
+TEST(Parser, ParenthesesOverridePrecedence) {
+  auto e = parse_expression("(a + b) * c");
+  EXPECT_EQ(e->bin_op(), BinOp::Mul);
+  EXPECT_EQ(e->lhs()->bin_op(), BinOp::Add);
+}
+
+TEST(Parser, LeftAssociative) {
+  auto e = parse_expression("10 - 4 - 3");
+  // ((10-4)-3)
+  EXPECT_EQ(e->bin_op(), BinOp::Sub);
+  EXPECT_EQ(e->lhs()->bin_op(), BinOp::Sub);
+  EXPECT_EQ(e->rhs()->literal(), Value(3));
+}
+
+TEST(Parser, UnaryChains) {
+  auto e = parse_expression("--x");
+  EXPECT_EQ(e->kind(), Expr::Kind::Unary);
+  EXPECT_EQ(e->operand()->kind(), Expr::Kind::Unary);
+  auto n = parse_expression("not not p");
+  EXPECT_EQ(n->kind(), Expr::Kind::Unary);
+}
+
+TEST(Parser, PaperConditions) {
+  auto e = parse_expression("(x == 'A1') or (x == 'A11')");
+  EXPECT_EQ(e->bin_op(), BinOp::Or);
+  EXPECT_EQ(e->lhs()->bin_op(), BinOp::Eq);
+  EXPECT_EQ(e->lhs()->rhs()->literal(), Value("A1"));
+}
+
+TEST(Parser, TrailingInputRejected) {
+  EXPECT_THROW((void)parse_expression("a + b ]"), ParseError);
+  EXPECT_THROW((void)parse_expression("a b"), ParseError);
+}
+
+TEST(Parser, EmptyInputRejected) {
+  EXPECT_THROW((void)parse_expression(""), ParseError);
+  EXPECT_THROW((void)parse_expression("()"), ParseError);
+}
+
+TEST(Parser, MissingOperandRejected) {
+  EXPECT_THROW((void)parse_expression("a +"), ParseError);
+  EXPECT_THROW((void)parse_expression("* a"), ParseError);
+  EXPECT_THROW((void)parse_expression("(a + b"), ParseError);
+}
+
+TEST(Parser, LiteralKinds) {
+  EXPECT_EQ(parse_expression("3")->literal(), Value(3));
+  EXPECT_EQ(parse_expression("3.5")->literal(), Value(3.5));
+  EXPECT_EQ(parse_expression("'s'")->literal(), Value("s"));
+  EXPECT_EQ(parse_expression("true")->literal(), Value(true));
+  EXPECT_EQ(parse_expression("nil")->literal(), Value());
+}
+
+// Property: print -> parse returns a structurally identical tree, for random
+// expression trees over several seeds.
+class ExprRoundTrip : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  ExprPtr random_tree(Rng& rng, int depth) {
+    if (depth <= 0 || rng.coin(0.3)) {
+      if (rng.coin()) {
+        return Expr::var(std::string(1, static_cast<char>('a' + rng.bounded(6))));
+      }
+      return Expr::lit(Value(static_cast<std::int64_t>(rng.bounded(100))));
+    }
+    static constexpr BinOp kOps[] = {BinOp::Add, BinOp::Sub, BinOp::Mul,
+                                     BinOp::Div, BinOp::Mod, BinOp::Lt,
+                                     BinOp::Le, BinOp::Gt, BinOp::Ge,
+                                     BinOp::Eq, BinOp::Ne, BinOp::And,
+                                     BinOp::Or};
+    if (rng.coin(0.15)) {
+      return Expr::unary(rng.coin() ? UnOp::Neg : UnOp::Not,
+                         random_tree(rng, depth - 1));
+    }
+    return Expr::binary(kOps[rng.bounded(std::size(kOps))],
+                        random_tree(rng, depth - 1),
+                        random_tree(rng, depth - 1));
+  }
+};
+
+TEST_P(ExprRoundTrip, PrintParseIdentity) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    const ExprPtr tree = random_tree(rng, 5);
+    const std::string printed = tree->to_string();
+    ExprPtr reparsed;
+    ASSERT_NO_THROW(reparsed = parse_expression(printed)) << printed;
+    EXPECT_TRUE(equal(tree, reparsed))
+        << "original: " << printed
+        << "\nreparsed: " << reparsed->to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExprRoundTrip,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace gammaflow::expr

@@ -1,0 +1,212 @@
+// Algorithm 2: per-reaction graphs, Fig. 4 multiset mapping, and mapped
+// execution to fixpoint.
+#include <gtest/gtest.h>
+
+#include "gammaflow/dataflow/engine.hpp"
+#include "gammaflow/gamma/dsl/parser.hpp"
+#include "gammaflow/gamma/engine.hpp"
+#include "gammaflow/translate/gamma_to_df.hpp"
+
+namespace gammaflow::translate {
+namespace {
+
+using dataflow::NodeKind;
+using gamma::Element;
+using gamma::Multiset;
+using gamma::Reaction;
+
+Multiset ints(std::initializer_list<std::int64_t> values) {
+  Multiset m;
+  for (const auto v : values) m.add(Element{Value(v)});
+  return m;
+}
+
+TEST(Alg2, UnconditionalReactionBecomesArithTree) {
+  // R1 of Fig. 1: two roots + one add node (+ output).
+  const Reaction r = gamma::dsl::parse_reaction(
+      "R1 = replace [id1,'A1'], [id2,'B1'] by [id1 + id2, 'B2']");
+  const ReactionGraph rg = per_reaction_graph(r);
+  EXPECT_EQ(rg.roots.size(), 2u);
+  EXPECT_EQ(rg.graph.node(rg.roots[0]).kind, NodeKind::Const);
+  EXPECT_EQ(rg.graph.node(rg.roots[0]).name, "A1");  // named by pattern label
+  std::size_t arith = 0, steer = 0;
+  for (const auto& n : rg.graph.nodes()) {
+    arith += n.kind == NodeKind::Arith;
+    steer += n.kind == NodeKind::Steer;
+  }
+  EXPECT_EQ(arith, 1u);
+  EXPECT_EQ(steer, 0u);
+  EXPECT_EQ(rg.produced_outputs.size(), 1u);
+  EXPECT_TRUE(rg.unreacted_outputs.empty());
+}
+
+TEST(Alg2, ConditionalReactionGetsCmpAndSteers) {
+  // Eq. (2) min: condition x < y => one cmp + one steer per element.
+  const Reaction r =
+      gamma::dsl::parse_reaction("Rmin = replace x, y by x where x < y");
+  const ReactionGraph rg = per_reaction_graph(r);
+  std::size_t cmp = 0, steer = 0;
+  for (const auto& n : rg.graph.nodes()) {
+    cmp += n.kind == NodeKind::Cmp;
+    steer += n.kind == NodeKind::Steer;
+  }
+  EXPECT_EQ(cmp, 1u);
+  EXPECT_EQ(steer, 2u);  // lines 10-11: every consumed element is steered
+  EXPECT_EQ(rg.unreacted_outputs.size(), 2u);  // no-else: false = unreacted
+}
+
+TEST(Alg2, SeededGraphComputesTheAction) {
+  const Reaction r = gamma::dsl::parse_reaction(
+      "R = replace [a,'L'], [b,'R'] by [a * b + 1, 'S']");
+  const std::vector<Element> seed{Element::labeled(Value(6), "L"),
+                                  Element::labeled(Value(7), "R")};
+  const ReactionGraph rg = per_reaction_graph(r, &seed);
+  const auto res = dataflow::Interpreter().run(rg.graph);
+  EXPECT_EQ(res.single_output(rg.produced_outputs[0]), Value(43));
+}
+
+TEST(Alg2, SeededConditionalFiresOnlyWhenEnabled) {
+  const Reaction r =
+      gamma::dsl::parse_reaction("Rmin = replace x, y by x where x < y");
+  {
+    const std::vector<Element> seed{Element{Value(2)}, Element{Value(9)}};
+    const auto res = dataflow::Interpreter().run(per_reaction_graph(r, &seed).graph);
+    EXPECT_EQ(res.single_output("p0"), Value(2));
+    EXPECT_EQ(res.outputs.count("u1"), 0u);  // reacted: no unreacted path
+  }
+  {
+    const std::vector<Element> seed{Element{Value(9)}, Element{Value(2)}};
+    const auto res = dataflow::Interpreter().run(per_reaction_graph(r, &seed).graph);
+    EXPECT_EQ(res.outputs.count("p0"), 0u);
+    EXPECT_EQ(res.single_output("u1"), Value(9));  // both pass through
+    EXPECT_EQ(res.single_output("u2"), Value(2));
+  }
+}
+
+TEST(Alg2, IfElseBranchesUseBothSteerPorts) {
+  const Reaction r = gamma::dsl::parse_reaction(R"(
+    R = replace [x, 'in'] by [x + 1, 'up'] if x > 0 by [x - 1, 'down'] else
+  )");
+  {
+    const std::vector<Element> seed{Element::labeled(Value(5), "in")};
+    const auto res = dataflow::Interpreter().run(per_reaction_graph(r, &seed).graph);
+    EXPECT_EQ(res.single_output("p0"), Value(6));
+  }
+  {
+    const std::vector<Element> seed{Element::labeled(Value(-5), "in")};
+    const auto res = dataflow::Interpreter().run(per_reaction_graph(r, &seed).graph);
+    EXPECT_EQ(res.single_output("q0"), Value(-6));
+  }
+}
+
+TEST(Alg2, RejectsUnsupportedShapes) {
+  // Logical condition has no node equivalent in the printed algorithm.
+  EXPECT_THROW((void)per_reaction_graph(gamma::dsl::parse_reaction(
+                   "R = replace x, y by x where (x < y) and (x > 0)")),
+               TranslateError);
+  // Three branches are outside the if/else shape.
+  EXPECT_THROW((void)per_reaction_graph(gamma::dsl::parse_reaction(R"(
+                   R = replace x by [x] if x > 10 by [x + 1] if x > 5 by 0 else
+               )")),
+               TranslateError);
+}
+
+TEST(Alg2, NegationLowersToZeroMinus) {
+  const Reaction r =
+      gamma::dsl::parse_reaction("R = replace [a,'L'] by [-a, 'N']");
+  const std::vector<Element> seed{Element::labeled(Value(4), "L")};
+  const auto res = dataflow::Interpreter().run(per_reaction_graph(r, &seed).graph);
+  EXPECT_EQ(res.single_output("p0"), Value(-4));
+}
+
+// ---- Fig. 4 mapping ----
+
+TEST(Fig4, InstancesCoverMultiset) {
+  const Reaction r =
+      gamma::dsl::parse_reaction("Rmin = replace x, y by x where x < y");
+  const MappingResult mr = instantiate_mapping(r, ints({5, 3, 9, 1, 7, 4}));
+  EXPECT_EQ(mr.instances, 3u);  // exactly the paper's 3-way instancing
+  EXPECT_EQ(mr.leftover, 0u);
+}
+
+TEST(Fig4, LeftoverElementsPassThrough) {
+  const Reaction r =
+      gamma::dsl::parse_reaction("Rmin = replace x, y by x where x < y");
+  const MappingResult mr = instantiate_mapping(r, ints({5, 3, 9, 1, 7}));
+  EXPECT_EQ(mr.instances, 2u);
+  EXPECT_EQ(mr.leftover, 1u);
+  const auto res = dataflow::Interpreter().run(mr.graph);
+  EXPECT_EQ(res.single_output("left0"), Value(7));
+}
+
+TEST(Fig4, TernaryReactionChunksByThree) {
+  const Reaction r = gamma::dsl::parse_reaction(
+      "R = replace x, y, z by x + y + z");
+  const MappingResult mr = instantiate_mapping(r, ints({1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_EQ(mr.instances, 2u);
+  EXPECT_EQ(mr.leftover, 1u);
+}
+
+TEST(Fig4, OneRoundMatchesManualPairing) {
+  const Reaction r =
+      gamma::dsl::parse_reaction("Rmin = replace x, y by x where x < y");
+  // Pairs in order: (5,3) disabled -> both survive; (1,7) fires -> 1.
+  const MappingResult mr = instantiate_mapping(r, ints({5, 3, 1, 7}));
+  const auto res = dataflow::Interpreter().run(mr.graph);
+  EXPECT_EQ(res.single_output("i0.u1"), Value(5));
+  EXPECT_EQ(res.single_output("i0.u2"), Value(3));
+  EXPECT_EQ(res.single_output("i1.p0"), Value(1));
+  EXPECT_EQ(res.outputs.count("i1.u1"), 0u);
+}
+
+TEST(Fig4, MapUntilFixpointFindsMin) {
+  const Reaction r =
+      gamma::dsl::parse_reaction("Rmin = replace x, y by x where x < y");
+  const MappingRun run = map_until_fixpoint(r, ints({5, 3, 9, 1, 7, 4}), 7);
+  EXPECT_EQ(run.result, ints({1}));
+  EXPECT_GE(run.rounds, 3u);  // at least ceil(log2(6)) rounds of halving
+}
+
+TEST(Fig4, MapUntilFixpointMatchesGammaEngineAcrossSeeds) {
+  const Reaction rmax =
+      gamma::dsl::parse_reaction("Rmax = replace x, y by x where x > y");
+  const Multiset m = ints({12, 7, 3, 25, 18, 9, 31, 2});
+  const auto gamma_result =
+      gamma::IndexedEngine().run(gamma::Program(rmax), m);
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const MappingRun run = map_until_fixpoint(rmax, m, seed);
+    EXPECT_EQ(run.result, gamma_result.final_multiset) << "seed " << seed;
+  }
+}
+
+TEST(Fig4, MapUntilFixpointGcd) {
+  const Reaction rgcd = gamma::dsl::parse_reaction(
+      "Rgcd = replace x, y by [x - y], [y] where x > y");
+  const MappingRun run = map_until_fixpoint(rgcd, ints({12, 18, 30}), 3);
+  EXPECT_EQ(run.result, ints({6, 6, 6}));
+}
+
+TEST(Fig4, AlreadyDisabledMultisetNeedsZeroRounds) {
+  const Reaction r =
+      gamma::dsl::parse_reaction("Rmin = replace x, y by x where x < y");
+  const MappingRun run = map_until_fixpoint(r, ints({4, 4, 4}), 1);
+  EXPECT_EQ(run.rounds, 0u);
+  EXPECT_EQ(run.result, ints({4, 4, 4}));
+}
+
+TEST(Fig4, NonLiteralOutputLabelRejectedForMapping) {
+  // Output label computed from input => cannot rebuild elements.
+  const Reaction r = gamma::dsl::parse_reaction(
+      "R = replace [x, l] by [x, l] where x > 0");
+  EXPECT_THROW((void)map_until_fixpoint(r, Multiset{Element::labeled(Value(1), "a")}, 1),
+               TranslateError);
+}
+
+TEST(Fig4, RoundsGuardThrows) {
+  // x -> x+1 never reaches a fixpoint.
+  const Reaction r = gamma::dsl::parse_reaction("R = replace x by x + 1");
+  EXPECT_THROW((void)map_until_fixpoint(r, ints({1}), 1, 50), EngineError);
+}
+
+}  // namespace
+}  // namespace gammaflow::translate

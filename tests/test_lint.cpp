@@ -1,0 +1,154 @@
+// Static Gamma checking (Structured Gamma's compile-time-checking spirit):
+// label-flow findings on good and defective programs.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gammaflow/analysis/lint.hpp"
+#include "gammaflow/gamma/dsl/parser.hpp"
+#include "gammaflow/paper/figures.hpp"
+#include "gammaflow/translate/df_to_gamma.hpp"
+
+namespace gammaflow::analysis {
+namespace {
+
+LintReport lint(const char* program, const gamma::Multiset& m = {}) {
+  return lint_program(gamma::dsl::parse_program(program), m);
+}
+
+TEST(Lint, PaperFig1ProgramIsCleanExceptResultLabel) {
+  const auto report =
+      lint_program(paper::fig1_gamma(), paper::fig1_initial());
+  EXPECT_EQ(report.errors(), 0u);
+  EXPECT_EQ(report.warnings(), 0u);
+  // 'm' is produced and never consumed — exactly the program's output.
+  const auto leaks = report.of("leaked-label");
+  ASSERT_EQ(leaks.size(), 1u);
+  EXPECT_NE(leaks[0].message.find("'m'"), std::string::npos);
+  EXPECT_EQ(leaks[0].severity, Severity::Info);
+}
+
+TEST(Lint, PaperFig2ProgramIsClean) {
+  const auto report =
+      lint_program(paper::fig2_gamma(), paper::fig2_initial(3, 5, 100));
+  EXPECT_EQ(report.errors(), 0u) << report;
+  EXPECT_EQ(report.warnings(), 0u) << report;
+}
+
+TEST(Lint, ConvertedGraphsAreClean) {
+  const auto conv =
+      translate::dataflow_to_gamma(paper::fig2_graph(3, 5, 0, true));
+  const auto report = lint_program(conv.program, conv.initial);
+  EXPECT_EQ(report.errors(), 0u) << report;
+}
+
+TEST(Lint, DeadReactionDetected) {
+  const auto report = lint(
+      "R = replace [x,'ghost'] by [x,'out']",
+      gamma::Multiset{gamma::Element::labeled(Value(1), "seed")});
+  const auto dead = report.of("dead-reaction");
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0].severity, Severity::Error);
+  EXPECT_EQ(dead[0].reaction, "R");
+  EXPECT_NE(dead[0].message.find("'ghost'"), std::string::npos);
+}
+
+TEST(Lint, SelfProducingLabelIsNotDead) {
+  // 'a' -> 'a' chains keep themselves alive.
+  const auto report = lint("R = replace [x,'a'] by [x - 1,'a'] if x > 0");
+  EXPECT_TRUE(report.of("dead-reaction").empty()) << report;
+}
+
+TEST(Lint, GuaranteedDivergenceDetected) {
+  const auto report =
+      lint("R = replace x by [x + 1], [x + 1]",
+           gamma::Multiset{gamma::Element{Value(0)}});
+  const auto div = report.of("guaranteed-divergence");
+  ASSERT_EQ(div.size(), 1u);
+  EXPECT_EQ(div[0].severity, Severity::Error);
+}
+
+TEST(Lint, GuardedGrowthIsNotFlagged) {
+  // Growth behind a condition can reach a fixed point (tested elsewhere).
+  const auto report =
+      lint("R = replace x by [x - 1], [x - 1] where x > 0");
+  EXPECT_TRUE(report.of("guaranteed-divergence").empty()) << report;
+}
+
+TEST(Lint, ShrinkingUnconditionalIsNotFlagged) {
+  const auto report = lint("R = replace x, y by x + y");
+  EXPECT_TRUE(report.of("guaranteed-divergence").empty()) << report;
+}
+
+TEST(Lint, ConstantConditionDetected) {
+  const auto report = lint(R"(
+    R = replace [x,'a'] by [x,'b'] if 1 < 2
+  )");
+  const auto cc = report.of("constant-condition");
+  ASSERT_EQ(cc.size(), 1u);
+  EXPECT_NE(cc[0].message.find("always true"), std::string::npos);
+}
+
+TEST(Lint, UnusedBinderDetected) {
+  // 'y' is consumed for synchronization only.
+  const auto report = lint("R = replace [x,'a'], [y,'b'] by [x,'c']");
+  const auto ub = report.of("unused-binder");
+  ASSERT_EQ(ub.size(), 1u);
+  EXPECT_NE(ub[0].message.find("'y'"), std::string::npos);
+  EXPECT_EQ(ub[0].severity, Severity::Info);
+}
+
+TEST(Lint, RepeatedBinderCountsAsUsed) {
+  // `replace x, x by [x]` — the repeat IS the point (equality constraint).
+  const auto report = lint("R = replace x, x by [x]");
+  EXPECT_TRUE(report.of("unused-binder").empty()) << report;
+}
+
+TEST(Lint, SteerByZeroElseHasNoUnusedFindings) {
+  // The converter's steer shape: id2 is read by the condition.
+  const auto report = lint(R"(
+    R = replace [id1,'D',v], [id2,'C',v]
+        by [id1,'T',v] if id2 == 1
+        by 0 else
+  )");
+  EXPECT_TRUE(report.of("unused-binder").empty()) << report;
+}
+
+TEST(Lint, WildcardConsumersSuppressLeakFindings) {
+  // An unconstrained label-variable consumer might take anything, so no
+  // label can be declared leaked.
+  const auto report = lint(R"(
+    P = replace [x, 'in'] by [x, 'sink']
+    Sweep = replace [x, l] by 0 where x > 1000
+  )");
+  EXPECT_TRUE(report.of("leaked-label").empty()) << report;
+}
+
+TEST(Lint, ConstrainedLabelVariableIsNotWildcard) {
+  // A label variable constrained to 'a' admits only 'a': 'sink' leaks.
+  const auto report = lint(R"(
+    R = replace [x, l, v] by [x, 'sink', v + 1] if l == 'a'
+  )",
+                           gamma::Multiset{gamma::Element::tagged(Value(1), "a", 0)});
+  const auto leaks = report.of("leaked-label");
+  ASSERT_EQ(leaks.size(), 1u);
+  EXPECT_NE(leaks[0].message.find("'sink'"), std::string::npos);
+}
+
+TEST(Lint, CleanReportHelpers) {
+  const auto report = lint("R = replace x, y by x + y");
+  EXPECT_EQ(report.errors(), 0u);
+  // min-style reduction over unlabeled elements: nothing to say.
+  EXPECT_TRUE(report.of("dead-reaction").empty());
+}
+
+TEST(Lint, ReportPrintsReadably) {
+  const auto report = lint(
+      "R = replace [x,'ghost'] by [x,'out']");
+  std::ostringstream os;
+  os << report;
+  EXPECT_NE(os.str().find("error [dead-reaction] R:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gammaflow::analysis

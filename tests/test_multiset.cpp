@@ -1,0 +1,131 @@
+// Element and Multiset: tuple accessors, multiset semantics (duplicates,
+// canonical equality), label filtering, printing.
+#include <gtest/gtest.h>
+
+#include "gammaflow/gamma/multiset.hpp"
+
+namespace gammaflow::gamma {
+namespace {
+
+TEST(Element, TaggedTripleAccessors) {
+  const Element e = Element::tagged(Value(5), "B1", 2);
+  EXPECT_EQ(e.arity(), 3u);
+  EXPECT_EQ(e.value(), Value(5));
+  EXPECT_EQ(e.label(), "B1");
+  EXPECT_EQ(e.tag(), 2);
+}
+
+TEST(Element, LabeledPairAccessors) {
+  const Element e = Element::labeled(Value(1), "A1");
+  EXPECT_EQ(e.arity(), 2u);
+  EXPECT_EQ(e.value(), Value(1));
+  EXPECT_EQ(e.label(), "A1");
+  EXPECT_THROW((void)e.tag(), TypeError);
+}
+
+TEST(Element, BareValueElement) {
+  const Element e{Value(7)};
+  EXPECT_EQ(e.arity(), 1u);
+  EXPECT_EQ(e.value(), Value(7));
+  EXPECT_THROW((void)e.label(), TypeError);
+}
+
+TEST(Element, EmptyElementAccessorsThrow) {
+  const Element e;
+  EXPECT_EQ(e.arity(), 0u);
+  EXPECT_THROW((void)e.value(), TypeError);
+}
+
+TEST(Element, EqualityAndOrdering) {
+  EXPECT_EQ(Element::tagged(Value(1), "A", 0), Element::tagged(Value(1), "A", 0));
+  EXPECT_NE(Element::tagged(Value(1), "A", 0), Element::tagged(Value(1), "A", 1));
+  EXPECT_NE(Element::tagged(Value(1), "A", 0), Element::labeled(Value(1), "A"));
+  EXPECT_TRUE(Element{Value(1)} < Element{Value(2)});
+}
+
+TEST(Element, FieldOutOfRangeThrows) {
+  const Element e{Value(1)};
+  EXPECT_THROW((void)e.field(1), std::out_of_range);
+}
+
+TEST(Element, Printing) {
+  EXPECT_EQ(Element::tagged(Value(3), "B2", 1).to_string(), "[3, 'B2', 1]");
+  EXPECT_EQ(Element{Value(7)}.to_string(), "[7]");
+}
+
+TEST(Multiset, DuplicatesAreFirstClass) {
+  Multiset m;
+  m.add(Element{Value(1)});
+  m.add(Element{Value(1)});
+  m.add(Element{Value(2)});
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.count(Element{Value(1)}), 2u);
+  EXPECT_EQ(m.count(Element{Value(3)}), 0u);
+}
+
+TEST(Multiset, EqualityIgnoresOrder) {
+  const Multiset a{Element{Value(1)}, Element{Value(2)}, Element{Value(2)}};
+  const Multiset b{Element{Value(2)}, Element{Value(1)}, Element{Value(2)}};
+  const Multiset c{Element{Value(1)}, Element{Value(2)}};
+  const Multiset d{Element{Value(1)}, Element{Value(1)}, Element{Value(2)}};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // different size
+  EXPECT_NE(a, d);  // different multiplicities
+}
+
+TEST(Multiset, RemoveOneRemovesSingleInstance) {
+  Multiset m{Element{Value(1)}, Element{Value(1)}};
+  EXPECT_TRUE(m.remove_one(Element{Value(1)}));
+  EXPECT_EQ(m.count(Element{Value(1)}), 1u);
+  EXPECT_TRUE(m.remove_one(Element{Value(1)}));
+  EXPECT_FALSE(m.remove_one(Element{Value(1)}));
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Multiset, AddMergesMultisets) {
+  Multiset a{Element{Value(1)}};
+  const Multiset b{Element{Value(2)}, Element{Value(1)}};
+  a.add(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.count(Element{Value(1)}), 2u);
+}
+
+TEST(Multiset, CanonicalIsSorted) {
+  const Multiset m{Element{Value(3)}, Element{Value(1)}, Element{Value(2)}};
+  const auto canon = m.canonical();
+  ASSERT_EQ(canon.size(), 3u);
+  EXPECT_EQ(canon[0], Element{Value(1)});
+  EXPECT_EQ(canon[2], Element{Value(3)});
+}
+
+TEST(Multiset, WithLabelFilters) {
+  const Multiset m{
+      Element::tagged(Value(1), "A1", 0),
+      Element::tagged(Value(2), "B1", 0),
+      Element::tagged(Value(3), "A1", 1),
+      Element{Value(9)},  // unlabeled, never matches
+  };
+  const auto a1 = m.with_label("A1");
+  EXPECT_EQ(a1.size(), 2u);
+  EXPECT_TRUE(m.with_label("Z").empty());
+}
+
+TEST(Multiset, PrintingIsCanonical) {
+  const Multiset a{Element{Value(2)}, Element{Value(1)}};
+  const Multiset b{Element{Value(1)}, Element{Value(2)}};
+  EXPECT_EQ(a.to_string(), b.to_string());
+  EXPECT_EQ(a.to_string(), "{[1], [2]}");
+}
+
+TEST(Multiset, MixedArityElementsCoexist) {
+  Multiset m;
+  m.add(Element{Value(1)});
+  m.add(Element::labeled(Value(1), "A"));
+  m.add(Element::tagged(Value(1), "A", 0));
+  EXPECT_EQ(m.size(), 3u);
+  // All three are distinct as multiset members.
+  EXPECT_EQ(m.count(Element{Value(1)}), 1u);
+}
+
+}  // namespace
+}  // namespace gammaflow::gamma

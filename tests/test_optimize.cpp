@@ -1,0 +1,167 @@
+// Optimizer passes: folding, identity bypass, dead-code elimination —
+// observable preservation on paper graphs, compiled programs, and random
+// expression graphs.
+#include <gtest/gtest.h>
+
+#include "gammaflow/dataflow/engine.hpp"
+#include "gammaflow/dataflow/optimize.hpp"
+#include "gammaflow/frontend/compile.hpp"
+#include "gammaflow/paper/figures.hpp"
+
+namespace gammaflow::dataflow {
+namespace {
+
+using expr::BinOp;
+
+TEST(Optimize, Fig1FoldsToSingleConstant) {
+  // All of Fig. 1 is constant arithmetic: the whole graph folds to one
+  // Const feeding the output.
+  const auto r = optimize(paper::fig1_graph());
+  EXPECT_EQ(r.graph.node_count(), 2u);
+  EXPECT_EQ(r.folded, 3u);
+  EXPECT_EQ(Interpreter().run(r.graph).single_output("m"), Value(0));
+}
+
+TEST(Optimize, Fig2LoopIsIrreducible) {
+  // Loop nodes depend on circulating tokens: nothing folds, nothing dies.
+  const Graph g = paper::fig2_graph(4, 5, 100, true);
+  const auto r = optimize(g);
+  EXPECT_EQ(r.graph.node_count(), g.node_count());
+  EXPECT_EQ(r.folded + r.bypassed + r.removed, 0u);
+  EXPECT_EQ(Interpreter().run(r.graph).single_output("x_final"), Value(120));
+}
+
+TEST(Optimize, ObserverlessFig2IsEntirelyDead) {
+  // The paper's literal Fig. 2 discards everything through unconnected
+  // FALSE ports — the optimizer proves it by deleting the whole graph.
+  const Graph g = paper::fig2_graph(4, 5, 100, false);
+  const auto r = optimize(g);
+  EXPECT_EQ(r.graph.node_count(), 0u);
+  EXPECT_EQ(r.removed, g.node_count());
+}
+
+TEST(Optimize, DeadBranchesPruned) {
+  GraphBuilder b;
+  auto a = b.constant(Value(3), "a");
+  auto c = b.constant(Value(4), "c");
+  b.output(b.arith(BinOp::Add, a, c), "kept");
+  b.arith(BinOp::Mul, a, c);  // result goes nowhere
+  const Graph g = std::move(b).build();
+  const auto r = optimize(g);
+  EXPECT_GE(r.removed, 1u);
+  EXPECT_EQ(Interpreter().run(r.graph).single_output("kept"), Value(7));
+}
+
+TEST(Optimize, IdentityImmediatesBypassed) {
+  GraphBuilder b;
+  auto x = b.constant(Value(9), "x");
+  auto id1 = b.arith_imm(BinOp::Add, x, Value(std::int64_t{0}));
+  auto id2 = b.arith_imm(BinOp::Mul, id1, Value(std::int64_t{1}));
+  auto id3 = b.arith_imm(BinOp::Div, id2, Value(std::int64_t{1}));
+  auto id4 = b.arith_imm(BinOp::Sub, id3, Value(std::int64_t{0}));
+  b.output(id4, "y");
+  const auto r = optimize(std::move(b).build());
+  EXPECT_EQ(r.bypassed, 4u);
+  EXPECT_EQ(r.graph.node_count(), 2u);  // const + output
+  EXPECT_EQ(Interpreter().run(r.graph).single_output("y"), Value(9));
+}
+
+TEST(Optimize, NonIdentityImmediatesKept) {
+  GraphBuilder b;
+  auto x = b.constant(Value(9), "x");
+  b.output(b.arith_imm(BinOp::Sub, x, Value(std::int64_t{1})), "y");
+  const auto r = optimize(std::move(b).build(),
+                          {.fold_constants = false, .bypass_identities = true});
+  EXPECT_EQ(r.bypassed, 0u);
+}
+
+TEST(Optimize, ThrowingFoldsArePreservedForRuntime) {
+  GraphBuilder b;
+  auto x = b.constant(Value(1), "x");
+  auto z = b.constant(Value(0), "z");
+  b.output(b.arith(BinOp::Div, x, z), "boom");
+  const Graph g = std::move(b).build();
+  const auto r = optimize(g);
+  EXPECT_EQ(r.folded, 0u);
+  EXPECT_EQ(r.graph.node_count(), g.node_count());
+  EXPECT_THROW((void)Interpreter().run(r.graph), TypeError);
+}
+
+TEST(Optimize, CmpFoldsToIntConstant) {
+  GraphBuilder b;
+  auto a = b.constant(Value(3), "a");
+  b.output(b.cmp_imm(BinOp::Gt, a, Value(std::int64_t{0})), "flag");
+  const auto r = optimize(std::move(b).build());
+  EXPECT_EQ(r.folded, 1u);
+  EXPECT_EQ(Interpreter().run(r.graph).single_output("flag"), Value(1));
+}
+
+TEST(Optimize, MergedInputsAreNeverFoldedOrBypassed) {
+  // A port with two producers is a runtime merge; folding either away would
+  // change semantics.
+  GraphBuilder b;
+  auto c1 = b.constant(Value(1), "c1");
+  auto c2 = b.constant(Value(2), "c2");
+  const NodeId inc = b.inctag();
+  b.connect(c1, inc, 0, "first");
+  b.connect(c2, inc, 0, "second");
+  const NodeId relay = b.arith_imm(BinOp::Add, Value(std::int64_t{0}));
+  b.connect(GraphBuilder::out(inc), relay, 0);
+  // relay has ONE producer (bypassable); give it a merge instead:
+  b.connect(c1, relay, 0, "extra");
+  const NodeId out = b.output("o");
+  b.connect(GraphBuilder::out(relay), out, 0);
+  const Graph g = std::move(b).build();
+  const auto r = optimize(g);
+  EXPECT_EQ(r.bypassed, 0u);
+}
+
+TEST(Optimize, PassesCanBeDisabledIndividually)  {
+  const Graph g = paper::fig1_graph();
+  const auto no_fold = optimize(g, {.fold_constants = false});
+  EXPECT_EQ(no_fold.folded, 0u);
+  const auto no_dce = optimize(
+      paper::fig2_graph(2, 2, 2, false), {.eliminate_dead = false});
+  EXPECT_EQ(no_dce.removed, 0u);
+  EXPECT_EQ(no_dce.graph.node_count(), 12u);  // observer-less Fig. 2
+}
+
+TEST(Optimize, CompiledProgramsKeepObservables) {
+  const char* sources[] = {
+      "int a = 6; int b = 7; m = a * b + 0 * a; output m;",
+      "int x = 1; int y = 5; int k = 3; int j = 2;"
+      "m = (x + y) - (k * j); output m;",
+      "int n = 5; int acc = 0; while (n > 0) { acc = acc + n; n = n - 1; }"
+      "output acc;",
+  };
+  for (const char* src : sources) {
+    const Graph g = frontend::compile_source(src);
+    const auto before = Interpreter().run(g);
+    const auto r = optimize(g);
+    const auto after = Interpreter().run(r.graph);
+    for (const auto& [name, tokens] : before.outputs) {
+      EXPECT_EQ(after.output_values(name), before.output_values(name)) << src;
+    }
+    EXPECT_LE(r.graph.node_count(), g.node_count());
+  }
+}
+
+TEST(Optimize, RandomExpressionGraphsFoldCompletely) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Graph g = paper::random_expression_graph(12, seed);
+    const Value expected = Interpreter().run(g).single_output("m");
+    const auto r = optimize(g);
+    EXPECT_EQ(r.graph.node_count(), 2u) << seed;  // const + output
+    EXPECT_EQ(Interpreter().run(r.graph).single_output("m"), expected) << seed;
+  }
+}
+
+TEST(Optimize, IterationCapRespected) {
+  const auto r = optimize(paper::random_expression_graph(64, 3),
+                          {.max_iterations = 1});
+  EXPECT_EQ(r.iterations, 1u);
+  EXPECT_GT(r.graph.node_count(), 2u);  // one round is not enough to finish
+}
+
+}  // namespace
+}  // namespace gammaflow::dataflow

@@ -1,0 +1,99 @@
+// Program composition: parallel '|', sequential then(), lookup, printing.
+#include <gtest/gtest.h>
+
+#include "gammaflow/expr/parser.hpp"
+#include "gammaflow/gamma/program.hpp"
+
+namespace gammaflow::gamma {
+namespace {
+
+Reaction make(const std::string& name) {
+  return Reaction(name, {Pattern::var("x")},
+                  {Branch::when(expr::parse_expression("x > 0"), {})});
+}
+
+TEST(Program, SingleReaction) {
+  const Program p(make("R1"));
+  EXPECT_EQ(p.stage_count(), 1u);
+  EXPECT_EQ(p.reaction_count(), 1u);
+  EXPECT_NE(p.find("R1"), nullptr);
+  EXPECT_EQ(p.find("R2"), nullptr);
+}
+
+TEST(Program, ParallelCompositionMergesStage) {
+  const Program p = Program(make("R1")) | Program(make("R2")) | Program(make("R3"));
+  EXPECT_EQ(p.stage_count(), 1u);
+  EXPECT_EQ(p.reaction_count(), 3u);
+  EXPECT_EQ(p.stages()[0][0].name(), "R1");
+  EXPECT_EQ(p.stages()[0][2].name(), "R3");
+}
+
+TEST(Program, SequentialComposition) {
+  const Program p = Program(make("A")).then(Program(make("B")));
+  EXPECT_EQ(p.stage_count(), 2u);
+  EXPECT_EQ(p.reaction_count(), 2u);
+  EXPECT_EQ(p.stages()[0][0].name(), "A");
+  EXPECT_EQ(p.stages()[1][0].name(), "B");
+}
+
+TEST(Program, MixedComposition) {
+  const Program p =
+      (Program(make("A")) | Program(make("B"))).then(Program(make("C")));
+  EXPECT_EQ(p.stage_count(), 2u);
+  EXPECT_EQ(p.stages()[0].size(), 2u);
+  EXPECT_EQ(p.stages()[1].size(), 1u);
+}
+
+TEST(Program, ParallelOfMultiStageRejected) {
+  const Program seq = Program(make("A")).then(Program(make("B")));
+  EXPECT_THROW((void)(seq | Program(make("C"))), ProgramError);
+  EXPECT_THROW((void)(Program(make("C")) | seq), ProgramError);
+}
+
+TEST(Program, ParallelWithEmptyIsIdentity) {
+  const Program p = Program{} | Program(make("A"));
+  EXPECT_EQ(p.reaction_count(), 1u);
+  const Program q = Program(make("A")) | Program{};
+  EXPECT_EQ(q.reaction_count(), 1u);
+}
+
+TEST(Program, AllReactionsInOrder) {
+  const Program p =
+      (Program(make("A")) | Program(make("B"))).then(Program(make("C")));
+  const auto all = p.all_reactions();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0]->name(), "A");
+  EXPECT_EQ(all[1]->name(), "B");
+  EXPECT_EQ(all[2]->name(), "C");
+}
+
+TEST(Program, FindSearchesAllStages) {
+  const Program p = Program(make("A")).then(Program(make("B")));
+  EXPECT_NE(p.find("B"), nullptr);
+  EXPECT_EQ(p.find("B")->name(), "B");
+}
+
+TEST(Program, PrintSeparatesStagesWithSemicolon) {
+  const Program p = Program(make("A")).then(Program(make("B")));
+  const std::string s = p.to_string();
+  EXPECT_NE(s.find(';'), std::string::npos);
+}
+
+TEST(Program, EmptyProgram) {
+  const Program p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.reaction_count(), 0u);
+  EXPECT_EQ(p.stage_count(), 0u);
+}
+
+TEST(Program, VectorConstructor) {
+  std::vector<Reaction> rs;
+  rs.push_back(make("R1"));
+  rs.push_back(make("R2"));
+  const Program p(std::move(rs));
+  EXPECT_EQ(p.stage_count(), 1u);
+  EXPECT_EQ(p.reaction_count(), 2u);
+}
+
+}  // namespace
+}  // namespace gammaflow::gamma

@@ -1,0 +1,230 @@
+// Indexed store: slot lifecycle, candidate buckets, pruning, compaction,
+// match finding and enumeration.
+#include <gtest/gtest.h>
+
+#include "gammaflow/expr/parser.hpp"
+#include "gammaflow/gamma/store.hpp"
+
+namespace gammaflow::gamma {
+namespace {
+
+std::vector<expr::ExprPtr> tuple(std::initializer_list<const char*> fields) {
+  std::vector<expr::ExprPtr> out;
+  for (const char* f : fields) out.push_back(expr::parse_expression(f));
+  return out;
+}
+
+TEST(Store, InsertRemoveLifecycle) {
+  Store s;
+  const auto id = s.insert(Element::tagged(Value(1), "A", 0));
+  EXPECT_TRUE(s.alive(id));
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.element(id), Element::tagged(Value(1), "A", 0));
+  s.remove(id);
+  EXPECT_FALSE(s.alive(id));
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_THROW(s.remove(id), EngineError);
+}
+
+TEST(Store, SlotReuseAfterRemove) {
+  Store s;
+  const auto id1 = s.insert(Element{Value(1)});
+  s.remove(id1);
+  const auto id2 = s.insert(Element{Value(2)});
+  EXPECT_EQ(id1, id2);  // free-list reuse
+  EXPECT_EQ(s.element(id2), Element{Value(2)});
+}
+
+TEST(Store, VersionAdvancesOnMutation) {
+  Store s;
+  const auto v0 = s.version();
+  const auto id = s.insert(Element{Value(1)});
+  EXPECT_GT(s.version(), v0);
+  const auto v1 = s.version();
+  s.remove(id);
+  EXPECT_GT(s.version(), v1);
+}
+
+TEST(Store, CandidatesByLabelBucket) {
+  Store s;
+  s.insert(Element::tagged(Value(1), "A", 0));
+  s.insert(Element::tagged(Value(2), "B", 0));
+  s.insert(Element::tagged(Value(3), "A", 1));
+  const Pattern pa = Pattern::tagged("x", "A", "v");
+  EXPECT_EQ(s.candidates(pa).size(), 2u);
+  const Pattern pz = Pattern::tagged("x", "Z", "v");
+  EXPECT_TRUE(s.candidates(pz).empty());
+}
+
+TEST(Store, CandidatesByArityForUnconstrained) {
+  Store s;
+  s.insert(Element{Value(1)});
+  s.insert(Element{Value(2)});
+  s.insert(Element::labeled(Value(3), "A"));
+  const Pattern p = Pattern::var("x");  // arity-1, no literal
+  EXPECT_EQ(s.candidates(p).size(), 2u);
+}
+
+TEST(Store, CandidatesPruneDeadIds) {
+  Store s;
+  const auto id1 = s.insert(Element::tagged(Value(1), "A", 0));
+  s.insert(Element::tagged(Value(2), "A", 0));
+  s.remove(id1);
+  const Pattern pa = Pattern::tagged("x", "A", "v");
+  const auto& bucket = s.candidates(pa);  // prunes in place
+  EXPECT_EQ(bucket.size(), 1u);
+}
+
+TEST(Store, ConstCandidatesDoNotPrune) {
+  Store s;
+  const auto id1 = s.insert(Element::tagged(Value(1), "A", 0));
+  s.insert(Element::tagged(Value(2), "A", 0));
+  s.remove(id1);
+  const Store& cs = s;
+  const Pattern pa = Pattern::tagged("x", "A", "v");
+  EXPECT_EQ(cs.candidates(pa).size(), 2u);  // garbage retained
+  s.compact();
+  EXPECT_EQ(cs.candidates(pa).size(), 1u);
+}
+
+TEST(Store, BucketsStayBoundedUnderSlotReuse) {
+  // Regression: slot reuse re-registers the same id in the index; without
+  // generation stamps those entries all look alive and the label bucket
+  // grows by one per rewrite, degrading matching to O(total firings).
+  // (Observed: Fig. 2's reduced program at z=4000 took 54s instead of 0.2s.)
+  Store s;
+  for (int i = 0; i < 10000; ++i) {
+    const auto id = s.insert(Element::tagged(Value(i), "L", 0));
+    s.remove(id);
+  }
+  s.insert(Element::tagged(Value(-1), "L", 0));
+  const Pattern p = Pattern::tagged("x", "L", "v");
+  EXPECT_LE(s.candidates(p).size(), 2u);  // pruned to the single live entry
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(Store, ToMultisetRoundTrip) {
+  const Multiset m{Element::tagged(Value(1), "A", 0),
+                   Element::tagged(Value(1), "A", 0),
+                   Element::tagged(Value(2), "B", 1)};
+  const Store s(m);
+  EXPECT_EQ(s.to_multiset(), m);
+}
+
+Reaction adder() {
+  // replace [a,'L'], [b,'R'] by [a+b,'S']
+  return Reaction("Add",
+                  {Pattern::labeled("a", "L"), Pattern::labeled("b", "R")},
+                  {Branch::unconditional({tuple({"a + b", "'S'"})})});
+}
+
+TEST(FindMatch, FindsEnabledPair) {
+  Store s;
+  s.insert(Element::labeled(Value(2), "L"));
+  s.insert(Element::labeled(Value(3), "R"));
+  const Reaction r = adder();
+  const auto m = find_match(s, r);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->ids.size(), 2u);
+  ASSERT_EQ(m->produced.size(), 1u);
+  EXPECT_EQ(m->produced[0], Element::labeled(Value(5), "S"));
+}
+
+TEST(FindMatch, NoMatchWhenLabelMissing) {
+  Store s;
+  s.insert(Element::labeled(Value(2), "L"));
+  EXPECT_FALSE(find_match(s, adder()).has_value());
+}
+
+TEST(FindMatch, ElementsMustBeDistinctInstances) {
+  // min-style: replace x, y — one element cannot play both roles.
+  Store s;
+  s.insert(Element{Value(5)});
+  const Reaction r("R", {Pattern::var("x"), Pattern::var("y")},
+                   {Branch::unconditional({tuple({"x"})})});
+  EXPECT_FALSE(find_match(s, r).has_value());
+  s.insert(Element{Value(5)});  // a second equal instance IS allowed
+  EXPECT_TRUE(find_match(s, r).has_value());
+}
+
+TEST(FindMatch, ConditionGatesMatch) {
+  Store s;
+  s.insert(Element{Value(9)});
+  s.insert(Element{Value(2)});
+  const Reaction r("Min", {Pattern::var("x"), Pattern::var("y")},
+                   {Branch::when(expr::parse_expression("x < y"),
+                                 {tuple({"x"})})});
+  // Both orderings exist as candidate tuples; only (2,9) is enabled.
+  const auto m = find_match(s, r);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->produced[0], Element{Value(2)});
+}
+
+TEST(FindMatch, CommitAppliesRewrite) {
+  Store s;
+  s.insert(Element::labeled(Value(2), "L"));
+  s.insert(Element::labeled(Value(3), "R"));
+  const Reaction r = adder();
+  const auto m = find_match(s, r);
+  ASSERT_TRUE(m.has_value());
+  commit(s, *m);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.to_multiset(), (Multiset{Element::labeled(Value(5), "S")}));
+  EXPECT_FALSE(find_match(s, r).has_value());
+}
+
+TEST(FindMatch, RandomizedIsFairAcrossPairs) {
+  // Two independent L/R pairs; randomized probing should pick different
+  // first matches across seeds.
+  Store s;
+  s.insert(Element::labeled(Value(1), "L"));
+  s.insert(Element::labeled(Value(2), "L"));
+  s.insert(Element::labeled(Value(10), "R"));
+  const Reaction r = adder();
+  std::set<Value> first_values;
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    Rng rng(seed);
+    const auto m = find_match(s, r, &rng);
+    ASSERT_TRUE(m.has_value());
+    first_values.insert(m->produced[0].value());
+  }
+  EXPECT_EQ(first_values.size(), 2u);  // both 11 and 12 observed
+}
+
+TEST(EnumerateMatches, CountsOrderedTuples) {
+  Store s;
+  for (int i = 0; i < 4; ++i) s.insert(Element{Value(i)});
+  const Reaction any2("R", {Pattern::var("x"), Pattern::var("y")},
+                      {Branch::unconditional({tuple({"x"})})});
+  std::size_t count =
+      enumerate_matches(s, any2, 1000, [](const Match&) { return true; });
+  EXPECT_EQ(count, 12u);  // 4 * 3 ordered pairs
+}
+
+TEST(EnumerateMatches, HonorsLimitAndEarlyStop) {
+  Store s;
+  for (int i = 0; i < 10; ++i) s.insert(Element{Value(i)});
+  const Reaction any2("R", {Pattern::var("x"), Pattern::var("y")},
+                      {Branch::unconditional({tuple({"x"})})});
+  EXPECT_EQ(enumerate_matches(s, any2, 7, [](const Match&) { return true; }),
+            7u);
+  std::size_t seen = 0;
+  enumerate_matches(s, any2, 1000, [&](const Match&) {
+    return ++seen < 3;  // stop after 3
+  });
+  EXPECT_EQ(seen, 3u);
+}
+
+TEST(EnumerateMatches, OnlyEnabledMatchesVisited) {
+  Store s;
+  s.insert(Element{Value(5)});
+  s.insert(Element{Value(5)});
+  const Reaction strict("R", {Pattern::var("x"), Pattern::var("y")},
+                        {Branch::when(expr::parse_expression("x < y"), {})});
+  EXPECT_EQ(
+      enumerate_matches(s, strict, 100, [](const Match&) { return true; }),
+      0u);
+}
+
+}  // namespace
+}  // namespace gammaflow::gamma

@@ -1,0 +1,256 @@
+// gammaflow — command-line front door to the library.
+//
+//   gammaflow compile  <prog.src>             imperative source -> graph text
+//   gammaflow run      <prog.src|graph.df>    execute as dataflow, print outputs
+//   gammaflow togamma  <prog.src|graph.df>    Algorithm 1 -> Gamma program + M
+//   gammaflow rungamma <prog.gamma> --init "<elements>" [--engine seq|idx|par]
+//   gammaflow fuse     <prog.gamma> [--init "<elements>"]      SIII-A3 reduction
+//   gammaflow expand   <prog.gamma>                            inverse reduction
+//   gammaflow reconstruct <prog.gamma> --init "<elements>"     Gamma -> graph
+//   gammaflow dot      <prog.src|graph.df>    Graphviz output
+//
+// Input kind is decided by extension: .src (imperative), .df (graph text),
+// .gamma (DSL). Elements for --init use the DSL tuple syntax:
+//   "[1,'A1'] [5,'B1'] [3,'C1',0]"
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gammaflow/dataflow/dot.hpp"
+#include "gammaflow/dataflow/engine.hpp"
+#include "gammaflow/dataflow/optimize.hpp"
+#include "gammaflow/dataflow/serialize.hpp"
+#include "gammaflow/expr/parser.hpp"
+#include "gammaflow/expr/simplify.hpp"
+#include "gammaflow/frontend/compile.hpp"
+#include "gammaflow/gamma/dsl/parser.hpp"
+#include "gammaflow/gamma/engine.hpp"
+#include "gammaflow/analysis/lint.hpp"
+#include "gammaflow/translate/df_to_gamma.hpp"
+#include "gammaflow/translate/gamma_to_df.hpp"
+#include "gammaflow/translate/reduce.hpp"
+
+using namespace gammaflow;
+
+namespace {
+
+int usage() {
+  std::cerr <<
+      "usage: gammaflow <command> <file> [options]\n"
+      "  compile <prog.src>                    source -> dataflow graph text\n"
+      "  run <prog.src|graph.df>               execute as dataflow\n"
+      "  togamma <prog.src|graph.df>           Algorithm 1\n"
+      "  rungamma <prog.gamma> --init \"...\"    execute by rewriting\n"
+      "  fuse <prog.gamma> [--init \"...\"]      SIII-A3 reduction\n"
+      "  expand <prog.gamma>                   inverse reduction\n"
+      "  reconstruct <prog.gamma> --init \"...\" Gamma -> dataflow graph\n"
+      "  dot <prog.src|graph.df>               Graphviz\n"
+      "  opt <prog.src|graph.df>               optimize (fold/bypass/DCE)\n"
+      "  lint <prog.gamma> [--init \"...\"]     static Gamma checks\n"
+      "options: --init \"[v,'L'] ...\"  --engine seq|idx|par  --seed N\n";
+  return 2;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Loads a dataflow graph from source (.src, compiled) or graph text (.df).
+dataflow::Graph load_graph(const std::string& path) {
+  const std::string text = read_file(path);
+  if (ends_with(path, ".df")) return dataflow::parse_text(text);
+  if (ends_with(path, ".src")) return frontend::compile_source(text);
+  throw Error("expected a .src or .df file, got '" + path + "'");
+}
+
+/// Parses "--init" elements: a sequence of [expr, expr, ...] tuples (fields
+/// must be literals) or bare literals.
+gamma::Multiset parse_elements(const std::string& text) {
+  gamma::Multiset m;
+  expr::TokenStream ts(expr::tokenize(text));
+  auto literal_field = [&]() -> Value {
+    const expr::ExprPtr e = expr::parse_expression(ts);
+    const expr::ExprPtr folded = expr::simplify(e);
+    if (folded->kind() != expr::Expr::Kind::Literal) {
+      throw Error("multiset element fields must be literals, got '" +
+                  e->to_string() + "'");
+    }
+    return folded->literal();
+  };
+  while (!ts.done()) {
+    ts.accept(expr::TokenKind::Comma);
+    if (ts.done()) break;
+    std::vector<Value> fields;
+    if (ts.accept(expr::TokenKind::LBracket)) {
+      fields.push_back(literal_field());
+      while (ts.accept(expr::TokenKind::Comma)) fields.push_back(literal_field());
+      ts.expect(expr::TokenKind::RBracket);
+    } else {
+      fields.push_back(literal_field());
+    }
+    m.add(gamma::Element(std::move(fields)));
+  }
+  return m;
+}
+
+struct Options {
+  std::optional<std::string> init;
+  std::string engine = "idx";
+  std::uint64_t seed = 1;
+};
+
+Options parse_options(int argc, char** argv, int first) {
+  Options opts;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw Error("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--init") {
+      opts.init = next();
+    } else if (arg == "--engine") {
+      opts.engine = next();
+    } else if (arg == "--seed") {
+      opts.seed = std::stoull(next());
+    } else {
+      throw Error("unknown option '" + arg + "'");
+    }
+  }
+  return opts;
+}
+
+std::unique_ptr<gamma::Engine> make_engine(const std::string& name) {
+  if (name == "seq") return std::make_unique<gamma::SequentialEngine>();
+  if (name == "idx") return std::make_unique<gamma::IndexedEngine>();
+  if (name == "par") return std::make_unique<gamma::ParallelEngine>();
+  throw Error("unknown engine '" + name + "' (want seq|idx|par)");
+}
+
+int cmd_compile(const std::string& path) {
+  dataflow::write_text(std::cout, load_graph(path));
+  return 0;
+}
+
+int cmd_run(const std::string& path) {
+  const dataflow::Graph g = load_graph(path);
+  const auto result = dataflow::Interpreter().run(g);
+  for (const auto& [name, tokens] : result.outputs) {
+    std::cout << name << " =";
+    for (const Value& v : result.output_values(name)) std::cout << ' ' << v;
+    std::cout << '\n';
+  }
+  std::cout << "# " << result.fires << " firings, "
+            << result.wavefronts.size() << " wavefronts\n";
+  if (!result.leftovers.empty()) {
+    std::cout << "# " << result.leftovers.size() << " unmatched operand(s)\n";
+  }
+  return 0;
+}
+
+int cmd_togamma(const std::string& path) {
+  const auto conv = translate::dataflow_to_gamma(load_graph(path));
+  std::cout << conv.program << "\n\n# initial multiset\n# M = "
+            << conv.initial << '\n';
+  for (const auto& [output, labels] : conv.output_labels) {
+    std::cout << "# output '" << output << "' <- elements labeled";
+    for (const std::string& label : labels) std::cout << " '" << label << "'";
+    std::cout << '\n';
+  }
+  return 0;
+}
+
+int cmd_rungamma(const std::string& path, const Options& opts) {
+  if (!opts.init) throw Error("rungamma needs --init \"<elements>\"");
+  const gamma::Program program = gamma::dsl::parse_program(read_file(path));
+  const gamma::Multiset initial = parse_elements(*opts.init);
+  gamma::RunOptions ropts;
+  ropts.seed = opts.seed;
+  const auto result = make_engine(opts.engine)->run(program, initial, ropts);
+  std::cout << result.final_multiset << '\n'
+            << "# " << result.steps << " reactions fired\n";
+  return 0;
+}
+
+int cmd_fuse(const std::string& path, const Options& opts) {
+  const gamma::Program program = gamma::dsl::parse_program(read_file(path));
+  const gamma::Multiset initial =
+      opts.init ? parse_elements(*opts.init) : gamma::Multiset{};
+  std::cout << translate::fuse_reactions(program, initial) << '\n';
+  return 0;
+}
+
+int cmd_expand(const std::string& path) {
+  const gamma::Program program = gamma::dsl::parse_program(read_file(path));
+  std::cout << translate::expand_program(program) << '\n';
+  return 0;
+}
+
+int cmd_reconstruct(const std::string& path, const Options& opts) {
+  if (!opts.init) throw Error("reconstruct needs --init \"<elements>\"");
+  const gamma::Program program = gamma::dsl::parse_program(read_file(path));
+  const dataflow::Graph g =
+      translate::reconstruct_graph(program, parse_elements(*opts.init));
+  dataflow::write_text(std::cout, g);
+  return 0;
+}
+
+int cmd_opt(const std::string& path) {
+  const auto r = dataflow::optimize(load_graph(path));
+  dataflow::write_text(std::cout, r.graph);
+  std::cerr << "# folded " << r.folded << ", bypassed " << r.bypassed
+            << ", removed " << r.removed << " over " << r.iterations
+            << " iteration(s)\n";
+  return 0;
+}
+
+int cmd_lint(const std::string& path, const Options& opts) {
+  const gamma::Program program = gamma::dsl::parse_program(read_file(path));
+  const gamma::Multiset initial =
+      opts.init ? parse_elements(*opts.init) : gamma::Multiset{};
+  const auto report = analysis::lint_program(program, initial);
+  std::cout << report;
+  if (report.clean()) std::cout << "clean: no findings\n";
+  return report.errors() > 0 ? 1 : 0;
+}
+
+int cmd_dot(const std::string& path) {
+  dataflow::write_dot(std::cout, load_graph(path), path);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  const std::string file = argv[2];
+  const Options opts = parse_options(argc, argv, 3);
+
+  if (cmd == "compile") return cmd_compile(file);
+  if (cmd == "run") return cmd_run(file);
+  if (cmd == "togamma") return cmd_togamma(file);
+  if (cmd == "rungamma") return cmd_rungamma(file, opts);
+  if (cmd == "fuse") return cmd_fuse(file, opts);
+  if (cmd == "expand") return cmd_expand(file);
+  if (cmd == "reconstruct") return cmd_reconstruct(file, opts);
+  if (cmd == "dot") return cmd_dot(file);
+  if (cmd == "opt") return cmd_opt(file);
+  if (cmd == "lint") return cmd_lint(file, opts);
+  return usage();
+} catch (const std::exception& e) {
+  std::cerr << "gammaflow: " << e.what() << '\n';
+  return 1;
+}
