@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_alg1_convert.dir/bench_alg1_convert.cpp.o"
+  "CMakeFiles/bench_alg1_convert.dir/bench_alg1_convert.cpp.o.d"
+  "bench_alg1_convert"
+  "bench_alg1_convert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_alg1_convert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

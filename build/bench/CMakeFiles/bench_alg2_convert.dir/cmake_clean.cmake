@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_alg2_convert.dir/bench_alg2_convert.cpp.o"
+  "CMakeFiles/bench_alg2_convert.dir/bench_alg2_convert.cpp.o.d"
+  "bench_alg2_convert"
+  "bench_alg2_convert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_alg2_convert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

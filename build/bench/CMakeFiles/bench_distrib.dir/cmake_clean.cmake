@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_distrib.dir/bench_distrib.cpp.o"
+  "CMakeFiles/bench_distrib.dir/bench_distrib.cpp.o.d"
+  "bench_distrib"
+  "bench_distrib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_distrib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_expression.dir/bench_fig1_expression.cpp.o"
+  "CMakeFiles/bench_fig1_expression.dir/bench_fig1_expression.cpp.o.d"
+  "bench_fig1_expression"
+  "bench_fig1_expression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_expression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

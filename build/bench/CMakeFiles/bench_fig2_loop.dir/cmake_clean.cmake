@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_loop.dir/bench_fig2_loop.cpp.o"
+  "CMakeFiles/bench_fig2_loop.dir/bench_fig2_loop.cpp.o.d"
+  "bench_fig2_loop"
+  "bench_fig2_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_grammar.dir/bench_fig3_grammar.cpp.o"
+  "CMakeFiles/bench_fig3_grammar.dir/bench_fig3_grammar.cpp.o.d"
+  "bench_fig3_grammar"
+  "bench_fig3_grammar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_grammar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

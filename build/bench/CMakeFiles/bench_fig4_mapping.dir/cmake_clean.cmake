@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_mapping.dir/bench_fig4_mapping.cpp.o"
+  "CMakeFiles/bench_fig4_mapping.dir/bench_fig4_mapping.cpp.o.d"
+  "bench_fig4_mapping"
+  "bench_fig4_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memoize.dir/bench_memoize.cpp.o"
+  "CMakeFiles/bench_memoize.dir/bench_memoize.cpp.o.d"
+  "bench_memoize"
+  "bench_memoize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memoize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

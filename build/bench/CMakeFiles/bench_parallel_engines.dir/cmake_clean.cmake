@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallel_engines.dir/bench_parallel_engines.cpp.o"
+  "CMakeFiles/bench_parallel_engines.dir/bench_parallel_engines.cpp.o.d"
+  "bench_parallel_engines"
+  "bench_parallel_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

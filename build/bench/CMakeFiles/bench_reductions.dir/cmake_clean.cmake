@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reductions.dir/bench_reductions.cpp.o"
+  "CMakeFiles/bench_reductions.dir/bench_reductions.cpp.o.d"
+  "bench_reductions"
+  "bench_reductions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reductions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

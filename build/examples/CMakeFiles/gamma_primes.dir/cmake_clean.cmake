@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gamma_primes.dir/gamma_primes.cpp.o"
+  "CMakeFiles/gamma_primes.dir/gamma_primes.cpp.o.d"
+  "gamma_primes"
+  "gamma_primes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gamma_primes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

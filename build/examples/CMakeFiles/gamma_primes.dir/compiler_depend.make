@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gamma_primes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iot_fusion.dir/iot_fusion.cpp.o"
+  "CMakeFiles/iot_fusion.dir/iot_fusion.cpp.o.d"
+  "iot_fusion"
+  "iot_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iot_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loop_to_gamma.dir/loop_to_gamma.cpp.o"
+  "CMakeFiles/loop_to_gamma.dir/loop_to_gamma.cpp.o.d"
+  "loop_to_gamma"
+  "loop_to_gamma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loop_to_gamma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

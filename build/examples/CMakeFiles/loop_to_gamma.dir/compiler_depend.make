@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for loop_to_gamma.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roundtrip_explorer.dir/roundtrip_explorer.cpp.o"
+  "CMakeFiles/roundtrip_explorer.dir/roundtrip_explorer.cpp.o.d"
+  "roundtrip_explorer"
+  "roundtrip_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roundtrip_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

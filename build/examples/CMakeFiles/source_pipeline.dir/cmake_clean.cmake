@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/source_pipeline.dir/source_pipeline.cpp.o"
+  "CMakeFiles/source_pipeline.dir/source_pipeline.cpp.o.d"
+  "source_pipeline"
+  "source_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/source_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_run_fig1_src "/root/repo/build/tools/gammaflow" "run" "/root/repo/examples/programs/fig1.src")
+set_tests_properties(cli_run_fig1_src PROPERTIES  PASS_REGULAR_EXPRESSION "m = 0" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_run_fig2_loop "/root/repo/build/tools/gammaflow" "run" "/root/repo/examples/programs/fig2_loop.src")
+set_tests_properties(cli_run_fig2_loop PROPERTIES  PASS_REGULAR_EXPRESSION "x = 120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_togamma_fig1 "/root/repo/build/tools/gammaflow" "togamma" "/root/repo/examples/programs/fig1.src")
+set_tests_properties(cli_togamma_fig1 PROPERTIES  PASS_REGULAR_EXPRESSION "by \\[id1 \\+ id2" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_rungamma_min "/root/repo/build/tools/gammaflow" "rungamma" "/root/repo/examples/programs/min.gamma" "--init" "[5] [3] [9] [1]" "--engine" "par")
+set_tests_properties(cli_rungamma_min PROPERTIES  PASS_REGULAR_EXPRESSION "{\\[1\\]}" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;30;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_fuse_fig1 "/root/repo/build/tools/gammaflow" "fuse" "/root/repo/examples/programs/fig1.gamma" "--init" "[1,'A1'] [5,'B1'] [3,'C1'] [2,'D1']")
+set_tests_properties(cli_fuse_fig1 PROPERTIES  PASS_REGULAR_EXPRESSION "'m'" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;35;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_reconstruct_fig1 "/root/repo/build/tools/gammaflow" "reconstruct" "/root/repo/examples/programs/fig1.gamma" "--init" "[1,'A1'] [5,'B1'] [3,'C1'] [2,'D1']")
+set_tests_properties(cli_reconstruct_fig1 PROPERTIES  PASS_REGULAR_EXPRESSION "dataflow v1" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;40;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_lint_fig1 "/root/repo/build/tools/gammaflow" "lint" "/root/repo/examples/programs/fig1.gamma" "--init" "[1,'A1'] [5,'B1'] [3,'C1'] [2,'D1']")
+set_tests_properties(cli_lint_fig1 PROPERTIES  PASS_REGULAR_EXPRESSION "leaked-label" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;45;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_opt_classify "/root/repo/build/tools/gammaflow" "opt" "/root/repo/examples/programs/classify.src")
+set_tests_properties(cli_opt_classify PROPERTIES  PASS_REGULAR_EXPRESSION "dataflow v1" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;50;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_dot_fig2 "/root/repo/build/tools/gammaflow" "dot" "/root/repo/examples/programs/fig2_loop.src")
+set_tests_properties(cli_dot_fig2 PROPERTIES  PASS_REGULAR_EXPRESSION "shape=triangle" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;54;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_usage_error "/root/repo/build/tools/gammaflow")
+set_tests_properties(cli_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;58;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_analysis.dir/analysis.cpp.o"
+  "CMakeFiles/gf_analysis.dir/analysis.cpp.o.d"
+  "CMakeFiles/gf_analysis.dir/lint.cpp.o"
+  "CMakeFiles/gf_analysis.dir/lint.cpp.o.d"
+  "libgf_analysis.a"
+  "libgf_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

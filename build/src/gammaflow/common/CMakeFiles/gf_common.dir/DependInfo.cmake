@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gammaflow/common/label.cpp" "src/gammaflow/common/CMakeFiles/gf_common.dir/label.cpp.o" "gcc" "src/gammaflow/common/CMakeFiles/gf_common.dir/label.cpp.o.d"
+  "/root/repo/src/gammaflow/common/logging.cpp" "src/gammaflow/common/CMakeFiles/gf_common.dir/logging.cpp.o" "gcc" "src/gammaflow/common/CMakeFiles/gf_common.dir/logging.cpp.o.d"
+  "/root/repo/src/gammaflow/common/stats.cpp" "src/gammaflow/common/CMakeFiles/gf_common.dir/stats.cpp.o" "gcc" "src/gammaflow/common/CMakeFiles/gf_common.dir/stats.cpp.o.d"
+  "/root/repo/src/gammaflow/common/thread_pool.cpp" "src/gammaflow/common/CMakeFiles/gf_common.dir/thread_pool.cpp.o" "gcc" "src/gammaflow/common/CMakeFiles/gf_common.dir/thread_pool.cpp.o.d"
+  "/root/repo/src/gammaflow/common/value.cpp" "src/gammaflow/common/CMakeFiles/gf_common.dir/value.cpp.o" "gcc" "src/gammaflow/common/CMakeFiles/gf_common.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_common.dir/label.cpp.o"
+  "CMakeFiles/gf_common.dir/label.cpp.o.d"
+  "CMakeFiles/gf_common.dir/logging.cpp.o"
+  "CMakeFiles/gf_common.dir/logging.cpp.o.d"
+  "CMakeFiles/gf_common.dir/stats.cpp.o"
+  "CMakeFiles/gf_common.dir/stats.cpp.o.d"
+  "CMakeFiles/gf_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/gf_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/gf_common.dir/value.cpp.o"
+  "CMakeFiles/gf_common.dir/value.cpp.o.d"
+  "libgf_common.a"
+  "libgf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gammaflow/dataflow/dot.cpp" "src/gammaflow/dataflow/CMakeFiles/gf_dataflow.dir/dot.cpp.o" "gcc" "src/gammaflow/dataflow/CMakeFiles/gf_dataflow.dir/dot.cpp.o.d"
+  "/root/repo/src/gammaflow/dataflow/engine.cpp" "src/gammaflow/dataflow/CMakeFiles/gf_dataflow.dir/engine.cpp.o" "gcc" "src/gammaflow/dataflow/CMakeFiles/gf_dataflow.dir/engine.cpp.o.d"
+  "/root/repo/src/gammaflow/dataflow/graph.cpp" "src/gammaflow/dataflow/CMakeFiles/gf_dataflow.dir/graph.cpp.o" "gcc" "src/gammaflow/dataflow/CMakeFiles/gf_dataflow.dir/graph.cpp.o.d"
+  "/root/repo/src/gammaflow/dataflow/interpreter.cpp" "src/gammaflow/dataflow/CMakeFiles/gf_dataflow.dir/interpreter.cpp.o" "gcc" "src/gammaflow/dataflow/CMakeFiles/gf_dataflow.dir/interpreter.cpp.o.d"
+  "/root/repo/src/gammaflow/dataflow/node.cpp" "src/gammaflow/dataflow/CMakeFiles/gf_dataflow.dir/node.cpp.o" "gcc" "src/gammaflow/dataflow/CMakeFiles/gf_dataflow.dir/node.cpp.o.d"
+  "/root/repo/src/gammaflow/dataflow/optimize.cpp" "src/gammaflow/dataflow/CMakeFiles/gf_dataflow.dir/optimize.cpp.o" "gcc" "src/gammaflow/dataflow/CMakeFiles/gf_dataflow.dir/optimize.cpp.o.d"
+  "/root/repo/src/gammaflow/dataflow/parallel_engine.cpp" "src/gammaflow/dataflow/CMakeFiles/gf_dataflow.dir/parallel_engine.cpp.o" "gcc" "src/gammaflow/dataflow/CMakeFiles/gf_dataflow.dir/parallel_engine.cpp.o.d"
+  "/root/repo/src/gammaflow/dataflow/serialize.cpp" "src/gammaflow/dataflow/CMakeFiles/gf_dataflow.dir/serialize.cpp.o" "gcc" "src/gammaflow/dataflow/CMakeFiles/gf_dataflow.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gammaflow/expr/CMakeFiles/gf_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/gammaflow/common/CMakeFiles/gf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_dataflow.dir/dot.cpp.o"
+  "CMakeFiles/gf_dataflow.dir/dot.cpp.o.d"
+  "CMakeFiles/gf_dataflow.dir/engine.cpp.o"
+  "CMakeFiles/gf_dataflow.dir/engine.cpp.o.d"
+  "CMakeFiles/gf_dataflow.dir/graph.cpp.o"
+  "CMakeFiles/gf_dataflow.dir/graph.cpp.o.d"
+  "CMakeFiles/gf_dataflow.dir/interpreter.cpp.o"
+  "CMakeFiles/gf_dataflow.dir/interpreter.cpp.o.d"
+  "CMakeFiles/gf_dataflow.dir/node.cpp.o"
+  "CMakeFiles/gf_dataflow.dir/node.cpp.o.d"
+  "CMakeFiles/gf_dataflow.dir/optimize.cpp.o"
+  "CMakeFiles/gf_dataflow.dir/optimize.cpp.o.d"
+  "CMakeFiles/gf_dataflow.dir/parallel_engine.cpp.o"
+  "CMakeFiles/gf_dataflow.dir/parallel_engine.cpp.o.d"
+  "CMakeFiles/gf_dataflow.dir/serialize.cpp.o"
+  "CMakeFiles/gf_dataflow.dir/serialize.cpp.o.d"
+  "libgf_dataflow.a"
+  "libgf_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

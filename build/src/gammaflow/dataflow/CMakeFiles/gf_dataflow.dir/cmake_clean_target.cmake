@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgf_dataflow.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gf_dataflow.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_distrib.dir/cluster.cpp.o"
+  "CMakeFiles/gf_distrib.dir/cluster.cpp.o.d"
+  "libgf_distrib.a"
+  "libgf_distrib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_distrib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gf_distrib.
+# This may be replaced when dependencies are built.

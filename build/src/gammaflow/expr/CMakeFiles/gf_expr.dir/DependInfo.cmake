@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gammaflow/expr/ast.cpp" "src/gammaflow/expr/CMakeFiles/gf_expr.dir/ast.cpp.o" "gcc" "src/gammaflow/expr/CMakeFiles/gf_expr.dir/ast.cpp.o.d"
+  "/root/repo/src/gammaflow/expr/eval.cpp" "src/gammaflow/expr/CMakeFiles/gf_expr.dir/eval.cpp.o" "gcc" "src/gammaflow/expr/CMakeFiles/gf_expr.dir/eval.cpp.o.d"
+  "/root/repo/src/gammaflow/expr/lexer.cpp" "src/gammaflow/expr/CMakeFiles/gf_expr.dir/lexer.cpp.o" "gcc" "src/gammaflow/expr/CMakeFiles/gf_expr.dir/lexer.cpp.o.d"
+  "/root/repo/src/gammaflow/expr/parser.cpp" "src/gammaflow/expr/CMakeFiles/gf_expr.dir/parser.cpp.o" "gcc" "src/gammaflow/expr/CMakeFiles/gf_expr.dir/parser.cpp.o.d"
+  "/root/repo/src/gammaflow/expr/simplify.cpp" "src/gammaflow/expr/CMakeFiles/gf_expr.dir/simplify.cpp.o" "gcc" "src/gammaflow/expr/CMakeFiles/gf_expr.dir/simplify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gammaflow/common/CMakeFiles/gf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_expr.dir/ast.cpp.o"
+  "CMakeFiles/gf_expr.dir/ast.cpp.o.d"
+  "CMakeFiles/gf_expr.dir/eval.cpp.o"
+  "CMakeFiles/gf_expr.dir/eval.cpp.o.d"
+  "CMakeFiles/gf_expr.dir/lexer.cpp.o"
+  "CMakeFiles/gf_expr.dir/lexer.cpp.o.d"
+  "CMakeFiles/gf_expr.dir/parser.cpp.o"
+  "CMakeFiles/gf_expr.dir/parser.cpp.o.d"
+  "CMakeFiles/gf_expr.dir/simplify.cpp.o"
+  "CMakeFiles/gf_expr.dir/simplify.cpp.o.d"
+  "libgf_expr.a"
+  "libgf_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

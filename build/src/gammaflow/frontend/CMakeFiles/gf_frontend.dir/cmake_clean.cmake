@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_frontend.dir/ast.cpp.o"
+  "CMakeFiles/gf_frontend.dir/ast.cpp.o.d"
+  "CMakeFiles/gf_frontend.dir/compile.cpp.o"
+  "CMakeFiles/gf_frontend.dir/compile.cpp.o.d"
+  "CMakeFiles/gf_frontend.dir/parser.cpp.o"
+  "CMakeFiles/gf_frontend.dir/parser.cpp.o.d"
+  "libgf_frontend.a"
+  "libgf_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gammaflow/gamma/dsl/parser.cpp" "src/gammaflow/gamma/CMakeFiles/gf_gamma.dir/dsl/parser.cpp.o" "gcc" "src/gammaflow/gamma/CMakeFiles/gf_gamma.dir/dsl/parser.cpp.o.d"
+  "/root/repo/src/gammaflow/gamma/element.cpp" "src/gammaflow/gamma/CMakeFiles/gf_gamma.dir/element.cpp.o" "gcc" "src/gammaflow/gamma/CMakeFiles/gf_gamma.dir/element.cpp.o.d"
+  "/root/repo/src/gammaflow/gamma/indexed_engine.cpp" "src/gammaflow/gamma/CMakeFiles/gf_gamma.dir/indexed_engine.cpp.o" "gcc" "src/gammaflow/gamma/CMakeFiles/gf_gamma.dir/indexed_engine.cpp.o.d"
+  "/root/repo/src/gammaflow/gamma/multiset.cpp" "src/gammaflow/gamma/CMakeFiles/gf_gamma.dir/multiset.cpp.o" "gcc" "src/gammaflow/gamma/CMakeFiles/gf_gamma.dir/multiset.cpp.o.d"
+  "/root/repo/src/gammaflow/gamma/parallel_engine.cpp" "src/gammaflow/gamma/CMakeFiles/gf_gamma.dir/parallel_engine.cpp.o" "gcc" "src/gammaflow/gamma/CMakeFiles/gf_gamma.dir/parallel_engine.cpp.o.d"
+  "/root/repo/src/gammaflow/gamma/pattern.cpp" "src/gammaflow/gamma/CMakeFiles/gf_gamma.dir/pattern.cpp.o" "gcc" "src/gammaflow/gamma/CMakeFiles/gf_gamma.dir/pattern.cpp.o.d"
+  "/root/repo/src/gammaflow/gamma/program.cpp" "src/gammaflow/gamma/CMakeFiles/gf_gamma.dir/program.cpp.o" "gcc" "src/gammaflow/gamma/CMakeFiles/gf_gamma.dir/program.cpp.o.d"
+  "/root/repo/src/gammaflow/gamma/reaction.cpp" "src/gammaflow/gamma/CMakeFiles/gf_gamma.dir/reaction.cpp.o" "gcc" "src/gammaflow/gamma/CMakeFiles/gf_gamma.dir/reaction.cpp.o.d"
+  "/root/repo/src/gammaflow/gamma/replay.cpp" "src/gammaflow/gamma/CMakeFiles/gf_gamma.dir/replay.cpp.o" "gcc" "src/gammaflow/gamma/CMakeFiles/gf_gamma.dir/replay.cpp.o.d"
+  "/root/repo/src/gammaflow/gamma/seq_engine.cpp" "src/gammaflow/gamma/CMakeFiles/gf_gamma.dir/seq_engine.cpp.o" "gcc" "src/gammaflow/gamma/CMakeFiles/gf_gamma.dir/seq_engine.cpp.o.d"
+  "/root/repo/src/gammaflow/gamma/store.cpp" "src/gammaflow/gamma/CMakeFiles/gf_gamma.dir/store.cpp.o" "gcc" "src/gammaflow/gamma/CMakeFiles/gf_gamma.dir/store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gammaflow/expr/CMakeFiles/gf_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/gammaflow/common/CMakeFiles/gf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_gamma.dir/dsl/parser.cpp.o"
+  "CMakeFiles/gf_gamma.dir/dsl/parser.cpp.o.d"
+  "CMakeFiles/gf_gamma.dir/element.cpp.o"
+  "CMakeFiles/gf_gamma.dir/element.cpp.o.d"
+  "CMakeFiles/gf_gamma.dir/indexed_engine.cpp.o"
+  "CMakeFiles/gf_gamma.dir/indexed_engine.cpp.o.d"
+  "CMakeFiles/gf_gamma.dir/multiset.cpp.o"
+  "CMakeFiles/gf_gamma.dir/multiset.cpp.o.d"
+  "CMakeFiles/gf_gamma.dir/parallel_engine.cpp.o"
+  "CMakeFiles/gf_gamma.dir/parallel_engine.cpp.o.d"
+  "CMakeFiles/gf_gamma.dir/pattern.cpp.o"
+  "CMakeFiles/gf_gamma.dir/pattern.cpp.o.d"
+  "CMakeFiles/gf_gamma.dir/program.cpp.o"
+  "CMakeFiles/gf_gamma.dir/program.cpp.o.d"
+  "CMakeFiles/gf_gamma.dir/reaction.cpp.o"
+  "CMakeFiles/gf_gamma.dir/reaction.cpp.o.d"
+  "CMakeFiles/gf_gamma.dir/replay.cpp.o"
+  "CMakeFiles/gf_gamma.dir/replay.cpp.o.d"
+  "CMakeFiles/gf_gamma.dir/seq_engine.cpp.o"
+  "CMakeFiles/gf_gamma.dir/seq_engine.cpp.o.d"
+  "CMakeFiles/gf_gamma.dir/store.cpp.o"
+  "CMakeFiles/gf_gamma.dir/store.cpp.o.d"
+  "libgf_gamma.a"
+  "libgf_gamma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_gamma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

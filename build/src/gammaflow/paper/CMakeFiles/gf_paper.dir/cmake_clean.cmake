@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_paper.dir/figures.cpp.o"
+  "CMakeFiles/gf_paper.dir/figures.cpp.o.d"
+  "libgf_paper.a"
+  "libgf_paper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_paper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gammaflow/translate/algorithm2.cpp" "src/gammaflow/translate/CMakeFiles/gf_translate.dir/algorithm2.cpp.o" "gcc" "src/gammaflow/translate/CMakeFiles/gf_translate.dir/algorithm2.cpp.o.d"
+  "/root/repo/src/gammaflow/translate/df_to_gamma.cpp" "src/gammaflow/translate/CMakeFiles/gf_translate.dir/df_to_gamma.cpp.o" "gcc" "src/gammaflow/translate/CMakeFiles/gf_translate.dir/df_to_gamma.cpp.o.d"
+  "/root/repo/src/gammaflow/translate/equivalence.cpp" "src/gammaflow/translate/CMakeFiles/gf_translate.dir/equivalence.cpp.o" "gcc" "src/gammaflow/translate/CMakeFiles/gf_translate.dir/equivalence.cpp.o.d"
+  "/root/repo/src/gammaflow/translate/reconstruct.cpp" "src/gammaflow/translate/CMakeFiles/gf_translate.dir/reconstruct.cpp.o" "gcc" "src/gammaflow/translate/CMakeFiles/gf_translate.dir/reconstruct.cpp.o.d"
+  "/root/repo/src/gammaflow/translate/reduce.cpp" "src/gammaflow/translate/CMakeFiles/gf_translate.dir/reduce.cpp.o" "gcc" "src/gammaflow/translate/CMakeFiles/gf_translate.dir/reduce.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gammaflow/gamma/CMakeFiles/gf_gamma.dir/DependInfo.cmake"
+  "/root/repo/build/src/gammaflow/dataflow/CMakeFiles/gf_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/gammaflow/expr/CMakeFiles/gf_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/gammaflow/common/CMakeFiles/gf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_translate.dir/algorithm2.cpp.o"
+  "CMakeFiles/gf_translate.dir/algorithm2.cpp.o.d"
+  "CMakeFiles/gf_translate.dir/df_to_gamma.cpp.o"
+  "CMakeFiles/gf_translate.dir/df_to_gamma.cpp.o.d"
+  "CMakeFiles/gf_translate.dir/equivalence.cpp.o"
+  "CMakeFiles/gf_translate.dir/equivalence.cpp.o.d"
+  "CMakeFiles/gf_translate.dir/reconstruct.cpp.o"
+  "CMakeFiles/gf_translate.dir/reconstruct.cpp.o.d"
+  "CMakeFiles/gf_translate.dir/reduce.cpp.o"
+  "CMakeFiles/gf_translate.dir/reduce.cpp.o.d"
+  "libgf_translate.a"
+  "libgf_translate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_translate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_coverage_extra.cpp" "tests/CMakeFiles/test_coverage_extra.dir/test_coverage_extra.cpp.o" "gcc" "tests/CMakeFiles/test_coverage_extra.dir/test_coverage_extra.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gammaflow/frontend/CMakeFiles/gf_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/gammaflow/distrib/CMakeFiles/gf_distrib.dir/DependInfo.cmake"
+  "/root/repo/build/src/gammaflow/paper/CMakeFiles/gf_paper.dir/DependInfo.cmake"
+  "/root/repo/build/src/gammaflow/analysis/CMakeFiles/gf_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/gammaflow/translate/CMakeFiles/gf_translate.dir/DependInfo.cmake"
+  "/root/repo/build/src/gammaflow/gamma/CMakeFiles/gf_gamma.dir/DependInfo.cmake"
+  "/root/repo/build/src/gammaflow/dataflow/CMakeFiles/gf_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/gammaflow/expr/CMakeFiles/gf_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/gammaflow/common/CMakeFiles/gf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

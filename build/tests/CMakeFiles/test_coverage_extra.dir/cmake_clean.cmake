@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coverage_extra.dir/test_coverage_extra.cpp.o"
+  "CMakeFiles/test_coverage_extra.dir/test_coverage_extra.cpp.o.d"
+  "test_coverage_extra"
+  "test_coverage_extra.pdb"
+  "test_coverage_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coverage_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

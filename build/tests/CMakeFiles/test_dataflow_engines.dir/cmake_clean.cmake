@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dataflow_engines.dir/test_dataflow_engines.cpp.o"
+  "CMakeFiles/test_dataflow_engines.dir/test_dataflow_engines.cpp.o.d"
+  "test_dataflow_engines"
+  "test_dataflow_engines.pdb"
+  "test_dataflow_engines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dataflow_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dataflow_graph.dir/test_dataflow_graph.cpp.o"
+  "CMakeFiles/test_dataflow_graph.dir/test_dataflow_graph.cpp.o.d"
+  "test_dataflow_graph"
+  "test_dataflow_graph.pdb"
+  "test_dataflow_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dataflow_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

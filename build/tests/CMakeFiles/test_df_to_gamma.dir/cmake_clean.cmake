@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_df_to_gamma.dir/test_df_to_gamma.cpp.o"
+  "CMakeFiles/test_df_to_gamma.dir/test_df_to_gamma.cpp.o.d"
+  "test_df_to_gamma"
+  "test_df_to_gamma.pdb"
+  "test_df_to_gamma[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_df_to_gamma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_df_to_gamma.
+# This may be replaced when dependencies are built.

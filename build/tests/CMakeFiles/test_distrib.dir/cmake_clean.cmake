@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distrib.dir/test_distrib.cpp.o"
+  "CMakeFiles/test_distrib.dir/test_distrib.cpp.o.d"
+  "test_distrib"
+  "test_distrib.pdb"
+  "test_distrib[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distrib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_expr.dir/test_expr.cpp.o"
+  "CMakeFiles/test_expr.dir/test_expr.cpp.o.d"
+  "test_expr"
+  "test_expr.pdb"
+  "test_expr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

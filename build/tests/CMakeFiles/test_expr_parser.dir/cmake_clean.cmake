@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_expr_parser.dir/test_expr_parser.cpp.o"
+  "CMakeFiles/test_expr_parser.dir/test_expr_parser.cpp.o.d"
+  "test_expr_parser"
+  "test_expr_parser.pdb"
+  "test_expr_parser[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_expr_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gamma_engines.dir/test_gamma_engines.cpp.o"
+  "CMakeFiles/test_gamma_engines.dir/test_gamma_engines.cpp.o.d"
+  "test_gamma_engines"
+  "test_gamma_engines.pdb"
+  "test_gamma_engines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gamma_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

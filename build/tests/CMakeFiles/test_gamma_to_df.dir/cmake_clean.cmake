@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gamma_to_df.dir/test_gamma_to_df.cpp.o"
+  "CMakeFiles/test_gamma_to_df.dir/test_gamma_to_df.cpp.o.d"
+  "test_gamma_to_df"
+  "test_gamma_to_df.pdb"
+  "test_gamma_to_df[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gamma_to_df.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

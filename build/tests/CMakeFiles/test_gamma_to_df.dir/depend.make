@@ -1,0 +1,2 @@
+# Empty dependencies file for test_gamma_to_df.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lint.dir/test_lint.cpp.o"
+  "CMakeFiles/test_lint.dir/test_lint.cpp.o.d"
+  "test_lint"
+  "test_lint.pdb"
+  "test_lint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

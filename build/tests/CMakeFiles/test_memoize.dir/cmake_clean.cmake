@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memoize.dir/test_memoize.cpp.o"
+  "CMakeFiles/test_memoize.dir/test_memoize.cpp.o.d"
+  "test_memoize"
+  "test_memoize.pdb"
+  "test_memoize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memoize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multiset.dir/test_multiset.cpp.o"
+  "CMakeFiles/test_multiset.dir/test_multiset.cpp.o.d"
+  "test_multiset"
+  "test_multiset.pdb"
+  "test_multiset[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multiset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

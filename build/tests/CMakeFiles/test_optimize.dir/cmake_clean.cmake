@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_optimize.dir/test_optimize.cpp.o"
+  "CMakeFiles/test_optimize.dir/test_optimize.cpp.o.d"
+  "test_optimize"
+  "test_optimize.pdb"
+  "test_optimize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_optimize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

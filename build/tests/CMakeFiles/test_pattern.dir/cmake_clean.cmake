@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pattern.dir/test_pattern.cpp.o"
+  "CMakeFiles/test_pattern.dir/test_pattern.cpp.o.d"
+  "test_pattern"
+  "test_pattern.pdb"
+  "test_pattern[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

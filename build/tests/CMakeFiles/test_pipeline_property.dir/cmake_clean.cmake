@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_property.dir/test_pipeline_property.cpp.o"
+  "CMakeFiles/test_pipeline_property.dir/test_pipeline_property.cpp.o.d"
+  "test_pipeline_property"
+  "test_pipeline_property.pdb"
+  "test_pipeline_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_program.dir/test_program.cpp.o"
+  "CMakeFiles/test_program.dir/test_program.cpp.o.d"
+  "test_program"
+  "test_program.pdb"
+  "test_program[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reaction.dir/test_reaction.cpp.o"
+  "CMakeFiles/test_reaction.dir/test_reaction.cpp.o.d"
+  "test_reaction"
+  "test_reaction.pdb"
+  "test_reaction[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

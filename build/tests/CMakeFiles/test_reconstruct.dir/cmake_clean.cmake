@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reconstruct.dir/test_reconstruct.cpp.o"
+  "CMakeFiles/test_reconstruct.dir/test_reconstruct.cpp.o.d"
+  "test_reconstruct"
+  "test_reconstruct.pdb"
+  "test_reconstruct[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reconstruct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

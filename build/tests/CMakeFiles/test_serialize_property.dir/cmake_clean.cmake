@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_serialize_property.dir/test_serialize_property.cpp.o"
+  "CMakeFiles/test_serialize_property.dir/test_serialize_property.cpp.o.d"
+  "test_serialize_property"
+  "test_serialize_property.pdb"
+  "test_serialize_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_serialize_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gammaflow_cli.dir/gammaflow_cli.cpp.o"
+  "CMakeFiles/gammaflow_cli.dir/gammaflow_cli.cpp.o.d"
+  "gammaflow"
+  "gammaflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gammaflow_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
