@@ -10,6 +10,7 @@
 #include "gammaflow/common/rng.hpp"
 #include "gammaflow/gamma/dsl/parser.hpp"
 #include "gammaflow/gamma/engine.hpp"
+#include "gammaflow/obs/telemetry.hpp"
 #include "gammaflow/paper/figures.hpp"
 #include "gammaflow/translate/df_to_gamma.hpp"
 
@@ -44,6 +45,19 @@ void verify() {
   std::cout << "(this container has " << std::thread::hardware_concurrency()
             << " hardware thread(s); wall-clock speedups below reflect that, "
                "the profiles above do not)\n";
+
+  // One instrumented parallel-engine run so the BENCH_*.json trajectory
+  // carries engine-internal counters (match attempts, commit conflicts,
+  // quiescence rounds), not just wall time. The timed benchmarks below run
+  // with telemetry off, as users would.
+  const gamma::Program p =
+      gamma::dsl::parse_program("R = replace x, y by x + y");
+  obs::Telemetry tel;
+  gamma::RunOptions opts;
+  opts.telemetry = &tel;
+  const auto result =
+      gamma::ParallelEngine().run(p, random_ints(1024, 13), opts);
+  bench::metrics_json(std::cout, "parallel_gamma_sum_1024", result.metrics);
 }
 
 // --- Gamma engines on the sum workload ---

@@ -1,6 +1,9 @@
 // Shared helpers for the experiment harness: each bench binary first prints
 // a paper-shaped verification table (the qualitative result the experiment
-// reproduces), then runs its google-benchmark timings.
+// reproduces), then runs its google-benchmark timings. Binaries with
+// engine-internal telemetry also emit a one-line JSON metrics record (see
+// metrics_json) so BENCH_*.json trajectories can carry counters, not just
+// wall time.
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -9,6 +12,8 @@
 #include <iostream>
 #include <string>
 #include <vector>
+
+#include "gammaflow/common/stats.hpp"
 
 namespace gammaflow::bench {
 
@@ -42,6 +47,30 @@ class Table {
   std::vector<std::string> columns_;
   int width_;
 };
+
+/// One-line JSON metrics record: counters verbatim, histograms reduced to
+/// count/mean/p50/p99/max. Prefixed "# metrics " so table parsers skip it
+/// while trajectory tooling can grep it out of bench logs.
+inline void metrics_json(std::ostream& os, const std::string& name,
+                         const MetricsSnapshot& m) {
+  os << "# metrics {\"bench\":\"" << name << "\",\"counters\":{";
+  bool first = true;
+  for (const auto& [key, value] : m.counters) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << key << "\":" << value;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [key, h] : m.histograms) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << key << "\":{\"count\":" << h.count << ",\"mean\":" << h.mean()
+       << ",\"p50\":" << h.quantile(0.5) << ",\"p99\":" << h.quantile(0.99)
+       << ",\"max\":" << h.max << '}';
+  }
+  os << "}}\n";
+}
 
 /// Standard main body: verification table first, benchmarks second.
 #define GF_BENCH_MAIN(verify_fn)                       \

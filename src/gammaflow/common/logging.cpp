@@ -1,13 +1,21 @@
 #include "gammaflow/common/logging.hpp"
 
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <iostream>
 #include <mutex>
 
 namespace gammaflow {
 namespace {
 
-std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
+int initial_level() {
+  const auto parsed = parse_log_level(std::getenv("GF_LOG_LEVEL"));
+  return static_cast<int>(parsed.value_or(LogLevel::Warn));
+}
+
+std::atomic<int> g_level{initial_level()};
 std::mutex g_output_mutex;
 
 const char* level_name(LogLevel level) {
@@ -21,7 +29,40 @@ const char* level_name(LogLevel level) {
   return "?";
 }
 
+/// Small sequential thread ids ("t01") — far more readable in interleaved
+/// logs than the opaque values std::thread::id prints.
+unsigned this_thread_id() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned id = next.fetch_add(1);
+  return id;
+}
+
+/// "2026-08-06T12:34:56.789Z" (UTC, millisecond precision).
+void format_timestamp(char (&buf)[32]) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  const std::size_t n = std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%S", &tm);
+  std::snprintf(buf + n, sizeof(buf) - n, ".%03dZ", static_cast<int>(ms));
+}
+
 }  // namespace
+
+std::optional<LogLevel> parse_log_level(const char* name) noexcept {
+  if (name == nullptr) return std::nullopt;
+  const std::string_view s(name);
+  if (s == "trace") return LogLevel::Trace;
+  if (s == "debug") return LogLevel::Debug;
+  if (s == "info") return LogLevel::Info;
+  if (s == "warn" || s == "warning") return LogLevel::Warn;
+  if (s == "error") return LogLevel::Error;
+  return std::nullopt;
+}
 
 LogLevel log_level() noexcept {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
@@ -32,8 +73,12 @@ void set_log_level(LogLevel level) noexcept {
 }
 
 void log_line(LogLevel level, const std::string& message) {
+  char ts[32];
+  format_timestamp(ts);
+  const unsigned tid = this_thread_id();
   std::lock_guard lock(g_output_mutex);
-  std::cerr << '[' << level_name(level) << "] " << message << '\n';
+  std::cerr << ts << " t" << (tid < 10 ? "0" : "") << tid << " ["
+            << level_name(level) << "] " << message << '\n';
 }
 
 }  // namespace gammaflow

@@ -1,8 +1,12 @@
 // Tiny leveled logger. Off (Warn) by default so engine hot loops stay silent;
-// tests and examples can raise verbosity. Thread-safe line-at-a-time output.
+// tests and examples can raise verbosity, and the GF_LOG_LEVEL environment
+// variable ("trace".."error") sets the startup threshold. Thread-safe
+// line-at-a-time output.
 #pragma once
 
+#include <chrono>
 #include <iosfwd>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -11,11 +15,16 @@ namespace gammaflow {
 enum class LogLevel : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4 };
 
 /// Global threshold; messages below it are discarded before formatting cost
-/// where the GF_LOG macro is used.
+/// where the GF_LOG macro is used. Initialized from GF_LOG_LEVEL when set.
 LogLevel log_level() noexcept;
 void set_log_level(LogLevel level) noexcept;
 
-/// Emits one line ("[level] message") to stderr under a lock.
+/// "trace"/"debug"/"info"/"warn"/"warning"/"error" -> level; nullopt for
+/// anything else (including null).
+std::optional<LogLevel> parse_log_level(const char* name) noexcept;
+
+/// Emits one line ("<ISO-8601 UTC> t<NN> [level] message") to stderr under
+/// a lock.
 void log_line(LogLevel level, const std::string& message);
 
 namespace detail {

@@ -19,8 +19,13 @@
 #include <vector>
 
 #include "gammaflow/common/error.hpp"
+#include "gammaflow/common/stats.hpp"
 #include "gammaflow/common/value.hpp"
 #include "gammaflow/dataflow/graph.hpp"
+
+namespace gammaflow::obs {
+class Telemetry;
+}
 
 namespace gammaflow::dataflow {
 
@@ -45,6 +50,10 @@ struct DfRunOptions {
   /// instead of recomputing. Interpreter only; hit/miss counts land in
   /// DfRunResult. Observable results are unchanged (tested).
   bool memoize = false;
+  /// Cap on recorded trace entries (see gamma::RunOptions::trace_limit).
+  std::uint64_t trace_limit = 1'000'000;
+  /// Optional telemetry sink (spans + metrics); null disables all probes.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 /// An operand parked in a matching store with no partner when the machine
@@ -71,6 +80,11 @@ struct DfRunResult {
   /// Trace-reuse statistics (only meaningful when options.memoize).
   std::uint64_t memo_hits = 0;
   std::uint64_t memo_misses = 0;
+  /// Trace entries not recorded because of DfRunOptions::trace_limit.
+  std::uint64_t trace_dropped = 0;
+  /// Engine-internal metrics (firings by opcode, steer branches, queue
+  /// depths, ...); empty unless DfRunOptions::telemetry was set.
+  MetricsSnapshot metrics;
   double wall_seconds = 0.0;
 
   /// Values of one output sorted by tag; throws if the name is unknown.

@@ -3,11 +3,13 @@
 // one — so `result.wavefronts` is the graph's exposed parallelism over time
 // (what a machine with unbounded PEs could do per step), while execution
 // itself stays deterministic.
+#include <array>
 #include <chrono>
 #include <deque>
 #include <unordered_map>
 
 #include "gammaflow/dataflow/engine.hpp"
+#include "gammaflow/obs/telemetry.hpp"
 
 namespace gammaflow::dataflow {
 namespace {
@@ -23,6 +25,12 @@ class Machine {
   Machine(const Graph& graph, const DfRunOptions& options)
       : graph_(graph), options_(options), waiting_(graph.node_count()) {
     result_.fires_by_node.assign(graph.node_count(), 0);
+    if ((tel_ = options.telemetry) != nullptr) {
+      rec_ = &tel_->register_thread("df-interpreter");
+      tag_hist_ = &tel_->stats().hist("df.inctag_depth");
+      wave_hist_ = &tel_->stats().hist("df.wavefront_width");
+      ready_hist_ = &tel_->stats().hist("df.ready_queue_depth");
+    }
   }
 
   void deliver(NodeId node, PortId port, Token token) {
@@ -53,6 +61,14 @@ class Machine {
 
   void emit_from(NodeId node, const Firing& firing) {
     if (!firing.emits) return;
+    if (tel_ != nullptr) {
+      const NodeKind kind = graph_.node(node).kind;
+      if (kind == NodeKind::Steer) {
+        ++(firing.port == kSteerData ? steer_true_ : steer_false_);
+      } else if (kind == NodeKind::IncTag) {
+        tag_hist_->observe(static_cast<double>(firing.tag));
+      }
+    }
     const auto& edges = graph_.out_edges(node, firing.port);
     // No consumer => the token is discarded (steer FALSE port in Fig. 2).
     for (const EdgeId eid : edges) {
@@ -80,6 +96,11 @@ class Machine {
       // One wavefront: everything currently ready fires "simultaneously".
       const std::size_t wave = ready_.size();
       result_.wavefronts.push_back(wave);
+      obs::Span wave_span(tel_, rec_, "wavefront");
+      if (tel_ != nullptr) {
+        wave_span.set_arg(wave);
+        wave_hist_->observe(static_cast<double>(wave));
+      }
       for (std::size_t i = 0; i < wave; ++i) {
         ReadyInstance inst = std::move(ready_.front());
         ready_.pop_front();
@@ -92,9 +113,28 @@ class Machine {
         }
         emit_from(inst.node, compute(node, inst));
       }
+      // Ready tokens the wavefront produced for the next one: the token
+      // queue depth over time.
+      if (tel_ != nullptr) {
+        ready_hist_->observe(static_cast<double>(ready_.size()));
+      }
     }
 
     collect_leftovers();
+    if (tel_ != nullptr) {
+      auto& stats = tel_->stats();
+      for (std::size_t k = 0; k < fires_by_kind_.size(); ++k) {
+        if (fires_by_kind_[k] > 0) {
+          stats.count(std::string("df.fires.") +
+                          to_string(static_cast<NodeKind>(k)),
+                      fires_by_kind_[k]);
+        }
+      }
+      stats.count("df.fires", result_.fires);
+      stats.count("df.steer_true", steer_true_);
+      stats.count("df.steer_false", steer_false_);
+      result_.metrics = tel_->metrics();
+    }
     result_.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
@@ -167,7 +207,16 @@ class Machine {
     }
     ++result_.fires;
     ++result_.fires_by_node[node];
-    if (options_.record_trace) result_.trace.push_back(node);
+    if (tel_ != nullptr) {
+      ++fires_by_kind_[static_cast<std::size_t>(graph_.node(node).kind)];
+    }
+    if (options_.record_trace) {
+      if (result_.trace.size() < options_.trace_limit) {
+        result_.trace.push_back(node);
+      } else {
+        ++result_.trace_dropped;
+      }
+    }
   }
 
   void collect_leftovers() {
@@ -189,6 +238,15 @@ class Machine {
   std::deque<ReadyInstance> ready_;
   std::unordered_multimap<std::size_t, MemoEntry> memo_;
   DfRunResult result_;
+
+  obs::Telemetry* tel_ = nullptr;
+  obs::ThreadRecorder* rec_ = nullptr;
+  Histogram* tag_hist_ = nullptr;
+  Histogram* wave_hist_ = nullptr;
+  Histogram* ready_hist_ = nullptr;
+  std::array<std::uint64_t, 7> fires_by_kind_{};
+  std::uint64_t steer_true_ = 0;
+  std::uint64_t steer_false_ = 0;
 };
 
 }  // namespace

@@ -7,16 +7,23 @@
 // Termination: an atomic in-flight counter covers every token that is queued
 // or being absorbed. When it reaches zero, no token can ever be produced
 // again (all stores are stable), which is the dataflow quiescence condition.
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <thread>
 #include <unordered_map>
 
+#include "gammaflow/common/logging.hpp"
 #include "gammaflow/common/mpsc_queue.hpp"
 #include "gammaflow/dataflow/engine.hpp"
+#include "gammaflow/obs/telemetry.hpp"
 
 namespace gammaflow::dataflow {
 namespace {
+
+/// Sample the inbox depth histogram once per this many absorbed tokens
+/// (MpscQueue::size takes the queue lock, so keep sampling sparse).
+constexpr std::uint64_t kInboxSampleInterval = 256;
 
 struct Routed {
   NodeId node;
@@ -36,6 +43,11 @@ struct WorkerState {
   // Worker-local results, merged after join.
   std::map<std::string, std::vector<std::pair<Tag, Value>>> outputs;
   std::vector<std::uint64_t> fires_by_node;
+  // Worker-local telemetry, flushed into the registry after join.
+  std::array<std::uint64_t, 7> fires_by_kind{};
+  std::uint64_t steer_true = 0;
+  std::uint64_t steer_false = 0;
+  std::uint64_t absorbed = 0;
 };
 
 class ParallelRun {
@@ -46,15 +58,25 @@ class ParallelRun {
         worker_count_(std::max(1u, options.workers)),
         workers_(worker_count_) {
     for (auto& w : workers_) w.fires_by_node.assign(graph.node_count(), 0);
+    if ((tel_ = options.telemetry) != nullptr) {
+      inbox_hist_ = &tel_->stats().hist("df.inbox_depth");
+      tag_hist_ = &tel_->stats().hist("df.inctag_depth");
+    }
   }
 
   DfRunResult run(const std::vector<std::pair<Label, Token>>& extra_tokens) {
     const auto t0 = std::chrono::steady_clock::now();
+    GF_DEBUG << "dataflow parallel run: " << worker_count_ << " PE(s), "
+             << graph_.node_count() << " nodes";
 
     // Seed: const emissions and injected tokens, routed before workers start.
     for (const NodeId root : graph_.roots()) {
       const Firing f = fire_node(graph_.node(root), {}, 0);
       ++workers_[owner(root)].fires_by_node[root];
+      if (tel_ != nullptr) {
+        ++workers_[owner(root)].fires_by_kind[static_cast<std::size_t>(
+            graph_.node(root).kind)];
+      }
       total_fires_.fetch_add(1, std::memory_order_relaxed);
       route_emission(root, f);
     }
@@ -79,6 +101,33 @@ class ParallelRun {
     DfRunResult result;
     result.fires = total_fires_.load();
     result.fires_by_node.assign(graph_.node_count(), 0);
+    if (tel_ != nullptr) {
+      auto& stats = tel_->stats();
+      std::array<std::uint64_t, 7> by_kind{};
+      std::uint64_t steer_true = 0;
+      std::uint64_t steer_false = 0;
+      std::uint64_t absorbed = 0;
+      for (const WorkerState& w : workers_) {
+        for (std::size_t k = 0; k < by_kind.size(); ++k) {
+          by_kind[k] += w.fires_by_kind[k];
+        }
+        steer_true += w.steer_true;
+        steer_false += w.steer_false;
+        absorbed += w.absorbed;
+      }
+      for (std::size_t k = 0; k < by_kind.size(); ++k) {
+        if (by_kind[k] > 0) {
+          stats.count(std::string("df.fires.") +
+                          to_string(static_cast<NodeKind>(k)),
+                      by_kind[k]);
+        }
+      }
+      stats.count("df.fires", result.fires);
+      stats.count("df.steer_true", steer_true);
+      stats.count("df.steer_false", steer_false);
+      stats.count("df.tokens_absorbed", absorbed);
+      result.metrics = tel_->metrics();
+    }
     for (const WorkerState& w : workers_) {
       for (NodeId n = 0; n < graph_.node_count(); ++n) {
         result.fires_by_node[n] += w.fires_by_node[n];
@@ -101,6 +150,8 @@ class ParallelRun {
     result.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
+    GF_DEBUG << "dataflow parallel run done: " << result.fires << " firings, "
+             << result.wall_seconds << "s";
     return result;
   }
 
@@ -124,11 +175,33 @@ class ParallelRun {
 
   void worker_loop(unsigned my_id) {
     WorkerState& me = workers_[my_id];
+    obs::ThreadRecorder* const rec =
+        tel_ != nullptr
+            ? &tel_->register_thread("df-worker-" + std::to_string(my_id))
+            : nullptr;
+    // Busy-period span: opened at the first token after an idle stretch,
+    // closed (with the token count as its arg) when the inbox drains — one
+    // ring entry per burst instead of one per token.
+    std::uint64_t busy_start = 0;
+    std::uint64_t busy_tokens = 0;
+    bool busy = false;
+    const auto close_busy = [&] {
+      if (rec == nullptr || !busy) return;
+      const std::uint64_t end = tel_->now_us();
+      rec->record(obs::TraceEvent{"busy", 'X', busy_start, end - busy_start,
+                                  busy_tokens, true});
+      busy = false;
+    };
+
     unsigned idle_spins = 0;
     while (true) {
-      if (failed_.load(std::memory_order_relaxed)) return;
+      if (failed_.load(std::memory_order_relaxed)) {
+        close_busy();
+        return;
+      }
       std::optional<Routed> routed = me.inbox.try_pop();
       if (!routed) {
+        close_busy();
         if (in_flight_.load(std::memory_order_acquire) == 0) return;
         if (++idle_spins > 64) {
           std::this_thread::sleep_for(std::chrono::microseconds(50));
@@ -138,7 +211,16 @@ class ParallelRun {
         continue;
       }
       idle_spins = 0;
+      if (rec != nullptr && !busy) {
+        busy = true;
+        busy_start = tel_->now_us();
+        busy_tokens = 0;
+      }
+      ++busy_tokens;
       absorb(me, *routed);
+      if (tel_ != nullptr && me.absorbed % kInboxSampleInterval == 0) {
+        inbox_hist_->observe(static_cast<double>(me.inbox.size()));
+      }
       // Absorbed (stored or fired + emissions already counted): this token
       // is no longer in flight.
       in_flight_.fetch_sub(1, std::memory_order_acq_rel);
@@ -146,6 +228,7 @@ class ParallelRun {
   }
 
   void absorb(WorkerState& me, Routed& routed) {
+    ++me.absorbed;
     const Node& node = graph_.node(routed.node);
     const std::size_t arity = input_arity(node);
     std::vector<Value> inputs;
@@ -171,12 +254,23 @@ class ParallelRun {
       return;
     }
     ++me.fires_by_node[routed.node];
+    if (tel_ != nullptr) {
+      ++me.fires_by_kind[static_cast<std::size_t>(node.kind)];
+    }
     if (node.kind == NodeKind::Output) {
       me.outputs[node.name].emplace_back(routed.token.tag,
                                          std::move(inputs[0]));
       return;
     }
-    route_emission(routed.node, fire_node(node, inputs, routed.token.tag));
+    const Firing firing = fire_node(node, inputs, routed.token.tag);
+    if (tel_ != nullptr) {
+      if (node.kind == NodeKind::Steer && firing.emits) {
+        ++(firing.port == kSteerData ? me.steer_true : me.steer_false);
+      } else if (node.kind == NodeKind::IncTag) {
+        tag_hist_->observe(static_cast<double>(firing.tag));
+      }
+    }
+    route_emission(routed.node, firing);
   }
 
   const Graph& graph_;
@@ -186,6 +280,10 @@ class ParallelRun {
   std::atomic<std::int64_t> in_flight_{0};
   std::atomic<std::uint64_t> total_fires_{0};
   std::atomic<bool> failed_{false};
+
+  obs::Telemetry* tel_ = nullptr;
+  Histogram* inbox_hist_ = nullptr;
+  Histogram* tag_hist_ = nullptr;
 };
 
 }  // namespace

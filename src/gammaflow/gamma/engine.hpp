@@ -22,8 +22,13 @@
 #include <vector>
 
 #include "gammaflow/common/error.hpp"
+#include "gammaflow/common/stats.hpp"
 #include "gammaflow/gamma/multiset.hpp"
 #include "gammaflow/gamma/program.hpp"
+
+namespace gammaflow::obs {
+class Telemetry;
+}
 
 namespace gammaflow::gamma {
 
@@ -36,11 +41,19 @@ struct RunOptions {
   std::uint64_t max_steps = 50'000'000;
   /// Record every firing (reaction name, consumed, produced) in the result.
   bool record_trace = false;
+  /// Cap on recorded FireEvents: firings past the cap still execute but are
+  /// not recorded (RunResult::trace_dropped counts them). Deliberately
+  /// generous — the cap exists so a long `record_trace` run degrades to a
+  /// truncated trace instead of an OOM, not to make truncation routine.
+  std::uint64_t trace_limit = 1'000'000;
   /// Worker count (ParallelEngine only).
   unsigned workers = std::max(2u, std::thread::hardware_concurrency());
   /// SequentialEngine only: cap on enabled matches enumerated per step; the
   /// uniform choice is over the first `uniform_cap` found.
   std::size_t uniform_cap = 4096;
+  /// Optional telemetry sink (spans + metrics). Null (the default) disables
+  /// instrumentation entirely; every probe site is behind one pointer test.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 struct FireEvent {
@@ -56,6 +69,11 @@ struct RunResult {
   std::uint64_t steps = 0;
   std::map<std::string, std::uint64_t> fires_by_reaction;
   std::vector<FireEvent> trace;  // only when record_trace
+  /// Firings not recorded because the trace hit RunOptions::trace_limit.
+  std::uint64_t trace_dropped = 0;
+  /// Engine-internal metrics (match attempts, conflicts, latencies, ...);
+  /// empty unless RunOptions::telemetry was set.
+  MetricsSnapshot metrics;
   double wall_seconds = 0.0;
 };
 

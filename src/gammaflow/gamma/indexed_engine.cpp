@@ -10,6 +10,7 @@
 #include "gammaflow/common/rng.hpp"
 #include "gammaflow/gamma/engine.hpp"
 #include "gammaflow/gamma/store.hpp"
+#include "gammaflow/obs/telemetry.hpp"
 
 namespace gammaflow::gamma {
 
@@ -20,45 +21,90 @@ RunResult IndexedEngine::run(const Program& program, const Multiset& initial,
   Rng rng(options.seed);
   Store store(initial);
 
+  obs::Telemetry* const tel = options.telemetry;
+  obs::ThreadRecorder* const rec =
+      tel ? &tel->register_thread("gamma-indexed") : nullptr;
+  std::uint64_t attempts = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t passes = 0;
+
   for (std::size_t stage_idx = 0; stage_idx < program.stages().size();
        ++stage_idx) {
     const auto& stage = program.stages()[stage_idx];
     std::vector<std::size_t> order(stage.size());
     std::iota(order.begin(), order.end(), std::size_t{0});
 
+    // Pre-resolved per-reaction latency histograms keep string building off
+    // the firing path.
+    std::vector<Histogram*> fire_hist;
+    if (tel) {
+      fire_hist.reserve(stage.size());
+      for (const Reaction& r : stage) {
+        fire_hist.push_back(&tel->stats().hist("gamma.fire_us." + r.name()));
+      }
+    }
+
     bool progressed = true;
     while (progressed) {
       progressed = false;
+      ++passes;
+      obs::Span pass_span(tel, rec, "pass");
+      std::uint64_t pass_fires = 0;
       std::shuffle(order.begin(), order.end(), rng);
       for (const std::size_t idx : order) {
         const Reaction& r = stage[idx];
         // Fire this reaction repeatedly while it stays enabled: cheaper than
         // re-shuffling after every step, and fairness across reactions is
         // restored by the shuffled outer pass.
-        while (auto match = find_match(store, r, &rng)) {
+        while (true) {
+          const std::uint64_t fire_start = tel ? tel->now_us() : 0;
+          auto match = find_match(store, r, &rng);
+          ++attempts;
+          if (!match) {
+            ++failures;
+            break;
+          }
           if (result.steps >= options.max_steps) {
             throw EngineError("indexed engine exceeded max_steps=" +
                               std::to_string(options.max_steps));
           }
           if (options.record_trace) {
-            FireEvent ev;
-            ev.reaction = r.name();
-            ev.stage = stage_idx;
-            for (const Store::Id id : match->ids) {
-              ev.consumed.push_back(store.element(id));
+            if (result.trace.size() < options.trace_limit) {
+              FireEvent ev;
+              ev.reaction = r.name();
+              ev.stage = stage_idx;
+              for (const Store::Id id : match->ids) {
+                ev.consumed.push_back(store.element(id));
+              }
+              ev.produced = match->produced;
+              result.trace.push_back(std::move(ev));
+            } else {
+              ++result.trace_dropped;
             }
-            ev.produced = match->produced;
-            result.trace.push_back(std::move(ev));
           }
           ++result.fires_by_reaction[r.name()];
           ++result.steps;
           commit(store, *match);
           progressed = true;
+          ++pass_fires;
+          if (tel) {
+            fire_hist[idx]->observe(
+                static_cast<double>(tel->now_us() - fire_start));
+          }
         }
       }
+      pass_span.set_arg(pass_fires);
     }
   }
 
+  if (tel) {
+    auto& stats = tel->stats();
+    stats.count("gamma.match_attempts", attempts);
+    stats.count("gamma.match_failures", failures);
+    stats.count("gamma.fires", result.steps);
+    stats.count("gamma.passes", passes);
+    result.metrics = tel->metrics();
+  }
   result.final_multiset = store.to_multiset();
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

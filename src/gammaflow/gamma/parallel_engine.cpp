@@ -13,6 +13,12 @@
 // fails records the version it searched at; when all workers have failed at
 // the SAME version, no reaction is enabled and the stage has reached its
 // fixed point. Any commit invalidates the count because the version moves.
+//
+// Telemetry (only when RunOptions::telemetry is set): each worker records
+// search/commit spans into its own ring buffer, counts match attempts,
+// commit conflicts (revalidation failures) and quiescence rounds into
+// race-free per-worker slots that are flushed into the registry after join,
+// and feeds per-reaction firing latencies into shared lock-free histograms.
 #include <chrono>
 #include <condition_variable>
 #include <exception>
@@ -20,9 +26,11 @@
 #include <shared_mutex>
 #include <thread>
 
+#include "gammaflow/common/logging.hpp"
 #include "gammaflow/common/rng.hpp"
 #include "gammaflow/gamma/engine.hpp"
 #include "gammaflow/gamma/store.hpp"
+#include "gammaflow/obs/telemetry.hpp"
 
 namespace gammaflow::gamma {
 namespace {
@@ -42,35 +50,70 @@ struct StageShared {
   std::uint64_t commits_since_compact = 0;
   std::map<std::string, std::uint64_t> fires;
   std::vector<FireEvent> trace;
+  std::uint64_t trace_dropped = 0;
   std::exception_ptr error;
 
   explicit StageShared(Store s) : store(std::move(s)) {}
 };
 
+/// Per-worker metric slots, written race-free by the owning worker and
+/// flushed into the StatsRegistry after the stage's threads joined.
+struct WorkerMetrics {
+  std::uint64_t match_attempts = 0;
+  std::uint64_t match_failures = 0;
+  std::uint64_t commit_conflicts = 0;
+  std::uint64_t search_retries = 0;
+  std::uint64_t quiescence_rounds = 0;
+  std::uint64_t fires = 0;
+};
+
+/// Read-only telemetry context shared by a stage's workers; null members
+/// when telemetry is off.
+struct StageObs {
+  obs::Telemetry* tel = nullptr;
+  // Indexed by reaction position in the stage ("gamma.fire_us.<name>").
+  std::vector<Histogram*> fire_hist;
+};
+
 void worker_loop(StageShared& sh, const std::vector<Reaction>& stage,
                  std::size_t stage_idx, const RunOptions& options, Rng rng,
-                 unsigned total_workers) {
+                 unsigned total_workers, unsigned worker_id,
+                 const StageObs& ob, WorkerMetrics& wm) {
   std::vector<std::size_t> order(stage.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
   std::uint64_t my_quiet_version = ~std::uint64_t{0};
 
+  obs::Telemetry* const tel = ob.tel;
+  obs::ThreadRecorder* const rec =
+      tel ? &tel->register_thread("gamma-worker-" + std::to_string(worker_id))
+          : nullptr;
+
   while (true) {
     // --- search phase (shared lock) ---
     std::optional<Match> proposal;
+    std::size_t proposal_idx = 0;
     std::uint64_t v_start = 0;
+    const std::uint64_t search_start = tel ? tel->now_us() : 0;
     {
+      obs::Span search_span(tel, rec, "search");
       std::shared_lock lock(sh.mutex);
       if (sh.done) return;
       v_start = sh.store.version();
       std::shuffle(order.begin(), order.end(), rng);
       const Store& cstore = sh.store;
       for (const std::size_t idx : order) {
+        ++wm.match_attempts;
         proposal = find_match(cstore, stage[idx], &rng);
-        if (proposal) break;
+        if (proposal) {
+          proposal_idx = idx;
+          break;
+        }
+        ++wm.match_failures;
       }
     }
 
     // --- commit phase (exclusive lock) ---
+    obs::Span commit_span(tel, rec, proposal ? "commit" : "quiesce");
     std::unique_lock lock(sh.mutex);
     if (sh.done) return;
 
@@ -107,21 +150,32 @@ void worker_loop(StageShared& sh, const std::vector<Reaction>& stage,
           }
         }
         if (options.record_trace) {
-          FireEvent ev;
-          ev.reaction = proposal->reaction->name();
-          ev.stage = stage_idx;
-          for (const Element* e : elems) ev.consumed.push_back(*e);
-          ev.produced = *produced;
-          sh.trace.push_back(std::move(ev));
+          if (sh.trace.size() < options.trace_limit) {
+            FireEvent ev;
+            ev.reaction = proposal->reaction->name();
+            ev.stage = stage_idx;
+            for (const Element* e : elems) ev.consumed.push_back(*e);
+            ev.produced = *produced;
+            sh.trace.push_back(std::move(ev));
+          } else {
+            ++sh.trace_dropped;
+          }
         }
         Match fired = std::move(*proposal);
         fired.produced = std::move(*produced);
         ++sh.fires[fired.reaction->name()];
         ++sh.steps;
+        ++wm.fires;
         commit(sh.store, fired);
         if (++sh.commits_since_compact >= kCompactInterval) {
           sh.store.compact();
           sh.commits_since_compact = 0;
+        }
+        if (tel) {
+          // Search-to-commit latency: what one firing of this reaction cost
+          // this worker, conflicts and lock waits included.
+          ob.fire_hist[proposal_idx]->observe(
+              static_cast<double>(tel->now_us() - search_start));
         }
         sh.cv.notify_all();  // wake quiescent workers: version moved
         continue;
@@ -129,11 +183,18 @@ void worker_loop(StageShared& sh, const std::vector<Reaction>& stage,
       // Invalidated proposal: fall through and re-search. This is progress
       // for someone else (another worker consumed our elements), so no
       // quiescence bookkeeping here.
+      ++wm.commit_conflicts;
+      if (rec) rec->instant("conflict", tel->now_us());
       continue;
     }
 
     // --- failed exhaustive search: quiescence protocol ---
-    if (sh.store.version() != v_start) continue;  // world changed; retry
+    if (sh.store.version() != v_start) {
+      // World changed while we searched: the empty search proves nothing.
+      ++wm.search_retries;
+      continue;
+    }
+    ++wm.quiescence_rounds;
     if (sh.quiet_version != v_start) {
       sh.quiet_version = v_start;
       sh.quiet_count = 0;
@@ -164,18 +225,31 @@ RunResult ParallelEngine::run(const Program& program, const Multiset& initial,
   RunResult result;
   Multiset current = initial;
   Rng seed_rng(options.seed);
+  obs::Telemetry* const tel = options.telemetry;
+  GF_DEBUG << "gamma parallel run: " << workers << " workers, "
+           << program.stages().size() << " stage(s), |M|=" << initial.size();
 
   for (std::size_t stage_idx = 0; stage_idx < program.stages().size();
        ++stage_idx) {
     const auto& stage = program.stages()[stage_idx];
     StageShared shared{Store(current)};
 
+    StageObs ob;
+    ob.tel = tel;
+    if (tel) {
+      ob.fire_hist.reserve(stage.size());
+      for (const Reaction& r : stage) {
+        ob.fire_hist.push_back(&tel->stats().hist("gamma.fire_us." + r.name()));
+      }
+    }
+    std::vector<WorkerMetrics> wm(workers);
+
     std::vector<std::thread> threads;
     threads.reserve(workers);
     for (unsigned w = 0; w < workers; ++w) {
       threads.emplace_back(worker_loop, std::ref(shared), std::cref(stage),
                            stage_idx, std::cref(options), seed_rng.split(),
-                           workers);
+                           workers, w, std::cref(ob), std::ref(wm[w]));
     }
     for (auto& t : threads) t.join();
 
@@ -185,13 +259,37 @@ RunResult ParallelEngine::run(const Program& program, const Multiset& initial,
       result.fires_by_reaction[name] += n;
     }
     for (auto& ev : shared.trace) result.trace.push_back(std::move(ev));
+    result.trace_dropped += shared.trace_dropped;
     current = shared.store.to_multiset();
+
+    if (tel) {
+      WorkerMetrics total;
+      for (const WorkerMetrics& m : wm) {
+        total.match_attempts += m.match_attempts;
+        total.match_failures += m.match_failures;
+        total.commit_conflicts += m.commit_conflicts;
+        total.search_retries += m.search_retries;
+        total.quiescence_rounds += m.quiescence_rounds;
+        total.fires += m.fires;
+      }
+      auto& stats = tel->stats();
+      stats.count("gamma.match_attempts", total.match_attempts);
+      stats.count("gamma.match_failures", total.match_failures);
+      stats.count("gamma.commit_conflicts", total.commit_conflicts);
+      stats.count("gamma.search_retries", total.search_retries);
+      stats.count("gamma.quiescence_rounds", total.quiescence_rounds);
+      stats.count("gamma.fires", total.fires);
+    }
   }
 
+  if (tel) result.metrics = tel->metrics();
   result.final_multiset = std::move(current);
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  GF_DEBUG << "gamma parallel run done: " << result.steps << " fires, |M|="
+           << result.final_multiset.size() << ", "
+           << result.wall_seconds << "s";
   return result;
 }
 

@@ -9,6 +9,7 @@
 #include "gammaflow/common/rng.hpp"
 #include "gammaflow/gamma/engine.hpp"
 #include "gammaflow/gamma/store.hpp"
+#include "gammaflow/obs/telemetry.hpp"
 
 namespace gammaflow::gamma {
 
@@ -19,15 +20,24 @@ RunResult SequentialEngine::run(const Program& program, const Multiset& initial,
   Rng rng(options.seed);
   Store store(initial);
 
+  obs::Telemetry* const tel = options.telemetry;
+  obs::ThreadRecorder* const rec =
+      tel ? &tel->register_thread("gamma-sequential") : nullptr;
+  Histogram* const enabled_hist =
+      tel ? &tel->stats().hist("gamma.enabled_matches") : nullptr;
+  std::uint64_t attempts = 0;
+
   for (std::size_t stage_idx = 0; stage_idx < program.stages().size();
        ++stage_idx) {
     const auto& stage = program.stages()[stage_idx];
     while (true) {
+      obs::Span step_span(tel, rec, "step");
       // Gather the enabled matches of every reaction, capped for safety on
       // large multisets. The cap is per step, re-enumerated from scratch, so
       // no stale match is ever fired.
       std::vector<Match> matches;
       for (const Reaction& r : stage) {
+        ++attempts;
         enumerate_matches(store, r, options.uniform_cap - matches.size(),
                           [&](const Match& m) {
                             matches.push_back(m);
@@ -35,7 +45,9 @@ RunResult SequentialEngine::run(const Program& program, const Multiset& initial,
                           });
         if (matches.size() >= options.uniform_cap) break;
       }
+      if (tel) enabled_hist->observe(static_cast<double>(matches.size()));
       if (matches.empty()) break;  // stage fixed point
+      step_span.set_arg(matches.size());
 
       const Match& chosen =
           matches[static_cast<std::size_t>(rng.bounded(matches.size()))];
@@ -44,14 +56,18 @@ RunResult SequentialEngine::run(const Program& program, const Multiset& initial,
                           std::to_string(options.max_steps));
       }
       if (options.record_trace) {
-        FireEvent ev;
-        ev.reaction = chosen.reaction->name();
-        ev.stage = stage_idx;
-        for (const Store::Id id : chosen.ids) {
-          ev.consumed.push_back(store.element(id));
+        if (result.trace.size() < options.trace_limit) {
+          FireEvent ev;
+          ev.reaction = chosen.reaction->name();
+          ev.stage = stage_idx;
+          for (const Store::Id id : chosen.ids) {
+            ev.consumed.push_back(store.element(id));
+          }
+          ev.produced = chosen.produced;
+          result.trace.push_back(std::move(ev));
+        } else {
+          ++result.trace_dropped;
         }
-        ev.produced = chosen.produced;
-        result.trace.push_back(std::move(ev));
       }
       ++result.fires_by_reaction[chosen.reaction->name()];
       ++result.steps;
@@ -59,6 +75,12 @@ RunResult SequentialEngine::run(const Program& program, const Multiset& initial,
     }
   }
 
+  if (tel) {
+    auto& stats = tel->stats();
+    stats.count("gamma.match_attempts", attempts);
+    stats.count("gamma.fires", result.steps);
+    result.metrics = tel->metrics();
+  }
   result.final_multiset = store.to_multiset();
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

@@ -1,0 +1,48 @@
+#include "gammaflow/obs/report.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace gammaflow::obs {
+
+void write_report(std::ostream& os, const MetricsSnapshot& metrics) {
+  if (!metrics.counters.empty()) {
+    os << "counters:\n";
+    for (const auto& [name, value] : metrics.counters) {
+      os << "  " << std::left << std::setw(36) << name << std::right
+         << std::setw(14) << value << '\n';
+    }
+  }
+  if (!metrics.summaries.empty()) {
+    os << "summaries:\n";
+    for (const auto& [name, s] : metrics.summaries) {
+      os << "  " << std::left << std::setw(36) << name << std::right
+         << " n=" << s.count() << " mean=" << s.mean() << " min=" << s.min()
+         << " max=" << s.max() << '\n';
+    }
+  }
+  if (!metrics.histograms.empty()) {
+    os << "histograms:\n";
+    for (const auto& [name, h] : metrics.histograms) {
+      os << "  " << std::left << std::setw(36) << name << std::right
+         << " n=" << h.count << " mean=" << h.mean()
+         << " p50=" << h.quantile(0.5) << " p90=" << h.quantile(0.9)
+         << " p99=" << h.quantile(0.99) << " max=" << h.max << '\n';
+    }
+  }
+  if (metrics.empty()) os << "(no metrics recorded)\n";
+}
+
+void write_report(std::ostream& os, const Telemetry& telemetry) {
+  write_report(os, telemetry.metrics());
+  const auto threads = telemetry.threads();
+  if (threads.empty()) return;
+  os << "threads:\n";
+  for (const auto& t : threads) {
+    os << "  " << std::left << std::setw(36) << t.name << std::right
+       << " events=" << t.recorder->recorded()
+       << " dropped=" << t.recorder->dropped() << '\n';
+  }
+}
+
+}  // namespace gammaflow::obs

@@ -1,0 +1,45 @@
+#include "gammaflow/obs/telemetry.hpp"
+
+namespace gammaflow::obs {
+
+std::vector<TraceEvent> ThreadRecorder::events() const {
+  std::vector<TraceEvent> out;
+  const std::size_t cap = ring_.size();
+  const std::uint64_t kept = recorded_ < cap ? recorded_ : cap;
+  out.reserve(static_cast<std::size_t>(kept));
+  // Oldest surviving event: with overflow the write cursor points at it.
+  const std::uint64_t first = recorded_ - kept;
+  for (std::uint64_t i = 0; i < kept; ++i) {
+    out.push_back(ring_[static_cast<std::size_t>((first + i) % cap)]);
+  }
+  return out;
+}
+
+ThreadRecorder& Telemetry::register_thread(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  const auto tid = static_cast<std::uint32_t>(recorders_.size() + 1);
+  recorders_.emplace_back(tid, events_per_thread_);
+  thread_names_.push_back(name);
+  return recorders_.back();
+}
+
+const char* Telemetry::intern(const std::string& s) {
+  std::lock_guard lock(mutex_);
+  for (const std::string& existing : interned_) {
+    if (existing == s) return existing.c_str();
+  }
+  interned_.push_back(s);
+  return interned_.back().c_str();
+}
+
+std::vector<Telemetry::ThreadView> Telemetry::threads() const {
+  std::lock_guard lock(mutex_);
+  std::vector<ThreadView> out;
+  out.reserve(recorders_.size());
+  for (std::size_t i = 0; i < recorders_.size(); ++i) {
+    out.push_back(ThreadView{&recorders_[i], thread_names_[i]});
+  }
+  return out;
+}
+
+}  // namespace gammaflow::obs

@@ -1,0 +1,17 @@
+// Chrome trace-event exporter: serializes a Telemetry's per-thread event
+// rings as the JSON array format understood by chrome://tracing and
+// Perfetto (https://ui.perfetto.dev). Every event object carries at least
+// {name, ph, ts, pid, tid}; spans add dur, counters add args.value.
+#pragma once
+
+#include <iosfwd>
+
+#include "gammaflow/obs/telemetry.hpp"
+
+namespace gammaflow::obs {
+
+/// Writes the full trace (thread-name metadata first, then events in ring
+/// order per thread). Call after the traced run finished.
+void write_chrome_trace(std::ostream& os, const Telemetry& telemetry);
+
+}  // namespace gammaflow::obs

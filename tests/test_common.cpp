@@ -172,6 +172,34 @@ TEST(Summary, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(b.mean(), 3.0);
 }
 
+TEST(Summary, MergeDisjointRangesPreservesMoments) {
+  // Two summaries over disjoint value ranges: the merge must agree with one
+  // stream over the union on every exposed moment.
+  Summary low, high, all;
+  for (int i = 0; i < 50; ++i) {
+    low.observe(i);
+    all.observe(i);
+  }
+  for (int i = 1000; i < 1100; ++i) {
+    high.observe(i);
+    all.observe(i);
+  }
+  low.merge(high);
+  EXPECT_EQ(low.count(), all.count());
+  EXPECT_NEAR(low.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(low.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(low.min(), 0.0);
+  EXPECT_DOUBLE_EQ(low.max(), 1099.0);
+}
+
+TEST(Summary, MergeTwoEmptiesStaysEmpty) {
+  Summary a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+}
+
 TEST(StatsRegistry, RecordAndQuery) {
   StatsRegistry reg;
   reg.record("latency", 1.0);
@@ -185,6 +213,34 @@ TEST(StatsRegistry, RecordAndQuery) {
   EXPECT_EQ(reg.summary("missing").count(), 0u);
   reg.clear();
   EXPECT_EQ(reg.counter("fires"), 0u);
+}
+
+TEST(StatsRegistry, ConcurrentRecordAndCount) {
+  StatsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kOps = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      for (int i = 0; i < kOps; ++i) {
+        reg.count("ops");
+        reg.record("value", static_cast<double>(i));
+        reg.hist("latency").observe(static_cast<double>(i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  constexpr auto kTotal = static_cast<std::uint64_t>(kThreads) * kOps;
+  EXPECT_EQ(reg.counter("ops"), kTotal);
+  EXPECT_EQ(reg.summary("value").count(), kTotal);
+  EXPECT_DOUBLE_EQ(reg.summary("value").min(), 0.0);
+  EXPECT_DOUBLE_EQ(reg.summary("value").max(), kOps - 1);
+  EXPECT_EQ(reg.snapshot().histograms.at("latency").count, kTotal);
+}
+
+TEST(StatsRegistry, GlobalRegistryIsASingleton) {
+  global_stats().count("test_common.global_probe");
+  EXPECT_GE(global_stats().counter("test_common.global_probe"), 1u);
 }
 
 TEST(Counter, ConcurrentAdds) {

@@ -238,6 +238,16 @@ TEST(Interpreter, TraceIsTopologicallyConsistent) {
   EXPECT_GT(pos("R3"), pos("R2"));
 }
 
+TEST(Interpreter, TraceLimitCapsRecording) {
+  DfRunOptions opts;
+  opts.record_trace = true;
+  opts.trace_limit = 3;
+  const auto r = Interpreter().run(paper::fig1_graph(), opts);
+  EXPECT_EQ(r.fires, 8u);  // execution unaffected
+  EXPECT_EQ(r.trace.size(), 3u);
+  EXPECT_EQ(r.trace_dropped, 5u);
+}
+
 TEST(Interpreter, DuplicateOperandDetected) {
   // Two tag-0 producers into the same port: single-assignment violation.
   GraphBuilder b;

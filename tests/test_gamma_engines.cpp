@@ -38,6 +38,37 @@ Multiset ints(std::initializer_list<std::int64_t> values) {
   return m;
 }
 
+TEST_P(EngineSuite, TraceLimitCapsRecordingWithoutChangingTheRun) {
+  // 31 elements => 30 firings; a limit of 5 keeps the first 5 events and
+  // counts the rest as dropped, while execution itself is unaffected.
+  const Program p = dsl::parse_program("Rsum = replace x, y by x + y");
+  Multiset m;
+  std::int64_t total = 0;
+  for (std::int64_t i = 1; i <= 31; ++i) {
+    m.add(Element{Value(i)});
+    total += i;
+  }
+  RunOptions opts;
+  opts.workers = 3;
+  opts.record_trace = true;
+  opts.trace_limit = 5;
+  const auto r = make_engine(GetParam())->run(p, m, opts);
+  EXPECT_EQ(r.final_multiset, ints({total}));
+  EXPECT_EQ(r.steps, 30u);
+  EXPECT_EQ(r.trace.size(), 5u);
+  EXPECT_EQ(r.trace_dropped, 25u);
+}
+
+TEST_P(EngineSuite, DefaultTraceLimitRecordsEverything) {
+  const Program p = dsl::parse_program("Rsum = replace x, y by x + y");
+  RunOptions opts;
+  opts.workers = 3;
+  opts.record_trace = true;
+  const auto r = make_engine(GetParam())->run(p, ints({1, 2, 3, 4, 5}), opts);
+  EXPECT_EQ(r.trace.size(), 4u);
+  EXPECT_EQ(r.trace_dropped, 0u);
+}
+
 TEST_P(EngineSuite, MinElement) {
   // Eq. (2): replace x, y by x where x < y.
   const Program p = dsl::parse_program("Rmin = replace x, y by x where x < y");

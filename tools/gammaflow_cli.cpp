@@ -19,8 +19,12 @@
 #include <string>
 #include <vector>
 
+#include "gammaflow/common/logging.hpp"
 #include "gammaflow/dataflow/dot.hpp"
 #include "gammaflow/dataflow/engine.hpp"
+#include "gammaflow/obs/report.hpp"
+#include "gammaflow/obs/telemetry.hpp"
+#include "gammaflow/obs/trace_export.hpp"
 #include "gammaflow/dataflow/optimize.hpp"
 #include "gammaflow/dataflow/serialize.hpp"
 #include "gammaflow/expr/parser.hpp"
@@ -50,7 +54,12 @@ int usage() {
       "  dot <prog.src|graph.df>               Graphviz\n"
       "  opt <prog.src|graph.df>               optimize (fold/bypass/DCE)\n"
       "  lint <prog.gamma> [--init \"...\"]     static Gamma checks\n"
-      "options: --init \"[v,'L'] ...\"  --engine seq|idx|par  --seed N\n";
+      "options: --init \"[v,'L'] ...\"  --engine seq|idx|par  --seed N\n"
+      "         --workers N            worker threads (par engines)\n"
+      "observability (run, rungamma):\n"
+      "  --trace-out <file.json>  Chrome trace-event dump (chrome://tracing)\n"
+      "  --metrics                print engine-internal metrics after the run\n"
+      "  --log-level <level>      trace|debug|info|warn|error (or GF_LOG_LEVEL)\n";
   return 2;
 }
 
@@ -109,6 +118,9 @@ struct Options {
   std::optional<std::string> init;
   std::string engine = "idx";
   std::uint64_t seed = 1;
+  std::optional<unsigned> workers;
+  std::optional<std::string> trace_out;
+  bool metrics = false;
 };
 
 Options parse_options(int argc, char** argv, int first) {
@@ -119,17 +131,49 @@ Options parse_options(int argc, char** argv, int first) {
       if (i + 1 >= argc) throw Error("missing value for " + arg);
       return argv[++i];
     };
+    auto next_number = [&]() -> unsigned long long {
+      const std::string value = next();
+      try {
+        std::size_t pos = 0;
+        const unsigned long long n = std::stoull(value, &pos);
+        if (pos != value.size()) throw Error("");
+        return n;
+      } catch (const std::exception&) {
+        throw Error("expected a number for " + arg + ", got '" + value + "'");
+      }
+    };
     if (arg == "--init") {
       opts.init = next();
     } else if (arg == "--engine") {
       opts.engine = next();
     } else if (arg == "--seed") {
-      opts.seed = std::stoull(next());
+      opts.seed = next_number();
+    } else if (arg == "--workers") {
+      opts.workers = static_cast<unsigned>(next_number());
+    } else if (arg == "--trace-out") {
+      opts.trace_out = next();
+    } else if (arg == "--metrics") {
+      opts.metrics = true;
+    } else if (arg == "--log-level") {
+      const std::string name = next();
+      const auto level = parse_log_level(name.c_str());
+      if (!level) throw Error("unknown log level '" + name + "'");
+      set_log_level(*level);
     } else {
       throw Error("unknown option '" + arg + "'");
     }
   }
   return opts;
+}
+
+/// Writes the collected trace to `path` and reports where it went (stderr,
+/// so stdout stays the program's own output).
+void dump_trace(const obs::Telemetry& tel, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot write trace to '" + path + "'");
+  obs::write_chrome_trace(out, tel);
+  std::cerr << "# trace written to " << path
+            << " (load in chrome://tracing or https://ui.perfetto.dev)\n";
 }
 
 std::unique_ptr<gamma::Engine> make_engine(const std::string& name) {
@@ -144,19 +188,29 @@ int cmd_compile(const std::string& path) {
   return 0;
 }
 
-int cmd_run(const std::string& path) {
+int cmd_run(const std::string& path, const Options& opts) {
   const dataflow::Graph g = load_graph(path);
-  const auto result = dataflow::Interpreter().run(g);
+  obs::Telemetry tel;
+  dataflow::DfRunOptions ropts;
+  if (opts.trace_out || opts.metrics) ropts.telemetry = &tel;
+  if (opts.workers) ropts.workers = *opts.workers;
+  const bool parallel = opts.engine == "par";
+  const auto result = parallel
+                          ? dataflow::ParallelEngine().run(g, ropts, {})
+                          : dataflow::Interpreter().run(g, ropts, {});
   for (const auto& [name, tokens] : result.outputs) {
     std::cout << name << " =";
     for (const Value& v : result.output_values(name)) std::cout << ' ' << v;
     std::cout << '\n';
   }
-  std::cout << "# " << result.fires << " firings, "
-            << result.wavefronts.size() << " wavefronts\n";
+  std::cout << "# " << result.fires << " firings";
+  if (!parallel) std::cout << ", " << result.wavefronts.size() << " wavefronts";
+  std::cout << '\n';
   if (!result.leftovers.empty()) {
     std::cout << "# " << result.leftovers.size() << " unmatched operand(s)\n";
   }
+  if (opts.trace_out) dump_trace(tel, *opts.trace_out);
+  if (opts.metrics) obs::write_report(std::cout, tel);
   return 0;
 }
 
@@ -176,11 +230,16 @@ int cmd_rungamma(const std::string& path, const Options& opts) {
   if (!opts.init) throw Error("rungamma needs --init \"<elements>\"");
   const gamma::Program program = gamma::dsl::parse_program(read_file(path));
   const gamma::Multiset initial = parse_elements(*opts.init);
+  obs::Telemetry tel;
   gamma::RunOptions ropts;
   ropts.seed = opts.seed;
+  if (opts.workers) ropts.workers = *opts.workers;
+  if (opts.trace_out || opts.metrics) ropts.telemetry = &tel;
   const auto result = make_engine(opts.engine)->run(program, initial, ropts);
   std::cout << result.final_multiset << '\n'
             << "# " << result.steps << " reactions fired\n";
+  if (opts.trace_out) dump_trace(tel, *opts.trace_out);
+  if (opts.metrics) obs::write_report(std::cout, tel);
   return 0;
 }
 
@@ -240,7 +299,7 @@ int main(int argc, char** argv) try {
   const Options opts = parse_options(argc, argv, 3);
 
   if (cmd == "compile") return cmd_compile(file);
-  if (cmd == "run") return cmd_run(file);
+  if (cmd == "run") return cmd_run(file, opts);
   if (cmd == "togamma") return cmd_togamma(file);
   if (cmd == "rungamma") return cmd_rungamma(file, opts);
   if (cmd == "fuse") return cmd_fuse(file, opts);
