@@ -5,6 +5,7 @@
 #include "bench_util.hpp"
 #include "gammaflow/common/rng.hpp"
 #include "gammaflow/distrib/cluster.hpp"
+#include "gammaflow/obs/telemetry.hpp"
 #include "gammaflow/gamma/dsl/parser.hpp"
 #include "gammaflow/gamma/engine.hpp"
 #include "gammaflow/paper/figures.hpp"
@@ -52,7 +53,84 @@ void verify() {
                                  : observed[0].value().to_string())
             << " (expect 130), " << r.rounds << " rounds, " << r.messages
             << " messages\n";
+
+  // Fault-rate sweep: how much the ack/retry + checkpoint machinery costs
+  // as the network degrades. Every cell still converges to the oracle.
+  std::cout << '\n';
+  bench::Table fault_table({"loss", "crashes/run", "rounds", "messages",
+                            "retransmits", "token_regens", "correct"});
+  obs::Telemetry tel;
+  for (const double loss : {0.0, 0.05, 0.1, 0.2}) {
+    for (const std::size_t scheduled_crashes : {0u, 1u, 2u}) {
+      distrib::ClusterOptions fopts;
+      fopts.nodes = 4;
+      fopts.seed = 9;
+      fopts.telemetry = &tel;
+      fopts.faults.loss = loss;
+      fopts.faults.token_timeout = 24;
+      for (std::size_t c = 0; c < scheduled_crashes; ++c) {
+        fopts.faults.crashes.push_back({4 + 7 * c, 1 + c, 3});
+      }
+      const auto fr = distrib::run_distributed(p, m, fopts);
+      fault_table.row(loss, scheduled_crashes, fr.rounds, fr.messages,
+                      fr.retransmissions, fr.token_regenerations,
+                      fr.final_multiset == expected ? "yes" : "NO");
+    }
+  }
+  bench::metrics_json(std::cout, "distrib_fault_sweep", tel.metrics());
 }
+
+void BM_Distrib_FaultRateSweep(benchmark::State& state) {
+  // Message loss 0–20%: each retry round-trip stretches convergence; the
+  // protocol overhead (retransmissions, acks) is the price of exactness.
+  const auto p = gamma::dsl::parse_program("R = replace x, y by x + y");
+  const gamma::Multiset m = random_ints(128, 5);
+  distrib::ClusterOptions opts;
+  opts.nodes = 4;
+  opts.seed = 9;
+  opts.faults.loss = static_cast<double>(state.range(0)) / 100.0;
+  opts.faults.token_timeout = 24;
+  std::uint64_t rounds = 0, retransmissions = 0;
+  for (auto _ : state) {
+    const auto r = distrib::run_distributed(p, m, opts);
+    rounds = r.rounds;
+    retransmissions = r.retransmissions;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["rounds"] = static_cast<double>(rounds);
+  state.counters["retransmits"] = static_cast<double>(retransmissions);
+}
+BENCHMARK(BM_Distrib_FaultRateSweep)
+    ->Arg(0)->Arg(5)->Arg(10)->Arg(20)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Distrib_CrashRecovery(benchmark::State& state) {
+  // 0-2 scheduled crash-restarts per run: checkpoint/replica restore plus
+  // sender-side retries; rounds grow with downtime, correctness holds.
+  const auto p = gamma::dsl::parse_program("R = replace x, y by x + y");
+  const gamma::Multiset m = random_ints(128, 5);
+  distrib::ClusterOptions opts;
+  opts.nodes = 4;
+  opts.seed = 9;
+  opts.faults.token_timeout = 24;
+  for (std::int64_t c = 0; c < state.range(0); ++c) {
+    opts.faults.crashes.push_back(
+        {static_cast<std::size_t>(4 + 7 * c), static_cast<std::size_t>(1 + c),
+         3});
+  }
+  std::uint64_t rounds = 0, checkpoints = 0;
+  for (auto _ : state) {
+    const auto r = distrib::run_distributed(p, m, opts);
+    rounds = r.rounds;
+    checkpoints = r.checkpoints;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["rounds"] = static_cast<double>(rounds);
+  state.counters["checkpoints"] = static_cast<double>(checkpoints);
+}
+BENCHMARK(BM_Distrib_CrashRecovery)
+    ->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_Distrib_SumByClusterSize(benchmark::State& state) {
   const auto p = gamma::dsl::parse_program("R = replace x, y by x + y");

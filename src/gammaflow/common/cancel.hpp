@@ -1,0 +1,113 @@
+// Cooperative cancellation and deadlines for the engines. A run can be told
+// to stop three ways — an external CancelToken, a wall-clock deadline, or a
+// firing budget with LimitPolicy::Partial — and in every case the engine
+// returns a VALID partial state (multiset / outputs so far, metrics filled,
+// worker threads joined) with RunResult::outcome saying why it stopped,
+// instead of throwing mid-flight.
+//
+// The RunGovernor is the per-thread checker: the shared token is one relaxed
+// atomic load per call, and the clock is consulted only every kStride calls
+// so the probe can sit inside the hottest engine loops.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace gammaflow {
+
+/// Why a run returned. Completed is the fixed point / drained graph; the
+/// other three are cooperative early exits with valid partial state.
+enum class Outcome : std::uint8_t {
+  Completed = 0,
+  DeadlineExceeded,
+  Cancelled,
+  BudgetExhausted,
+};
+
+[[nodiscard]] constexpr const char* to_string(Outcome o) noexcept {
+  switch (o) {
+    case Outcome::Completed: return "completed";
+    case Outcome::DeadlineExceeded: return "deadline_exceeded";
+    case Outcome::Cancelled: return "cancelled";
+    case Outcome::BudgetExhausted: return "budget_exhausted";
+  }
+  return "unknown";
+}
+
+/// What an engine does when its firing budget (max_steps / max_fires) runs
+/// out: Throw preserves the historical EngineError; Partial returns the
+/// state reached so far with Outcome::BudgetExhausted.
+enum class LimitPolicy : std::uint8_t { Throw, Partial };
+
+/// Shared stop flag. Any thread may cancel(); engine threads poll it through
+/// their RunGovernor. Reusable across runs via reset().
+class CancelToken {
+ public:
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_release); }
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+  void reset() noexcept { cancelled_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Converts RunOptions::deadline (seconds from run start; <= 0 disables)
+/// into an absolute time point all of a run's governors share.
+[[nodiscard]] inline std::chrono::steady_clock::time_point deadline_from_now(
+    double seconds) noexcept {
+  if (seconds <= 0.0) return std::chrono::steady_clock::time_point::max();
+  return std::chrono::steady_clock::now() +
+         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+             std::chrono::duration<double>(seconds));
+}
+
+/// Per-thread cancellation/deadline checker. Not thread-safe: each engine
+/// worker owns one, sharing the token and the absolute deadline.
+class RunGovernor {
+ public:
+  /// Clock probes are amortized: the deadline is checked once per kStride
+  /// should_stop() calls (the token on every call — it is one atomic load).
+  static constexpr std::uint64_t kStride = 64;
+
+  RunGovernor(const CancelToken* token,
+              std::chrono::steady_clock::time_point deadline) noexcept
+      : token_(token),
+        deadline_(deadline),
+        armed_(token != nullptr ||
+               deadline != std::chrono::steady_clock::time_point::max()) {}
+
+  RunGovernor(const CancelToken* token, double deadline_seconds) noexcept
+      : RunGovernor(token, deadline_from_now(deadline_seconds)) {}
+
+  /// True once the run must wind down; sticky. Call from the engine's loop.
+  [[nodiscard]] bool should_stop() noexcept {
+    if (!armed_) return false;
+    if (outcome_ != Outcome::Completed) return true;
+    if (token_ != nullptr && token_->cancelled()) {
+      outcome_ = Outcome::Cancelled;
+      return true;
+    }
+    if (++calls_ % kStride == 0 &&
+        deadline_ != std::chrono::steady_clock::time_point::max() &&
+        std::chrono::steady_clock::now() >= deadline_) {
+      outcome_ = Outcome::DeadlineExceeded;
+      return true;
+    }
+    return false;
+  }
+
+  /// Why should_stop() fired; Completed while the run may continue.
+  [[nodiscard]] Outcome outcome() const noexcept { return outcome_; }
+
+ private:
+  const CancelToken* token_;
+  std::chrono::steady_clock::time_point deadline_;
+  bool armed_;
+  std::uint64_t calls_ = 0;
+  Outcome outcome_ = Outcome::Completed;
+};
+
+}  // namespace gammaflow

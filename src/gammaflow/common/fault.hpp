@@ -1,0 +1,147 @@
+// Deterministic fault injection for the distributed simulation. A FaultPlan
+// declares WHAT can go wrong (message loss, duplication, reordering delay,
+// transient node crashes, scheduled ring partitions); a FaultInjector draws
+// every probabilistic decision from its own seeded RNG stream, so a given
+// (plan, seed) pair replays the exact same failure schedule — which is what
+// makes every recovery path unit-testable.
+//
+// The injector's stream is independent of the nodes' chemistry RNGs:
+// enabling faults perturbs the network, not which reactions the nodes would
+// have picked.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gammaflow/common/error.hpp"
+#include "gammaflow/common/rng.hpp"
+
+namespace gammaflow {
+
+/// Declarative failure schedule for a simulated cluster run. Probabilities
+/// are per PHYSICAL message; crash_rate is per node per round.
+struct FaultPlan {
+  /// P(a physical message copy vanishes in the network).
+  double loss = 0.0;
+  /// P(the network delivers an extra copy of a message).
+  double duplication = 0.0;
+  /// P(a message is delayed by extra rounds beyond the base latency).
+  double reorder = 0.0;
+  /// Max extra rounds a reordered message is delayed (uniform in [1, jitter]).
+  std::size_t reorder_jitter = 3;
+
+  /// P(an up node crashes this round); loses its volatile state, which is
+  /// restored from the replica checkpointed at its ring successor.
+  double crash_rate = 0.0;
+  /// Rounds a crashed node stays down (drops everything addressed to it).
+  std::size_t crash_downtime = 3;
+  /// Total spontaneous crashes are capped so a faulty run still quiesces.
+  std::size_t max_crashes = 16;
+
+  /// A crash pinned to an exact (round, node) — for regression tests that
+  /// need the failure at a protocol-relevant moment (e.g. token in hand).
+  struct Crash {
+    std::size_t round = 0;
+    std::size_t node = 0;
+    std::size_t downtime = 3;
+  };
+  std::vector<Crash> crashes;
+
+  /// Ring partition: during rounds [start, start+duration) every message
+  /// between the node groups [0, cut) and [cut, N) is dropped.
+  struct Partition {
+    std::size_t start = 0;
+    std::size_t duration = 0;
+    std::size_t cut = 1;
+  };
+  std::vector<Partition> partitions;
+
+  /// Rounds the Safra initiator waits without seeing the token before it
+  /// declares the token lost and regenerates it. 0 = derived from cluster
+  /// size and latency (see distrib/cluster.cpp).
+  std::size_t token_timeout = 0;
+
+  [[nodiscard]] bool any() const noexcept {
+    return loss > 0.0 || duplication > 0.0 || reorder > 0.0 ||
+           crash_rate > 0.0 || !crashes.empty() || !partitions.empty();
+  }
+  [[nodiscard]] bool crashes_possible() const noexcept {
+    return crash_rate > 0.0 || !crashes.empty();
+  }
+
+  /// Throws ProgramError on out-of-range probabilities or degenerate knobs.
+  void validate() const {
+    auto probability = [](double p, const char* name) {
+      if (p < 0.0 || p > 1.0) {
+        throw ProgramError(std::string("FaultPlan::") + name +
+                           " must be a probability in [0,1], got " +
+                           std::to_string(p));
+      }
+    };
+    probability(loss, "loss");
+    probability(duplication, "duplication");
+    probability(reorder, "reorder");
+    probability(crash_rate, "crash_rate");
+    if (reorder > 0.0 && reorder_jitter == 0) {
+      throw ProgramError("FaultPlan::reorder_jitter must be >= 1 when "
+                         "reordering is enabled");
+    }
+    if (crashes_possible() && crash_downtime == 0) {
+      throw ProgramError("FaultPlan::crash_downtime must be >= 1 when "
+                         "crashes are enabled");
+    }
+  }
+};
+
+/// Draws every fault decision from a dedicated seeded stream. Decisions are
+/// consumed in simulation order, so a fixed (plan, seed) replays exactly.
+class FaultInjector {
+ public:
+  FaultInjector(FaultPlan plan, std::uint64_t seed)
+      : plan_(std::move(plan)), rng_(seed ^ kStreamSalt) {}
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+  /// Should this physical message copy be dropped?
+  [[nodiscard]] bool lose() noexcept {
+    return plan_.loss > 0.0 && rng_.coin(plan_.loss);
+  }
+  /// Should the network emit an extra copy?
+  [[nodiscard]] bool duplicate() noexcept {
+    return plan_.duplication > 0.0 && rng_.coin(plan_.duplication);
+  }
+  /// Extra delivery delay in rounds (0 = in order).
+  [[nodiscard]] std::size_t jitter() noexcept {
+    if (plan_.reorder <= 0.0 || !rng_.coin(plan_.reorder)) return 0;
+    return 1 + static_cast<std::size_t>(rng_.bounded(plan_.reorder_jitter));
+  }
+  /// Does `node` spontaneously crash this round? (Scheduled crashes are the
+  /// caller's job; this only rolls the crash_rate dice, capped.)
+  [[nodiscard]] bool spontaneous_crash() noexcept {
+    if (plan_.crash_rate <= 0.0 || spontaneous_ >= plan_.max_crashes) {
+      return false;
+    }
+    if (!rng_.coin(plan_.crash_rate)) return false;
+    ++spontaneous_;
+    return true;
+  }
+  /// Is the link a <-> b cut by a scheduled partition during `round`?
+  [[nodiscard]] bool severed(std::size_t a, std::size_t b,
+                             std::size_t round) const noexcept {
+    for (const FaultPlan::Partition& p : plan_.partitions) {
+      if (round < p.start || round >= p.start + p.duration) continue;
+      if ((a < p.cut) != (b < p.cut)) return true;
+    }
+    return false;
+  }
+
+ private:
+  static constexpr std::uint64_t kStreamSalt = 0xfa0172c8d15ea5edULL;
+  FaultPlan plan_;
+  Rng rng_;
+  std::size_t spontaneous_ = 0;
+};
+
+}  // namespace gammaflow

@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "gammaflow/common/cancel.hpp"
 #include "gammaflow/common/error.hpp"
 #include "gammaflow/common/stats.hpp"
 #include "gammaflow/common/value.hpp"
@@ -54,6 +55,13 @@ struct DfRunOptions {
   std::uint64_t trace_limit = 1'000'000;
   /// Optional telemetry sink (spans + metrics); null disables all probes.
   obs::Telemetry* telemetry = nullptr;
+  /// Optional cooperative stop flag (see gamma::RunOptions::cancel).
+  const CancelToken* cancel = nullptr;
+  /// Wall-clock budget in seconds from run start; <= 0 disables.
+  double deadline = 0.0;
+  /// Throw on max_fires (historical) or return partial state with outcome
+  /// BudgetExhausted.
+  LimitPolicy limit_policy = LimitPolicy::Throw;
 };
 
 /// An operand parked in a matching store with no partner when the machine
@@ -70,6 +78,10 @@ struct DfRunResult {
   /// Output-node results keyed by node name, as (tag, value) in arrival
   /// order. output_values("m") gives just the values sorted by tag.
   std::map<std::string, std::vector<std::pair<Tag, Value>>> outputs;
+  /// Why the run returned. Anything but Completed means outputs/leftovers
+  /// are the valid PARTIAL state at the stop point (tokens still queued at
+  /// the stop are reported as leftovers, not lost silently).
+  Outcome outcome = Outcome::Completed;
   std::uint64_t fires = 0;
   std::vector<std::uint64_t> fires_by_node;  // indexed by NodeId
   /// Interpreter only: number of simultaneously fireable node instances per

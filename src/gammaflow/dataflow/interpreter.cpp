@@ -23,7 +23,10 @@ struct ReadyInstance {
 class Machine {
  public:
   Machine(const Graph& graph, const DfRunOptions& options)
-      : graph_(graph), options_(options), waiting_(graph.node_count()) {
+      : graph_(graph),
+        options_(options),
+        governor_(options.cancel, options.deadline),
+        waiting_(graph.node_count()) {
     result_.fires_by_node.assign(graph.node_count(), 0);
     if ((tel_ = options.telemetry) != nullptr) {
       rec_ = &tel_->register_thread("df-interpreter");
@@ -81,6 +84,7 @@ class Machine {
     const auto t0 = std::chrono::steady_clock::now();
 
     for (const NodeId root : graph_.roots()) {
+      if (stopping()) break;
       const Firing f = fire_node(graph_.node(root), {}, 0);
       count_fire(root);
       emit_from(root, f);
@@ -92,7 +96,7 @@ class Machine {
       deliver(e.dst, e.dst_port, token);
     }
 
-    while (!ready_.empty()) {
+    while (!ready_.empty() && result_.outcome == Outcome::Completed) {
       // One wavefront: everything currently ready fires "simultaneously".
       const std::size_t wave = ready_.size();
       result_.wavefronts.push_back(wave);
@@ -102,6 +106,7 @@ class Machine {
         wave_hist_->observe(static_cast<double>(wave));
       }
       for (std::size_t i = 0; i < wave; ++i) {
+        if (stopping()) break;  // unfired instances become leftovers
         ReadyInstance inst = std::move(ready_.front());
         ready_.pop_front();
         const Node& node = graph_.node(inst.node);
@@ -133,6 +138,7 @@ class Machine {
       stats.count("df.fires", result_.fires);
       stats.count("df.steer_true", steer_true_);
       stats.count("df.steer_false", steer_false_);
+      stats.count(std::string("df.outcome.") + to_string(result_.outcome));
       result_.metrics = tel_->metrics();
     }
     result_.wall_seconds =
@@ -200,11 +206,26 @@ class Machine {
     Value value;
   };
 
-  void count_fire(NodeId node) {
+  /// Cooperative stop probe: budget, then cancel/deadline. Sticky through
+  /// result_.outcome so enclosing loops unwind without firing further.
+  [[nodiscard]] bool stopping() {
+    if (result_.outcome != Outcome::Completed) return true;
     if (result_.fires >= options_.max_fires) {
-      throw EngineError("interpreter exceeded max_fires=" +
-                        std::to_string(options_.max_fires));
+      if (options_.limit_policy == LimitPolicy::Throw) {
+        throw EngineError("interpreter exceeded max_fires=" +
+                          std::to_string(options_.max_fires));
+      }
+      result_.outcome = Outcome::BudgetExhausted;
+      return true;
     }
+    if (governor_.should_stop()) {
+      result_.outcome = governor_.outcome();
+      return true;
+    }
+    return false;
+  }
+
+  void count_fire(NodeId node) {
     ++result_.fires;
     ++result_.fires_by_node[node];
     if (tel_ != nullptr) {
@@ -220,6 +241,14 @@ class Machine {
   }
 
   void collect_leftovers() {
+    // On an early stop, ready-but-unfired instances are still part of the
+    // machine state: surface their operands instead of dropping them.
+    for (const ReadyInstance& inst : ready_) {
+      for (PortId p = 0; p < inst.inputs.size(); ++p) {
+        result_.leftovers.push_back(
+            PendingOperand{inst.node, p, inst.tag, inst.inputs[p]});
+      }
+    }
     for (NodeId node = 0; node < waiting_.size(); ++node) {
       for (const auto& [tag, slots] : waiting_[node]) {
         for (PortId p = 0; p < slots.values.size(); ++p) {
@@ -234,6 +263,7 @@ class Machine {
 
   const Graph& graph_;
   const DfRunOptions& options_;
+  RunGovernor governor_;
   std::vector<std::unordered_map<Tag, Slots>> waiting_;
   std::deque<ReadyInstance> ready_;
   std::unordered_multimap<std::size_t, MemoEntry> memo_;

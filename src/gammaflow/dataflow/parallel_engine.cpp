@@ -66,6 +66,7 @@ class ParallelRun {
 
   DfRunResult run(const std::vector<std::pair<Label, Token>>& extra_tokens) {
     const auto t0 = std::chrono::steady_clock::now();
+    deadline_ = deadline_from_now(options_.deadline);
     GF_DEBUG << "dataflow parallel run: " << worker_count_ << " PE(s), "
              << graph_.node_count() << " nodes";
 
@@ -99,6 +100,7 @@ class ParallelRun {
     }
 
     DfRunResult result;
+    result.outcome = static_cast<Outcome>(stop_outcome_.load());
     result.fires = total_fires_.load();
     result.fires_by_node.assign(graph_.node_count(), 0);
     if (tel_ != nullptr) {
@@ -126,11 +128,20 @@ class ParallelRun {
       stats.count("df.steer_true", steer_true);
       stats.count("df.steer_false", steer_false);
       stats.count("df.tokens_absorbed", absorbed);
+      stats.count(std::string("df.outcome.") + to_string(result.outcome));
       result.metrics = tel_->metrics();
     }
-    for (const WorkerState& w : workers_) {
+    for (WorkerState& w : workers_) {
       for (NodeId n = 0; n < graph_.node_count(); ++n) {
         result.fires_by_node[n] += w.fires_by_node[n];
+      }
+      // On a cooperative stop, tokens still queued in the inbox are part of
+      // the machine state: surface them as leftovers (post-join, so the
+      // queue has no concurrent producers anymore).
+      while (auto routed = w.inbox.try_pop()) {
+        result.leftovers.push_back(PendingOperand{routed->node, routed->port,
+                                                  routed->token.tag,
+                                                  std::move(routed->token.value)});
       }
       for (const auto& [name, tokens] : w.outputs) {
         auto& dst = result.outputs[name];
@@ -175,6 +186,7 @@ class ParallelRun {
 
   void worker_loop(unsigned my_id) {
     WorkerState& me = workers_[my_id];
+    RunGovernor governor(options_.cancel, deadline_);
     obs::ThreadRecorder* const rec =
         tel_ != nullptr
             ? &tel_->register_thread("df-worker-" + std::to_string(my_id))
@@ -195,7 +207,15 @@ class ParallelRun {
 
     unsigned idle_spins = 0;
     while (true) {
-      if (failed_.load(std::memory_order_relaxed)) {
+      if (failed_.load(std::memory_order_relaxed) ||
+          stop_outcome_.load(std::memory_order_relaxed) != 0) {
+        close_busy();
+        return;
+      }
+      if (governor.should_stop()) {
+        // First worker to notice publishes the outcome; peers drain out at
+        // the check above, so every thread joins promptly.
+        publish_stop(governor.outcome());
         close_busy();
         return;
       }
@@ -250,7 +270,18 @@ class ParallelRun {
 
     if (total_fires_.fetch_add(1, std::memory_order_relaxed) >=
         options_.max_fires) {
-      failed_.store(true);
+      total_fires_.fetch_sub(1, std::memory_order_relaxed);
+      if (options_.limit_policy == LimitPolicy::Partial) {
+        publish_stop(Outcome::BudgetExhausted);
+        // Park the assembled-but-unfired operands back in the matching
+        // store so the partial result reports them as leftovers.
+        Slots& slots = me.waiting[routed.node][routed.token.tag];
+        slots.values.clear();
+        for (Value& v : inputs) slots.values.emplace_back(std::move(v));
+        slots.filled = slots.values.size();
+      } else {
+        failed_.store(true);
+      }
       return;
     }
     ++me.fires_by_node[routed.node];
@@ -273,13 +304,21 @@ class ParallelRun {
     route_emission(routed.node, firing);
   }
 
+  void publish_stop(Outcome outcome) noexcept {
+    std::uint8_t expected = 0;
+    stop_outcome_.compare_exchange_strong(expected,
+                                          static_cast<std::uint8_t>(outcome));
+  }
+
   const Graph& graph_;
   const DfRunOptions& options_;
   unsigned worker_count_;
   std::vector<WorkerState> workers_;
+  std::chrono::steady_clock::time_point deadline_;
   std::atomic<std::int64_t> in_flight_{0};
   std::atomic<std::uint64_t> total_fires_{0};
-  std::atomic<bool> failed_{false};
+  std::atomic<bool> failed_{false};  // single-assignment violation / budget
+  std::atomic<std::uint8_t> stop_outcome_{0};  // Outcome; nonzero = stop
 
   obs::Telemetry* tel_ = nullptr;
   Histogram* inbox_hist_ = nullptr;

@@ -1,10 +1,13 @@
 #include "gammaflow/distrib/cluster.hpp"
 
-#include <deque>
+#include <algorithm>
 #include <optional>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "gammaflow/common/rng.hpp"
 #include "gammaflow/gamma/store.hpp"
+#include "gammaflow/obs/telemetry.hpp"
 
 namespace gammaflow::distrib {
 
@@ -13,29 +16,60 @@ using gamma::Multiset;
 using gamma::Reaction;
 using gamma::Store;
 
+void ClusterOptions::validate() const {
+  if (nodes == 0) throw ProgramError("cluster needs >= 1 node");
+  if (latency == 0) {
+    throw ProgramError(
+        "ClusterOptions::latency must be >= 1 (a zero-latency message would "
+        "arrive in the round it was sent, breaking the round phases)");
+  }
+  if (fires_per_round == 0) {
+    throw ProgramError(
+        "ClusterOptions::fires_per_round must be >= 1 (a cluster that never "
+        "fires locally livelocks instead of reaching the fixed point)");
+  }
+  faults.validate();
+}
+
 namespace {
 
-struct ElementMsg {
-  std::size_t to;
-  std::size_t arrival_round;
-  std::vector<Element> elements;
-};
+/// Reliable-transfer kinds. Elements and Pull are LOGICAL messages (counted
+/// by Safra, sequence-numbered, acked, retried); Ack is control traffic.
+enum class MsgKind : std::uint8_t { Elements, Pull, Ack };
 
-/// Collector-driven consolidation request (see communicate()).
-struct PullMsg {
-  std::size_t to;
-  std::size_t arrival_round;
+/// One physical message copy in the simulated network. Loss drops it,
+/// duplication enqueues a second one, reordering inflates arrival_round.
+struct Wire {
+  std::size_t from = 0;
+  std::size_t to = 0;
+  std::size_t arrival_round = 0;
+  MsgKind kind = MsgKind::Elements;
+  std::uint64_t seq = 0;  // sender-scoped id; an Ack echoes the acked seq
+  std::vector<Element> elements;
 };
 
 struct Token {
   bool black = false;
   std::int64_t count = 0;
+  std::uint64_t gen = 0;  // regeneration stamp; stale tokens are discarded
 };
 
 struct TokenMsg {
-  std::size_t to;
-  std::size_t arrival_round;
+  std::size_t to = 0;
+  std::size_t arrival_round = 0;
   Token token;
+};
+
+/// An unacked logical transfer, retried with exponential backoff. Keeping
+/// the element payload here is what makes a lost shard recoverable: the
+/// data survives at the sender until the receiver confirms it.
+struct OutboxEntry {
+  std::size_t to = 0;
+  std::uint64_t seq = 0;
+  MsgKind kind = MsgKind::Elements;
+  std::vector<Element> elements;
+  std::size_t next_retry_round = 0;
+  unsigned attempts = 0;
 };
 
 struct Node {
@@ -43,34 +77,61 @@ struct Node {
   Rng rng{0};
   // Safra state.
   bool black = false;              // received a message since last token pass
-  std::int64_t message_count = 0;  // sent - received (element messages)
+  std::int64_t message_count = 0;  // sent - received (logical messages)
   // Local activity.
   bool fired_this_round = false;
   bool answered_pull_this_round = false;  // receipt-activated send (EWD-legal)
   bool pull_pending = false;
   std::size_t quiescent_rounds = 0;
   std::uint64_t fires = 0;
+  // Token in hand, waiting for passivity to forward.
+  std::optional<Token> held_token;
+  // Reliable-transfer state (all checkpointed with the shard, so a restart
+  // resumes retries and keeps the duplicate filter).
+  std::uint64_t next_seq = 0;
+  std::vector<OutboxEntry> outbox;
+  std::unordered_map<std::size_t, std::unordered_set<std::uint64_t>> seen;
+  // Crash state: down (dropping everything) until this round; 0 = up.
+  std::size_t down_until = 0;
 
   [[nodiscard]] bool active_this_round() const noexcept {
     return fired_this_round || answered_pull_this_round;
   }
-  // Token in hand, waiting for passivity to forward.
-  std::optional<Token> held_token;
 };
 
 class Simulation {
  public:
   Simulation(const gamma::Program& program, const Multiset& initial,
              const ClusterOptions& options)
-      : program_(program), options_(options), nodes_(options.nodes) {
+      : program_(program),
+        options_(options),
+        injector_(options.faults, options.seed),
+        nodes_(options.nodes) {
+    options_.validate();
     if (program.stage_count() > 1) {
       throw ProgramError(
           "distributed execution supports single-stage programs (the global "
           "termination of one stage is exactly what Safra detects)");
     }
-    if (options_.nodes == 0) throw ProgramError("cluster needs >= 1 node");
+    for (const FaultPlan::Crash& c : options_.faults.crashes) {
+      if (c.node >= options_.nodes) {
+        throw ProgramError("FaultPlan schedules a crash of node " +
+                           std::to_string(c.node) + " but the cluster has " +
+                           std::to_string(options_.nodes) + " node(s)");
+      }
+    }
     Rng seeder(options.seed);
     for (Node& n : nodes_) n.rng = seeder.split();
+
+    // Round-trip estimate for the retry timer: send + ack, plus slack for
+    // the phase boundaries and reorder jitter.
+    rtt_ = 2 * options_.latency + 2 + options_.faults.reorder_jitter;
+    token_timeout_ =
+        options_.faults.token_timeout != 0
+            ? options_.faults.token_timeout
+            : 4 * options_.nodes *
+                      (options_.latency + options_.faults.reorder_jitter + 1) +
+                  options_.faults.crash_downtime + 16;
 
     // Initial placement.
     std::size_t rr = 0;
@@ -83,12 +144,23 @@ class Simulation {
       }
       nodes_[target].shard.insert(e);
     }
+
+    // Seed the replicas with the placed state so a crash in the very first
+    // rounds restores the initial shard.
+    if (options_.faults.crashes_possible()) {
+      replicas_.reserve(nodes_.size());
+      replica_shard_versions_.reserve(nodes_.size());
+      for (const Node& n : nodes_) {
+        replicas_.push_back(snapshot_of(n));
+        replica_shard_versions_.push_back(n.shard.version());
+      }
+    }
   }
 
   ClusterResult run() {
     // Token starts at node 0 (the initiator is also the consolidation
     // collector, so it is the natural place to decide termination).
-    nodes_[0].held_token = Token{};
+    nodes_[0].held_token = Token{false, 0, token_gen_};
 
     while (!terminated_) {
       if (round_ >= options_.max_rounds) {
@@ -96,10 +168,13 @@ class Simulation {
                           std::to_string(options_.max_rounds));
       }
       ++round_;
+      crash_and_recover();
       deliver();
       react();
       communicate();
       pass_tokens();
+      token_watchdog();
+      checkpoint();
     }
 
     ClusterResult result;
@@ -107,39 +182,229 @@ class Simulation {
     result.migrations = migrations_;
     result.messages = messages_;
     result.token_laps = laps_;
+    result.acks = acks_;
+    result.retransmissions = retransmissions_;
+    result.messages_lost = lost_;
+    result.messages_duplicated = duplicated_;
+    result.messages_delayed = delayed_;
+    result.duplicates_suppressed = dup_suppressed_;
+    result.crashes = crashes_;
+    result.recoveries = recoveries_;
+    result.checkpoints = checkpoints_;
+    result.token_regenerations = token_regens_;
     for (Node& n : nodes_) {
       result.fires += n.fires;
       result.fires_by_node.push_back(n.fires);
       result.final_shard_sizes.push_back(n.shard.size());
       result.final_multiset.add(n.shard.to_multiset());
     }
+    if (obs::Telemetry* tel = options_.telemetry) {
+      auto& stats = tel->stats();
+      stats.count("distrib.rounds", result.rounds);
+      stats.count("distrib.fires", result.fires);
+      stats.count("distrib.messages", result.messages);
+      stats.count("distrib.migrations", result.migrations);
+      stats.count("distrib.token_laps", result.token_laps);
+      stats.count("distrib.acks", result.acks);
+      stats.count("distrib.retransmissions", result.retransmissions);
+      stats.count("distrib.messages_lost", result.messages_lost);
+      stats.count("distrib.messages_duplicated", result.messages_duplicated);
+      stats.count("distrib.messages_delayed", result.messages_delayed);
+      stats.count("distrib.duplicates_suppressed",
+                  result.duplicates_suppressed);
+      stats.count("distrib.crashes", result.crashes);
+      stats.count("distrib.recoveries", result.recoveries);
+      stats.count("distrib.checkpoints", result.checkpoints);
+      stats.count("distrib.token_regenerations", result.token_regenerations);
+      for (const std::size_t s : result.final_shard_sizes) {
+        stats.observe_hist("distrib.final_shard_size",
+                           static_cast<double>(s));
+      }
+      result.metrics = tel->metrics();
+    }
     return result;
   }
 
  private:
+  [[nodiscard]] bool down(std::size_t i) const noexcept {
+    return nodes_[i].down_until > round_;
+  }
+
+  /// Replica image of a node: full protocol state minus the token (the
+  /// token is transient network property; resurrecting it from a backup
+  /// would forge a second token of the same generation).
+  [[nodiscard]] static Node snapshot_of(const Node& n) {
+    Node snap = n;
+    snap.held_token.reset();
+    return snap;
+  }
+
+  // --- phase 0: crashes and restarts ---
+  void crash_and_recover() {
+    if (!options_.faults.crashes_possible()) return;
+    for (Node& n : nodes_) {
+      if (n.down_until != 0 && round_ >= n.down_until) {
+        // Restart: rejoin the ring blackened, so the lap the node missed
+        // cannot be mistaken for a clean one.
+        n.down_until = 0;
+        n.black = true;
+        ++recoveries_;
+      }
+    }
+    for (const FaultPlan::Crash& c : options_.faults.crashes) {
+      if (c.round == round_ && !down(c.node)) crash(c.node, c.downtime);
+    }
+    if (options_.faults.crash_rate > 0.0) {
+      for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        if (!down(i) && injector_.spontaneous_crash()) {
+          crash(i, options_.faults.crash_downtime);
+        }
+      }
+    }
+  }
+
+  void crash(std::size_t i, std::size_t downtime) {
+    ++crashes_;
+    // The live shard dies with the process; the node re-installs the state
+    // its ring successor checkpointed at the end of the previous round —
+    // which is exactly the state at the crash point, because the crash
+    // lands on the round boundary before any phase ran.
+    Node restored = replicas_[i];
+    restored.down_until = round_ + std::max<std::size_t>(1, downtime);
+    restored.black = true;
+    nodes_[i] = std::move(restored);
+  }
+
+  // --- the simulated (faulty) network ---
+
+  /// Starts a LOGICAL transfer: sequence-numbered, Safra-counted once, kept
+  /// in the outbox until acked, retried with exponential backoff.
+  void send_reliable(std::size_t from, std::size_t to, MsgKind kind,
+                     std::vector<Element> elements) {
+    if (to == from) return;
+    if (kind == MsgKind::Elements && elements.empty()) return;
+    Node& sender = nodes_[from];
+    const std::uint64_t seq = sender.next_seq++;
+    ++sender.message_count;
+    if (kind == MsgKind::Elements) migrations_ += elements.size();
+    transmit(from, to, kind, seq, elements);
+    sender.outbox.push_back(OutboxEntry{to, seq, kind, std::move(elements),
+                                        round_ + rtt_, 0});
+  }
+
+  void send_ack(std::size_t from, std::size_t to, std::uint64_t seq) {
+    ++acks_;
+    transmit(from, to, MsgKind::Ack, seq, {});
+  }
+
+  /// One physical copy through the injector: partition/loss eat it,
+  /// reordering delays it, duplication enqueues a second copy.
+  void transmit(std::size_t from, std::size_t to, MsgKind kind,
+                std::uint64_t seq, std::vector<Element> elements) {
+    ++messages_;
+    if (injector_.severed(from, to, round_) || injector_.lose()) {
+      ++lost_;
+      return;
+    }
+    std::size_t jitter = injector_.jitter();
+    if (jitter > 0) ++delayed_;
+    const bool duplicate = injector_.duplicate();
+    if (duplicate) {
+      ++duplicated_;
+      ++messages_;
+      wires_.push_back(Wire{from, to,
+                            round_ + options_.latency + 1 + injector_.jitter(),
+                            kind, seq, elements});
+    }
+    wires_.push_back(Wire{from, to, round_ + options_.latency + jitter, kind,
+                          seq, std::move(elements)});
+  }
+
+  void send_token(std::size_t from, std::size_t to, const Token& token) {
+    if (to == from) {  // degenerate 1-node ring: no network to cross
+      nodes_[to].held_token = token;
+      return;
+    }
+    // The token is control traffic: it can be lost or delayed (and then
+    // regenerated by the watchdog), but the network never forges copies —
+    // duplication is what the generation stamp guards against.
+    if (injector_.severed(from, to, round_) || injector_.lose()) {
+      ++lost_;
+      return;
+    }
+    std::size_t jitter = injector_.jitter();
+    if (jitter > 0) ++delayed_;
+    token_msgs_.push_back(
+        TokenMsg{to, round_ + options_.latency + jitter, token});
+  }
+
   // --- phase 1: deliver messages due this round ---
   void deliver() {
-    std::erase_if(element_msgs_, [&](ElementMsg& m) {
+    // Acks raised while sweeping the wire list are staged and sent after
+    // the sweep: transmit() appends to wires_, which must not be mutated
+    // mid-erase_if.
+    struct PendingAck {
+      std::size_t from, to;
+      std::uint64_t seq;
+    };
+    std::vector<PendingAck> pending_acks;
+    const auto ack = [&](std::size_t from, std::size_t to, std::uint64_t seq) {
+      pending_acks.push_back(PendingAck{from, to, seq});
+    };
+    std::erase_if(wires_, [&](Wire& m) {
       if (m.arrival_round > round_) return false;
+      if (down(m.to)) {  // a dead process reads nothing off the wire
+        ++lost_;
+        return true;
+      }
       Node& node = nodes_[m.to];
-      for (Element& e : m.elements) node.shard.insert(std::move(e));
-      --node.message_count;
-      node.black = true;  // Safra: receipt may reactivate; blacken
-      node.quiescent_rounds = 0;
-      if (m.to == 0) verified_ = false;  // new material voids verification
+      switch (m.kind) {
+        case MsgKind::Elements: {
+          node.black = true;  // Safra: receipt may reactivate; blacken
+          if (!node.seen[m.from].insert(m.seq).second) {
+            // Duplicate (network copy or retransmission): suppress so the
+            // message counters stay balanced, but re-ack — the original
+            // ack may be the thing that got lost.
+            ++dup_suppressed_;
+            ack(m.to, m.from, m.seq);
+            return true;
+          }
+          for (Element& e : m.elements) node.shard.insert(std::move(e));
+          --node.message_count;
+          node.quiescent_rounds = 0;
+          if (m.to == 0) verified_ = false;  // new material voids verification
+          ack(m.to, m.from, m.seq);
+          return true;
+        }
+        case MsgKind::Pull: {
+          node.black = true;
+          if (!node.seen[m.from].insert(m.seq).second) {
+            ++dup_suppressed_;
+          } else {
+            --node.message_count;
+            node.pull_pending = true;
+          }
+          ack(m.to, m.from, m.seq);
+          return true;
+        }
+        case MsgKind::Ack: {
+          // Control traffic: closes the retry loop, no Safra effect.
+          auto it = std::find_if(
+              node.outbox.begin(), node.outbox.end(),
+              [&](const OutboxEntry& e) { return e.seq == m.seq; });
+          if (it != node.outbox.end()) node.outbox.erase(it);
+          return true;
+        }
+      }
       return true;
     });
-    std::erase_if(pull_msgs_, [&](PullMsg& m) {
-      if (m.arrival_round > round_) return false;
-      Node& node = nodes_[m.to];
-      --node.message_count;
-      node.black = true;
-      node.pull_pending = true;
-      return true;
-    });
+    for (const PendingAck& a : pending_acks) send_ack(a.from, a.to, a.seq);
     std::erase_if(token_msgs_, [&](TokenMsg& m) {
       if (m.arrival_round > round_) return false;
+      if (down(m.to)) return true;  // token dies; the watchdog regenerates
+      if (m.token.gen != token_gen_) return true;  // stale generation
       nodes_[m.to].held_token = m.token;
+      if (m.to == 0) token_idle_rounds_ = 0;
       return true;
     });
   }
@@ -147,9 +412,11 @@ class Simulation {
   // --- phase 2: local chemistry ---
   void react() {
     const auto& stage = program_.stages().front();
-    for (Node& node : nodes_) {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      Node& node = nodes_[i];
       node.fired_this_round = false;
       node.answered_pull_this_round = false;
+      if (down(i)) continue;
       for (std::size_t k = 0; k < options_.fires_per_round; ++k) {
         bool fired = false;
         for (const Reaction& r : stage) {
@@ -172,26 +439,12 @@ class Simulation {
     if (nodes_[0].fired_this_round) verified_ = false;
   }
 
-  void send_elements(std::size_t from, std::size_t to,
-                     std::vector<Element> elements) {
-    if (elements.empty() || to == from) return;
-    ++nodes_[from].message_count;
-    ++messages_;
-    migrations_ += elements.size();
-    element_msgs_.push_back(
-        ElementMsg{to, round_ + options_.latency, std::move(elements)});
-  }
-
   /// Picks and removes one random live element from a shard.
   std::optional<Element> take_random(Node& node) {
     if (node.shard.size() == 0) return std::nullopt;
-    // Draw via the arity-agnostic route: snapshot is too costly; sample slot
-    // ids until a live one is found (bounded: live/slots ratio stays sane
-    // because the store reuses freed slots first).
     const Multiset snapshot = node.shard.to_multiset();
     const auto& elems = snapshot.elements();
-    const Element chosen =
-        elems[node.rng.bounded(elems.size())];
+    const Element chosen = elems[node.rng.bounded(elems.size())];
     // Remove one matching instance.
     Store fresh;
     bool skipped = false;
@@ -206,6 +459,22 @@ class Simulation {
     return chosen;
   }
 
+  /// Re-sends overdue unacked transfers. A retransmission may race the
+  /// token (the sender can be passive), so it blackens the sender — the
+  /// same conservative rule EWD998 uses for restarts.
+  void flush_retries(std::size_t i) {
+    Node& node = nodes_[i];
+    for (OutboxEntry& e : node.outbox) {
+      if (e.next_retry_round > round_) continue;
+      ++retransmissions_;
+      node.black = true;
+      transmit(i, e.to, e.kind, e.seq, e.elements);
+      ++e.attempts;
+      e.next_retry_round =
+          round_ + (rtt_ << std::min(e.attempts, 6u));  // exponential backoff
+    }
+  }
+
   // --- phase 3: stirring and consolidation ---
   //
   // Every message here respects EWD998's premise so Safra stays sound:
@@ -217,17 +486,21 @@ class Simulation {
   // A passive node pushing its shard spontaneously would violate the
   // premise: its +1 could be snapshotted away and the initiator could
   // declare a clean lap with the shard still in flight (elements lost).
+  // Retransmissions DO come from passive machines — that is why they
+  // blacken the sender (see flush_retries).
   void communicate() {
     if (nodes_.size() == 1) return;
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
       Node& node = nodes_[i];
+      if (down(i)) continue;
+      flush_retries(i);
       if (node.pull_pending) {
         node.pull_pending = false;
         if (i != 0 && node.shard.size() > 0) {
           std::vector<Element> all = node.shard.to_multiset().elements();
           node.shard = Store{};
           node.answered_pull_this_round = true;  // receipt-activated
-          send_elements(i, 0, std::move(all));
+          send_reliable(i, 0, MsgKind::Elements, std::move(all));
         }
         continue;  // answering a pull supersedes stirring this round
       }
@@ -238,7 +511,7 @@ class Simulation {
           std::size_t peer = node.rng.bounded(nodes_.size() - 1);
           if (peer >= i) ++peer;  // uniform over the OTHER nodes
           if (auto e = take_random(node)) {
-            send_elements(i, peer, {std::move(*e)});
+            send_reliable(i, peer, MsgKind::Elements, {std::move(*e)});
           }
         }
       }
@@ -248,6 +521,7 @@ class Simulation {
     // pull is ARMED by collector activity (firing or receiving) and fires
     // once per quiescence episode — pulling on a timer forever would keep
     // blackening Safra laps and livelock the detection.
+    if (down(0)) return;
     Node& collector = nodes_[0];
     if (collector.active_this_round() ||
         collector.quiescent_rounds == 0 /* received this round */) {
@@ -261,11 +535,8 @@ class Simulation {
   }
 
   void send_pull_burst() {
-    Node& collector = nodes_[0];
     for (std::size_t peer = 1; peer < nodes_.size(); ++peer) {
-      ++collector.message_count;
-      ++messages_;
-      pull_msgs_.push_back(PullMsg{peer, round_ + options_.latency});
+      send_reliable(0, peer, MsgKind::Pull, {});
     }
   }
 
@@ -273,6 +544,10 @@ class Simulation {
   void pass_tokens() {
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
       Node& node = nodes_[i];
+      if (down(i)) continue;  // a dead node forwards nothing
+      if (node.held_token && node.held_token->gen != token_gen_) {
+        node.held_token.reset();  // superseded by a regenerated token
+      }
       if (!node.held_token) continue;
       // Hold the token while locally active; forward when passive.
       if (node.active_this_round()) continue;
@@ -300,7 +575,7 @@ class Simulation {
             return;
           }
         }
-        token = Token{};  // fresh white lap
+        token = Token{false, 0, token_gen_};  // fresh white lap
         node.black = false;
         // fall through to forward the fresh token
       }
@@ -312,24 +587,78 @@ class Simulation {
       }
       node.held_token.reset();
       token_in_flight_ = true;
-      token_msgs_.push_back(
-          TokenMsg{(i + 1) % nodes_.size(), round_ + options_.latency, token});
-      if (nodes_.size() == 1) {
-        // Degenerate ring: the token returns to the only node immediately.
+      if (i == 0) token_idle_rounds_ = 0;
+      send_token(i, (i + 1) % nodes_.size(), token);
+    }
+  }
+
+  /// Token-loss recovery: the initiator counts rounds without the token in
+  /// hand; past the timeout it declares the token eaten (crash, loss, or a
+  /// severed ring) and issues a BLACK replacement under a new generation —
+  /// black because the lap it replaces proves nothing, a new generation so
+  /// a late-surfacing old token is discarded instead of double-counted.
+  void token_watchdog() {
+    // Only an active fault plan can eat a token; with a perfect network the
+    // watchdog would just add spurious regenerations during long laps.
+    if (terminated_ || nodes_.size() == 1 || !options_.faults.any()) return;
+    Node& initiator = nodes_[0];
+    const bool holds_current =
+        initiator.held_token && initiator.held_token->gen == token_gen_;
+    if (holds_current || down(0)) {
+      token_idle_rounds_ = 0;
+      return;
+    }
+    if (++token_idle_rounds_ <= token_timeout_) return;
+    token_idle_rounds_ = 0;
+    ++token_gen_;
+    ++token_regens_;
+    initiator.held_token = Token{true, 0, token_gen_};
+    token_in_flight_ = false;
+  }
+
+  // --- phase 5: replication ---
+  // Synchronous primary-backup: each node ships its end-of-round state to
+  // its ring successor. The simulation applies it at the round boundary, so
+  // a replica is never behind the state a crash destroys — the property
+  // that makes recovery exact (no element lost, none resurrected).
+  void checkpoint() {
+    if (!options_.faults.crashes_possible() || terminated_) return;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (down(i)) continue;  // frozen state was checkpointed pre-crash
+      if (nodes_[i].shard.version() != replica_shard_versions_[i]) {
+        replica_shard_versions_[i] = nodes_[i].shard.version();
+        ++checkpoints_;
       }
+      replicas_[i] = snapshot_of(nodes_[i]);
     }
   }
 
   const gamma::Program& program_;
-  const ClusterOptions& options_;
+  ClusterOptions options_;
+  FaultInjector injector_;
   std::vector<Node> nodes_;
-  std::vector<ElementMsg> element_msgs_;
-  std::vector<PullMsg> pull_msgs_;
+  std::vector<Node> replicas_;  // replicas_[i] lives on node (i+1) % N
+  std::vector<std::uint64_t> replica_shard_versions_;
+  std::vector<Wire> wires_;
   std::vector<TokenMsg> token_msgs_;
   std::size_t round_ = 0;
+  std::size_t rtt_ = 4;
+  std::size_t token_timeout_ = 64;
+  std::size_t token_idle_rounds_ = 0;
+  std::uint64_t token_gen_ = 0;
   std::uint64_t migrations_ = 0;
   std::uint64_t messages_ = 0;
   std::uint64_t laps_ = 0;
+  std::uint64_t acks_ = 0;
+  std::uint64_t retransmissions_ = 0;
+  std::uint64_t lost_ = 0;
+  std::uint64_t duplicated_ = 0;
+  std::uint64_t delayed_ = 0;
+  std::uint64_t dup_suppressed_ = 0;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t recoveries_ = 0;
+  std::uint64_t checkpoints_ = 0;
+  std::uint64_t token_regens_ = 0;
   bool token_in_flight_ = false;
   bool pull_armed_ = true;
   bool verified_ = false;

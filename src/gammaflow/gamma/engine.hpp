@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "gammaflow/common/cancel.hpp"
 #include "gammaflow/common/error.hpp"
 #include "gammaflow/common/stats.hpp"
 #include "gammaflow/gamma/multiset.hpp"
@@ -54,6 +55,16 @@ struct RunOptions {
   /// Optional telemetry sink (spans + metrics). Null (the default) disables
   /// instrumentation entirely; every probe site is behind one pointer test.
   obs::Telemetry* telemetry = nullptr;
+  /// Optional cooperative stop flag shared with the caller. When it fires
+  /// the engine returns the state reached so far (outcome Cancelled) with
+  /// all worker threads joined — it never throws for a cancellation.
+  const CancelToken* cancel = nullptr;
+  /// Wall-clock budget in seconds from run start; <= 0 disables. Exceeding
+  /// it returns a valid partial result with outcome DeadlineExceeded.
+  double deadline = 0.0;
+  /// What exhausting max_steps does: Throw (EngineError, historical) or
+  /// Partial (return the partial multiset with outcome BudgetExhausted).
+  LimitPolicy limit_policy = LimitPolicy::Throw;
 };
 
 struct FireEvent {
@@ -65,6 +76,9 @@ struct FireEvent {
 
 struct RunResult {
   Multiset final_multiset;
+  /// Why the run returned. Anything but Completed means final_multiset is
+  /// the valid PARTIAL state at the stop point, not the fixed point.
+  Outcome outcome = Outcome::Completed;
   /// Total reactions fired.
   std::uint64_t steps = 0;
   std::map<std::string, std::uint64_t> fires_by_reaction;

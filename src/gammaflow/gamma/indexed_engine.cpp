@@ -28,7 +28,11 @@ RunResult IndexedEngine::run(const Program& program, const Multiset& initial,
   std::uint64_t failures = 0;
   std::uint64_t passes = 0;
 
-  for (std::size_t stage_idx = 0; stage_idx < program.stages().size();
+  RunGovernor governor(options.cancel, options.deadline);
+
+  for (std::size_t stage_idx = 0;
+       stage_idx < program.stages().size() &&
+       result.outcome == Outcome::Completed;
        ++stage_idx) {
     const auto& stage = program.stages()[stage_idx];
     std::vector<std::size_t> order(stage.size());
@@ -45,18 +49,23 @@ RunResult IndexedEngine::run(const Program& program, const Multiset& initial,
     }
 
     bool progressed = true;
-    while (progressed) {
+    while (progressed && result.outcome == Outcome::Completed) {
       progressed = false;
       ++passes;
       obs::Span pass_span(tel, rec, "pass");
       std::uint64_t pass_fires = 0;
       std::shuffle(order.begin(), order.end(), rng);
       for (const std::size_t idx : order) {
+        if (result.outcome != Outcome::Completed) break;
         const Reaction& r = stage[idx];
         // Fire this reaction repeatedly while it stays enabled: cheaper than
         // re-shuffling after every step, and fairness across reactions is
         // restored by the shuffled outer pass.
         while (true) {
+          if (governor.should_stop()) {
+            result.outcome = governor.outcome();
+            break;
+          }
           const std::uint64_t fire_start = tel ? tel->now_us() : 0;
           auto match = find_match(store, r, &rng);
           ++attempts;
@@ -65,8 +74,12 @@ RunResult IndexedEngine::run(const Program& program, const Multiset& initial,
             break;
           }
           if (result.steps >= options.max_steps) {
-            throw EngineError("indexed engine exceeded max_steps=" +
-                              std::to_string(options.max_steps));
+            if (options.limit_policy == LimitPolicy::Throw) {
+              throw EngineError("indexed engine exceeded max_steps=" +
+                                std::to_string(options.max_steps));
+            }
+            result.outcome = Outcome::BudgetExhausted;
+            break;
           }
           if (options.record_trace) {
             if (result.trace.size() < options.trace_limit) {
@@ -103,6 +116,7 @@ RunResult IndexedEngine::run(const Program& program, const Multiset& initial,
     stats.count("gamma.match_failures", failures);
     stats.count("gamma.fires", result.steps);
     stats.count("gamma.passes", passes);
+    stats.count(std::string("gamma.outcome.") + to_string(result.outcome));
     result.metrics = tel->metrics();
   }
   result.final_multiset = store.to_multiset();

@@ -46,6 +46,7 @@ struct StageShared {
   std::uint64_t quiet_version = ~std::uint64_t{0};
   unsigned quiet_count = 0;
   bool done = false;
+  Outcome outcome = Outcome::Completed;
   std::uint64_t steps = 0;
   std::uint64_t commits_since_compact = 0;
   std::map<std::string, std::uint64_t> fires;
@@ -76,12 +77,14 @@ struct StageObs {
 };
 
 void worker_loop(StageShared& sh, const std::vector<Reaction>& stage,
-                 std::size_t stage_idx, const RunOptions& options, Rng rng,
+                 std::size_t stage_idx, const RunOptions& options,
+                 std::chrono::steady_clock::time_point deadline, Rng rng,
                  unsigned total_workers, unsigned worker_id,
                  const StageObs& ob, WorkerMetrics& wm) {
   std::vector<std::size_t> order(stage.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
   std::uint64_t my_quiet_version = ~std::uint64_t{0};
+  RunGovernor governor(options.cancel, deadline);
 
   obs::Telemetry* const tel = ob.tel;
   obs::ThreadRecorder* const rec =
@@ -89,6 +92,17 @@ void worker_loop(StageShared& sh, const std::vector<Reaction>& stage,
           : nullptr;
 
   while (true) {
+    if (governor.should_stop()) {
+      // Cooperative exit: first worker to notice flips `done` so waiting
+      // peers wake and join; the store stays valid for the partial result.
+      std::unique_lock lock(sh.mutex);
+      if (!sh.done) {
+        sh.done = true;
+        sh.outcome = governor.outcome();
+        sh.cv.notify_all();
+      }
+      return;
+    }
     // --- search phase (shared lock) ---
     std::optional<Match> proposal;
     std::size_t proposal_idx = 0;
@@ -139,6 +153,12 @@ void worker_loop(StageShared& sh, const std::vector<Reaction>& stage,
       }
       if (produced) {
         if (sh.steps >= options.max_steps) {
+          if (options.limit_policy == LimitPolicy::Partial) {
+            sh.outcome = Outcome::BudgetExhausted;
+            sh.done = true;
+            sh.cv.notify_all();
+            return;
+          }
           try {
             throw EngineError("parallel engine exceeded max_steps=" +
                               std::to_string(options.max_steps));
@@ -225,11 +245,15 @@ RunResult ParallelEngine::run(const Program& program, const Multiset& initial,
   RunResult result;
   Multiset current = initial;
   Rng seed_rng(options.seed);
+  // One absolute deadline for the whole run (all stages, all workers).
+  const auto deadline = deadline_from_now(options.deadline);
   obs::Telemetry* const tel = options.telemetry;
   GF_DEBUG << "gamma parallel run: " << workers << " workers, "
            << program.stages().size() << " stage(s), |M|=" << initial.size();
 
-  for (std::size_t stage_idx = 0; stage_idx < program.stages().size();
+  for (std::size_t stage_idx = 0;
+       stage_idx < program.stages().size() &&
+       result.outcome == Outcome::Completed;
        ++stage_idx) {
     const auto& stage = program.stages()[stage_idx];
     StageShared shared{Store(current)};
@@ -248,12 +272,14 @@ RunResult ParallelEngine::run(const Program& program, const Multiset& initial,
     threads.reserve(workers);
     for (unsigned w = 0; w < workers; ++w) {
       threads.emplace_back(worker_loop, std::ref(shared), std::cref(stage),
-                           stage_idx, std::cref(options), seed_rng.split(),
-                           workers, w, std::cref(ob), std::ref(wm[w]));
+                           stage_idx, std::cref(options), deadline,
+                           seed_rng.split(), workers, w, std::cref(ob),
+                           std::ref(wm[w]));
     }
     for (auto& t : threads) t.join();
 
     if (shared.error) std::rethrow_exception(shared.error);
+    result.outcome = shared.outcome;
     result.steps += shared.steps;
     for (const auto& [name, n] : shared.fires) {
       result.fires_by_reaction[name] += n;
@@ -282,7 +308,11 @@ RunResult ParallelEngine::run(const Program& program, const Multiset& initial,
     }
   }
 
-  if (tel) result.metrics = tel->metrics();
+  if (tel) {
+    tel->stats().count(std::string("gamma.outcome.") +
+                       to_string(result.outcome));
+    result.metrics = tel->metrics();
+  }
   result.final_multiset = std::move(current);
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

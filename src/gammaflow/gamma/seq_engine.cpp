@@ -27,10 +27,18 @@ RunResult SequentialEngine::run(const Program& program, const Multiset& initial,
       tel ? &tel->stats().hist("gamma.enabled_matches") : nullptr;
   std::uint64_t attempts = 0;
 
-  for (std::size_t stage_idx = 0; stage_idx < program.stages().size();
+  RunGovernor governor(options.cancel, options.deadline);
+
+  for (std::size_t stage_idx = 0;
+       stage_idx < program.stages().size() &&
+       result.outcome == Outcome::Completed;
        ++stage_idx) {
     const auto& stage = program.stages()[stage_idx];
     while (true) {
+      if (governor.should_stop()) {
+        result.outcome = governor.outcome();
+        break;
+      }
       obs::Span step_span(tel, rec, "step");
       // Gather the enabled matches of every reaction, capped for safety on
       // large multisets. The cap is per step, re-enumerated from scratch, so
@@ -52,8 +60,12 @@ RunResult SequentialEngine::run(const Program& program, const Multiset& initial,
       const Match& chosen =
           matches[static_cast<std::size_t>(rng.bounded(matches.size()))];
       if (result.steps >= options.max_steps) {
-        throw EngineError("sequential engine exceeded max_steps=" +
-                          std::to_string(options.max_steps));
+        if (options.limit_policy == LimitPolicy::Throw) {
+          throw EngineError("sequential engine exceeded max_steps=" +
+                            std::to_string(options.max_steps));
+        }
+        result.outcome = Outcome::BudgetExhausted;
+        break;
       }
       if (options.record_trace) {
         if (result.trace.size() < options.trace_limit) {
@@ -79,6 +91,7 @@ RunResult SequentialEngine::run(const Program& program, const Multiset& initial,
     auto& stats = tel->stats();
     stats.count("gamma.match_attempts", attempts);
     stats.count("gamma.fires", result.steps);
+    stats.count(std::string("gamma.outcome.") + to_string(result.outcome));
     result.metrics = tel->metrics();
   }
   result.final_multiset = store.to_multiset();

@@ -3,8 +3,10 @@
 // parallel PE engine.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
 #include <numeric>
+#include <thread>
 
 #include "gammaflow/dataflow/engine.hpp"
 #include "gammaflow/paper/figures.hpp"
@@ -203,6 +205,81 @@ TEST_P(DfEngineSuite, FiresByNodeAccounting) {
   // Every loop node fires z+1 = 4 times (3 iterations + exit round).
   EXPECT_EQ(r.fires_by_node[*g.find("R14")], 4u);
   EXPECT_EQ(r.fires_by_node[*g.find("R18")], 3u);  // only on taken branches
+}
+
+// ---------------------------------------------------------------------------
+// Cooperative stopping: deadline, cancellation, and budget with
+// LimitPolicy::Partial return a valid partial machine state (outputs so
+// far, unfired operands as leftovers) with DfRunResult::outcome set.
+// ---------------------------------------------------------------------------
+
+namespace {
+/// The MaxFiresGuardThrows loop: steer always true, never drains.
+Graph infinite_loop_graph() {
+  GraphBuilder b;
+  auto start = b.constant(Value(1), "s");
+  const NodeId inc = b.inctag();
+  b.connect(start, inc, 0, "seed");
+  auto always = b.cmp_imm(BinOp::Ge, GraphBuilder::out(inc),
+                          Value(std::int64_t{0}));
+  const NodeId st = b.steer(GraphBuilder::out(inc), always);
+  b.connect(GraphBuilder::true_out(st), inc, 0, "back");
+  return std::move(b).build();
+}
+}  // namespace
+
+TEST_P(DfEngineSuite, DeadlineExceededReturnsPartialState) {
+  DfRunOptions opts;
+  opts.workers = 3;
+  opts.max_fires = ~std::uint64_t{0};
+  opts.deadline = 0.02;
+  const auto r = make_engine(GetParam())->run(infinite_loop_graph(), opts);
+  EXPECT_EQ(r.outcome, Outcome::DeadlineExceeded);
+  EXPECT_GT(r.fires, 0u);  // it really ran until the clock said stop
+}
+
+TEST_P(DfEngineSuite, PreCancelledTokenStopsBeforeFiring) {
+  CancelToken token;
+  token.cancel();
+  DfRunOptions opts;
+  opts.workers = 3;
+  opts.cancel = &token;
+  const auto r = make_engine(GetParam())->run(paper::fig1_graph(), opts);
+  EXPECT_EQ(r.outcome, Outcome::Cancelled);
+  EXPECT_TRUE(r.outputs.empty());
+}
+
+TEST_P(DfEngineSuite, CancelFromAnotherThreadStopsTheRun) {
+  CancelToken token;
+  DfRunOptions opts;
+  opts.workers = 3;
+  opts.max_fires = ~std::uint64_t{0};
+  opts.cancel = &token;
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    token.cancel();
+  });
+  const auto r = make_engine(GetParam())->run(infinite_loop_graph(), opts);
+  canceller.join();
+  EXPECT_EQ(r.outcome, Outcome::Cancelled);
+}
+
+TEST_P(DfEngineSuite, BudgetWithPartialPolicyReturnsInsteadOfThrowing) {
+  DfRunOptions opts;
+  opts.workers = 3;
+  opts.max_fires = 500;
+  opts.limit_policy = LimitPolicy::Partial;
+  const auto r = make_engine(GetParam())->run(infinite_loop_graph(), opts);
+  EXPECT_EQ(r.outcome, Outcome::BudgetExhausted);
+  EXPECT_GT(r.fires, 0u);
+  // The looping token is still in the machine, surfaced as a leftover, not
+  // silently dropped.
+  EXPECT_FALSE(r.leftovers.empty());
+}
+
+TEST_P(DfEngineSuite, CompletedRunsReportCompletedOutcome) {
+  const auto r = run(paper::fig1_graph());
+  EXPECT_EQ(r.outcome, Outcome::Completed);
 }
 
 INSTANTIATE_TEST_SUITE_P(Engines, DfEngineSuite,

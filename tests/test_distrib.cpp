@@ -202,6 +202,205 @@ TEST(Distrib, ConsolidationThresholdAffectsSchedule) {
   EXPECT_NE(re.messages, rl.messages);
 }
 
+// ---------------------------------------------------------------------------
+// Fault tolerance: the FaultPlan degrades the network and kills nodes; the
+// ack/retry + checkpoint/replica + token-regeneration machinery must still
+// converge to the centralized result, and the recovery counters must show
+// the machinery actually engaged.
+// ---------------------------------------------------------------------------
+
+gamma::Multiset sum_oracle(const gamma::Multiset& m) {
+  const auto p = gamma::dsl::parse_program("R = replace x, y by x + y");
+  return gamma::IndexedEngine().run(p, m).final_multiset;
+}
+
+TEST(DistribFault, LossyNetworkConverges) {
+  const auto p = gamma::dsl::parse_program("R = replace x, y by x + y");
+  const gamma::Multiset m = ints(1, 60);
+  ClusterOptions o = opts(4, 3);
+  o.faults.loss = 0.15;
+  const auto r = run_distributed(p, m, o);
+  EXPECT_EQ(r.final_multiset, sum_oracle(m));
+  EXPECT_GT(r.messages_lost, 0u);        // the plan actually dropped traffic
+  EXPECT_GT(r.retransmissions, 0u);      // ...and the senders re-sent it
+  EXPECT_GT(r.acks, 0u);
+}
+
+TEST(DistribFault, DuplicatedElementMessagesAreSuppressed) {
+  const auto p = gamma::dsl::parse_program("R = replace x, y by x + y");
+  const gamma::Multiset m = ints(1, 60);
+  ClusterOptions o = opts(4, 3);
+  o.faults.duplication = 0.4;
+  const auto r = run_distributed(p, m, o);
+  // Duplicates delivered but deduped: the multiset stays exact (no element
+  // counted twice) and the suppression counter proves copies arrived.
+  EXPECT_EQ(r.final_multiset, sum_oracle(m));
+  EXPECT_GT(r.messages_duplicated, 0u);
+  EXPECT_GT(r.duplicates_suppressed, 0u);
+}
+
+TEST(DistribFault, ReorderedDeliveryConverges) {
+  const auto p = gamma::dsl::parse_program("R = replace x, y by x + y");
+  const gamma::Multiset m = ints(1, 60);
+  ClusterOptions o = opts(4, 3);
+  o.faults.reorder = 0.5;
+  o.faults.reorder_jitter = 6;
+  const auto r = run_distributed(p, m, o);
+  EXPECT_EQ(r.final_multiset, sum_oracle(m));
+  EXPECT_GT(r.messages_delayed, 0u);
+}
+
+TEST(DistribFault, LostTokenIsRegenerated) {
+  // Heavy loss eats Safra tokens too; the initiator's watchdog must issue
+  // replacements (new generation) or the run would spin to max_rounds.
+  const auto p = gamma::dsl::parse_program("R = replace x, y by x + y");
+  const gamma::Multiset m = ints(1, 40);
+  ClusterOptions o = opts(4, 5);
+  o.faults.loss = 0.4;
+  o.faults.token_timeout = 12;
+  const auto r = run_distributed(p, m, o);
+  EXPECT_EQ(r.final_multiset, sum_oracle(m));
+  EXPECT_GE(r.token_regenerations, 1u);
+}
+
+TEST(DistribFault, ScheduledCrashRecoversFromReplica) {
+  const auto p = gamma::dsl::parse_program("R = replace x, y by x + y");
+  const gamma::Multiset m = ints(1, 60);
+  ClusterOptions o = opts(4, 7);
+  o.faults.crashes.push_back({3, 1, 4});  // node 1 dies at round 3
+  const auto r = run_distributed(p, m, o);
+  // The crash wiped node 1's live shard; the replica restore plus sender
+  // retries mean not one element is lost or double-counted.
+  EXPECT_EQ(r.final_multiset, sum_oracle(m));
+  EXPECT_EQ(r.crashes, 1u);
+  EXPECT_EQ(r.recoveries, 1u);
+  EXPECT_GT(r.checkpoints, 0u);
+}
+
+TEST(DistribFault, CrashWhileHoldingTheTokenRegeneratesIt) {
+  // Node 0 holds the token from the start; killing it at round 2 destroys
+  // the token in hand. Only the generation-stamped regeneration path can
+  // finish this run.
+  const auto p = gamma::dsl::parse_program("R = replace x, y by x + y");
+  const gamma::Multiset m = ints(1, 40);
+  ClusterOptions o = opts(4, 7);
+  o.faults.crashes.push_back({2, 0, 3});
+  o.faults.token_timeout = 10;
+  const auto r = run_distributed(p, m, o);
+  EXPECT_EQ(r.final_multiset, sum_oracle(m));
+  EXPECT_EQ(r.crashes, 1u);
+  EXPECT_GE(r.token_regenerations, 1u);
+}
+
+TEST(DistribFault, PartitionHealsAndConverges) {
+  const auto p = gamma::dsl::parse_program("R = replace x, y by x + y");
+  const gamma::Multiset m = ints(1, 60);
+  ClusterOptions o = opts(4, 9);
+  o.faults.partitions.push_back({2, 25, 2});  // {0,1} | {2,3} for 25 rounds
+  o.faults.token_timeout = 12;
+  const auto r = run_distributed(p, m, o);
+  EXPECT_EQ(r.final_multiset, sum_oracle(m));
+  EXPECT_GT(r.messages_lost, 0u);  // cross-cut traffic was severed
+}
+
+TEST(DistribFault, EverythingAtOnceStillConverges) {
+  const auto p = gamma::dsl::parse_program(
+      "R = replace x, y by [x - y], [y] where x > y");
+  gamma::Multiset m{gamma::Element{Value(24)}, gamma::Element{Value(36)},
+                    gamma::Element{Value(60)}, gamma::Element{Value(84)}};
+  const auto expected = gamma::IndexedEngine().run(p, m).final_multiset;
+  ClusterOptions o = opts(5, 13);
+  o.faults.loss = 0.1;
+  o.faults.duplication = 0.1;
+  o.faults.reorder = 0.2;
+  o.faults.crash_rate = 0.005;
+  o.faults.crash_downtime = 2;
+  o.faults.token_timeout = 16;
+  const auto r = run_distributed(p, m, o);
+  EXPECT_EQ(r.final_multiset, expected);
+}
+
+TEST(DistribFault, FaultScheduleIsDeterministicFromSeed) {
+  const auto p = gamma::dsl::parse_program("R = replace x, y by x + y");
+  const gamma::Multiset m = ints(1, 40);
+  ClusterOptions o = opts(4, 21);
+  o.faults.loss = 0.2;
+  o.faults.duplication = 0.1;
+  o.faults.reorder = 0.3;
+  o.faults.crash_rate = 0.01;
+  o.faults.token_timeout = 16;
+  const auto a = run_distributed(p, m, o);
+  const auto b = run_distributed(p, m, o);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.messages_lost, b.messages_lost);
+  EXPECT_EQ(a.retransmissions, b.retransmissions);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.token_regenerations, b.token_regenerations);
+  EXPECT_EQ(a.final_multiset, b.final_multiset);
+}
+
+TEST(DistribFault, FaultFreeRunReportsZeroFaultCounters) {
+  const auto p = gamma::dsl::parse_program("R = replace x, y by x + y");
+  const auto r = run_distributed(p, ints(1, 30), opts(4));
+  EXPECT_EQ(r.messages_lost, 0u);
+  EXPECT_EQ(r.messages_duplicated, 0u);
+  EXPECT_EQ(r.messages_delayed, 0u);
+  EXPECT_EQ(r.retransmissions, 0u);
+  EXPECT_EQ(r.duplicates_suppressed, 0u);
+  EXPECT_EQ(r.crashes, 0u);
+  EXPECT_EQ(r.recoveries, 0u);
+  EXPECT_EQ(r.token_regenerations, 0u);
+}
+
+TEST(DistribFault, ValidationRejectsDegenerateOptions) {
+  const auto p = gamma::dsl::parse_program("R = replace x, y by x + y");
+  {
+    ClusterOptions o = opts(4);
+    o.latency = 0;
+    EXPECT_THROW((void)run_distributed(p, ints(1, 4), o), ProgramError);
+  }
+  {
+    ClusterOptions o = opts(4);
+    o.fires_per_round = 0;
+    EXPECT_THROW((void)run_distributed(p, ints(1, 4), o), ProgramError);
+  }
+  {
+    ClusterOptions o = opts(4);
+    o.faults.loss = 1.5;
+    EXPECT_THROW((void)run_distributed(p, ints(1, 4), o), ProgramError);
+  }
+  {
+    ClusterOptions o = opts(4);
+    o.faults.crashes.push_back({3, 99, 2});  // node out of range
+    EXPECT_THROW((void)run_distributed(p, ints(1, 4), o), ProgramError);
+  }
+}
+
+// Property sweep: 200 seeds under a mixed fault plan, every faulty run must
+// converge to the oracle multiset. This is the paper-level claim — faults
+// change the schedule, never the fixed point.
+class DistribFaultSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DistribFaultSweep, FaultyRunMatchesCentralizedOracle) {
+  const std::uint64_t seed = GetParam();
+  const auto p = gamma::dsl::parse_program("R = replace x, y by x + y");
+  const gamma::Multiset m = ints(1, 36);
+  ClusterOptions o = opts(4, seed);
+  o.faults.loss = 0.08;
+  o.faults.duplication = 0.05;
+  o.faults.reorder = 0.15;
+  o.faults.crash_rate = 0.002;
+  o.faults.crash_downtime = 3;
+  o.faults.token_timeout = 24;
+  const auto r = run_distributed(p, m, o);
+  EXPECT_EQ(r.final_multiset, sum_oracle(m)) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DistribFaultSweep,
+                         ::testing::Range(std::uint64_t{1},
+                                          std::uint64_t{201}));
+
 // Parameterized sweep: cluster size x seed grid, gcd workload (conditions +
 // growth), all must agree with the centralized oracle.
 class DistribGrid

@@ -1,0 +1,249 @@
+// Fault-injection primitives (common/fault.hpp) and cooperative
+// cancellation (common/cancel.hpp): plan validation, injector determinism,
+// partition geometry, token/governor semantics.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "gammaflow/common/cancel.hpp"
+#include "gammaflow/common/fault.hpp"
+
+namespace gammaflow {
+namespace {
+
+TEST(FaultPlan, DefaultPlanIsFaultFree) {
+  const FaultPlan plan;
+  EXPECT_FALSE(plan.any());
+  EXPECT_FALSE(plan.crashes_possible());
+  EXPECT_NO_THROW(plan.validate());
+}
+
+TEST(FaultPlan, AnyDetectsEachFaultClass) {
+  {
+    FaultPlan p;
+    p.loss = 0.1;
+    EXPECT_TRUE(p.any());
+  }
+  {
+    FaultPlan p;
+    p.duplication = 0.1;
+    EXPECT_TRUE(p.any());
+  }
+  {
+    FaultPlan p;
+    p.reorder = 0.1;
+    EXPECT_TRUE(p.any());
+  }
+  {
+    FaultPlan p;
+    p.crash_rate = 0.01;
+    EXPECT_TRUE(p.any());
+    EXPECT_TRUE(p.crashes_possible());
+  }
+  {
+    FaultPlan p;
+    p.crashes.push_back({5, 1, 3});
+    EXPECT_TRUE(p.any());
+    EXPECT_TRUE(p.crashes_possible());
+  }
+  {
+    FaultPlan p;
+    p.partitions.push_back({10, 5, 2});
+    EXPECT_TRUE(p.any());
+    EXPECT_FALSE(p.crashes_possible());
+  }
+}
+
+TEST(FaultPlan, ValidateRejectsOutOfRangeProbabilities) {
+  for (const double bad : {-0.1, 1.5}) {
+    {
+      FaultPlan p;
+      p.loss = bad;
+      EXPECT_THROW(p.validate(), ProgramError);
+    }
+    {
+      FaultPlan p;
+      p.duplication = bad;
+      EXPECT_THROW(p.validate(), ProgramError);
+    }
+    {
+      FaultPlan p;
+      p.reorder = bad;
+      EXPECT_THROW(p.validate(), ProgramError);
+    }
+    {
+      FaultPlan p;
+      p.crash_rate = bad;
+      EXPECT_THROW(p.validate(), ProgramError);
+    }
+  }
+}
+
+TEST(FaultPlan, ValidateRejectsDegenerateKnobs) {
+  {
+    FaultPlan p;
+    p.reorder = 0.5;
+    p.reorder_jitter = 0;
+    EXPECT_THROW(p.validate(), ProgramError);
+  }
+  {
+    FaultPlan p;
+    p.crash_rate = 0.01;
+    p.crash_downtime = 0;
+    EXPECT_THROW(p.validate(), ProgramError);
+  }
+}
+
+TEST(FaultInjector, SameSeedReplaysTheSameSchedule) {
+  FaultPlan plan;
+  plan.loss = 0.3;
+  plan.duplication = 0.2;
+  plan.reorder = 0.4;
+  FaultInjector a(plan, 42), b(plan, 42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.lose(), b.lose());
+    EXPECT_EQ(a.duplicate(), b.duplicate());
+    EXPECT_EQ(a.jitter(), b.jitter());
+  }
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge) {
+  FaultPlan plan;
+  plan.loss = 0.5;
+  FaultInjector a(plan, 1), b(plan, 2);
+  int differences = 0;
+  for (int i = 0; i < 256; ++i) differences += a.lose() != b.lose();
+  EXPECT_GT(differences, 0);
+}
+
+TEST(FaultInjector, DisabledFaultsDrawNothing) {
+  const FaultPlan plan;  // all zero
+  FaultInjector inj(plan, 9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(inj.lose());
+    EXPECT_FALSE(inj.duplicate());
+    EXPECT_EQ(inj.jitter(), 0u);
+    EXPECT_FALSE(inj.spontaneous_crash());
+  }
+}
+
+TEST(FaultInjector, LossRateIsRoughlyRespected) {
+  FaultPlan plan;
+  plan.loss = 0.25;
+  FaultInjector inj(plan, 7);
+  int lost = 0;
+  for (int i = 0; i < 10'000; ++i) lost += inj.lose();
+  EXPECT_GT(lost, 2'000);
+  EXPECT_LT(lost, 3'000);
+}
+
+TEST(FaultInjector, JitterStaysWithinBound) {
+  FaultPlan plan;
+  plan.reorder = 1.0;
+  plan.reorder_jitter = 4;
+  FaultInjector inj(plan, 3);
+  for (int i = 0; i < 1000; ++i) {
+    const std::size_t j = inj.jitter();
+    EXPECT_GE(j, 1u);
+    EXPECT_LE(j, 4u);
+  }
+}
+
+TEST(FaultInjector, SpontaneousCrashesAreCapped) {
+  FaultPlan plan;
+  plan.crash_rate = 1.0;  // every roll succeeds...
+  plan.max_crashes = 5;   // ...but only this many times
+  FaultInjector inj(plan, 11);
+  int crashes = 0;
+  for (int i = 0; i < 100; ++i) crashes += inj.spontaneous_crash();
+  EXPECT_EQ(crashes, 5);
+}
+
+TEST(FaultInjector, PartitionSeversExactlyTheCutDuringTheWindow) {
+  FaultPlan plan;
+  plan.partitions.push_back({10, 5, 2});  // rounds [10,15), groups {0,1}|{2,3}
+  const FaultInjector inj(plan, 1);
+  // Inside the window, only cross-cut links are cut — both directions.
+  EXPECT_TRUE(inj.severed(1, 2, 10));
+  EXPECT_TRUE(inj.severed(2, 1, 14));
+  EXPECT_TRUE(inj.severed(0, 3, 12));
+  EXPECT_FALSE(inj.severed(0, 1, 12));
+  EXPECT_FALSE(inj.severed(2, 3, 12));
+  // Outside the window, nothing is cut.
+  EXPECT_FALSE(inj.severed(1, 2, 9));
+  EXPECT_FALSE(inj.severed(1, 2, 15));
+}
+
+TEST(Outcome, ToStringNamesEveryValue) {
+  EXPECT_STREQ(to_string(Outcome::Completed), "completed");
+  EXPECT_STREQ(to_string(Outcome::DeadlineExceeded), "deadline_exceeded");
+  EXPECT_STREQ(to_string(Outcome::Cancelled), "cancelled");
+  EXPECT_STREQ(to_string(Outcome::BudgetExhausted), "budget_exhausted");
+}
+
+TEST(CancelToken, CancelAndReset) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.cancel();
+  EXPECT_TRUE(token.cancelled());
+  token.reset();
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancelToken, VisibleAcrossThreads) {
+  CancelToken token;
+  std::thread t([&] { token.cancel(); });
+  t.join();
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(RunGovernor, UnarmedNeverStops) {
+  RunGovernor gov(nullptr, 0.0);
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(gov.should_stop());
+  EXPECT_EQ(gov.outcome(), Outcome::Completed);
+}
+
+TEST(RunGovernor, PreCancelledTokenStopsImmediately) {
+  CancelToken token;
+  token.cancel();
+  RunGovernor gov(&token, 0.0);
+  EXPECT_TRUE(gov.should_stop());
+  EXPECT_EQ(gov.outcome(), Outcome::Cancelled);
+}
+
+TEST(RunGovernor, CancellationIsSticky) {
+  CancelToken token;
+  RunGovernor gov(&token, 0.0);
+  EXPECT_FALSE(gov.should_stop());
+  token.cancel();
+  EXPECT_TRUE(gov.should_stop());
+  token.reset();  // too late: the governor latched the decision
+  EXPECT_TRUE(gov.should_stop());
+  EXPECT_EQ(gov.outcome(), Outcome::Cancelled);
+}
+
+TEST(RunGovernor, ExpiredDeadlineStopsWithinOneStride) {
+  RunGovernor gov(nullptr, std::chrono::steady_clock::now());
+  bool stopped = false;
+  for (std::uint64_t i = 0; i <= RunGovernor::kStride && !stopped; ++i) {
+    stopped = gov.should_stop();
+  }
+  EXPECT_TRUE(stopped);
+  EXPECT_EQ(gov.outcome(), Outcome::DeadlineExceeded);
+}
+
+TEST(RunGovernor, FutureDeadlineDoesNotStop) {
+  RunGovernor gov(nullptr, 3600.0);  // an hour out
+  for (int i = 0; i < 500; ++i) EXPECT_FALSE(gov.should_stop());
+}
+
+TEST(DeadlineFromNow, NonPositiveDisables) {
+  EXPECT_EQ(deadline_from_now(0.0),
+            std::chrono::steady_clock::time_point::max());
+  EXPECT_EQ(deadline_from_now(-1.0),
+            std::chrono::steady_clock::time_point::max());
+}
+
+}  // namespace
+}  // namespace gammaflow

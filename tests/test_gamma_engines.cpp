@@ -3,7 +3,9 @@
 // step limits, traces, sequential stages.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
+#include <thread>
 
 #include "gammaflow/gamma/dsl/parser.hpp"
 #include "gammaflow/gamma/engine.hpp"
@@ -191,6 +193,77 @@ TEST_P(EngineSuite, FireCountsSumToSteps) {
   for (const auto& [name, n] : r.fires_by_reaction) total += n;
   EXPECT_EQ(total, r.steps);
   EXPECT_EQ(r.steps, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Cooperative stopping: deadline, cancellation, and budget with
+// LimitPolicy::Partial must all return a VALID partial multiset with
+// RunResult::outcome saying why — never throw, never hang a worker.
+// ---------------------------------------------------------------------------
+
+TEST_P(EngineSuite, DeadlineExceededReturnsPartialState) {
+  // Non-terminating chemistry: only the deadline can end this run.
+  const Program p = dsl::parse_program("R = replace x by x + 1");
+  RunOptions opts;
+  opts.workers = 3;
+  opts.max_steps = ~std::uint64_t{0};  // budget out of the picture
+  opts.deadline = 0.02;
+  const auto r = make_engine(GetParam())->run(p, ints({0}), opts);
+  EXPECT_EQ(r.outcome, Outcome::DeadlineExceeded);
+  // The partial state is real: one element, rewritten some number of times.
+  ASSERT_EQ(r.final_multiset.size(), 1u);
+  EXPECT_GE(r.final_multiset.elements()[0].value().as_int(), 0);
+}
+
+TEST_P(EngineSuite, PreCancelledTokenReturnsInitialState) {
+  const Program p = dsl::parse_program("R = replace x, y by x + y");
+  CancelToken token;
+  token.cancel();
+  RunOptions opts;
+  opts.workers = 3;
+  opts.cancel = &token;
+  const Multiset m = ints({1, 2, 3, 4});
+  const auto r = make_engine(GetParam())->run(p, m, opts);
+  EXPECT_EQ(r.outcome, Outcome::Cancelled);
+  EXPECT_EQ(r.steps, 0u);
+  EXPECT_EQ(r.final_multiset, m);
+}
+
+TEST_P(EngineSuite, CancelFromAnotherThreadStopsTheRun) {
+  const Program p = dsl::parse_program("R = replace x by x + 1");
+  CancelToken token;
+  RunOptions opts;
+  opts.workers = 3;
+  opts.max_steps = ~std::uint64_t{0};
+  opts.cancel = &token;
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    token.cancel();
+  });
+  const auto r = make_engine(GetParam())->run(p, ints({0}), opts);
+  canceller.join();
+  EXPECT_EQ(r.outcome, Outcome::Cancelled);
+  EXPECT_EQ(r.final_multiset.size(), 1u);
+}
+
+TEST_P(EngineSuite, BudgetWithPartialPolicyReturnsInsteadOfThrowing) {
+  const Program p = dsl::parse_program("R = replace x by x + 1");
+  RunOptions opts;
+  opts.workers = 3;
+  opts.max_steps = 25;
+  opts.limit_policy = LimitPolicy::Partial;
+  const auto r = make_engine(GetParam())->run(p, ints({0}), opts);
+  EXPECT_EQ(r.outcome, Outcome::BudgetExhausted);
+  EXPECT_LE(r.steps, 25u);
+  ASSERT_EQ(r.final_multiset.size(), 1u);
+  EXPECT_EQ(r.final_multiset.elements()[0].value(),
+            Value(static_cast<std::int64_t>(r.steps)));
+}
+
+TEST_P(EngineSuite, CompletedRunsReportCompletedOutcome) {
+  const Program p = dsl::parse_program("R = replace x, y by x + y");
+  const auto r = run(p, ints({1, 2, 3}));
+  EXPECT_EQ(r.outcome, Outcome::Completed);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllEngines, EngineSuite,

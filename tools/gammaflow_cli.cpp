@@ -7,6 +7,8 @@
 //   gammaflow fuse     <prog.gamma> [--init "<elements>"]      SIII-A3 reduction
 //   gammaflow expand   <prog.gamma>                            inverse reduction
 //   gammaflow reconstruct <prog.gamma> --init "<elements>"     Gamma -> graph
+//   gammaflow distrib  <prog.gamma> --init "<elements>" [--nodes N ...]
+//                                             simulated cluster (+ faults)
 //   gammaflow dot      <prog.src|graph.df>    Graphviz output
 //
 // Input kind is decided by extension: .src (imperative), .df (graph text),
@@ -19,8 +21,10 @@
 #include <string>
 #include <vector>
 
+#include "gammaflow/common/fault.hpp"
 #include "gammaflow/common/logging.hpp"
 #include "gammaflow/dataflow/dot.hpp"
+#include "gammaflow/distrib/cluster.hpp"
 #include "gammaflow/dataflow/engine.hpp"
 #include "gammaflow/obs/report.hpp"
 #include "gammaflow/obs/telemetry.hpp"
@@ -54,8 +58,19 @@ int usage() {
       "  dot <prog.src|graph.df>               Graphviz\n"
       "  opt <prog.src|graph.df>               optimize (fold/bypass/DCE)\n"
       "  lint <prog.gamma> [--init \"...\"]     static Gamma checks\n"
+      "  distrib <prog.gamma> --init \"...\"     simulated cluster run\n"
       "options: --init \"[v,'L'] ...\"  --engine seq|idx|par  --seed N\n"
       "         --workers N            worker threads (par engines)\n"
+      "         --deadline S           wall-clock budget in seconds (run,\n"
+      "                                rungamma); prints the partial state\n"
+      "distrib: --nodes N --placement hash|rr|single --latency N\n"
+      "         --fires-per-round N    local matches per node per round\n"
+      "  fault injection (deterministic from --seed):\n"
+      "         --loss P --dup P --reorder P   per-message probabilities\n"
+      "         --crash-rate P --crash-downtime N   random crash-restarts\n"
+      "         --crash R:N:D          crash node N at round R for D rounds\n"
+      "         --partition S:D:C      rounds [S,S+D): cut {0..C-1}|{C..}\n"
+      "         --token-timeout N      Safra token regeneration timeout\n"
       "observability (run, rungamma):\n"
       "  --trace-out <file.json>  Chrome trace-event dump (chrome://tracing)\n"
       "  --metrics                print engine-internal metrics after the run\n"
@@ -121,7 +136,43 @@ struct Options {
   std::optional<unsigned> workers;
   std::optional<std::string> trace_out;
   bool metrics = false;
+  /// Wall-clock budget in seconds for run/rungamma; <= 0 = none. The run
+  /// returns its partial state with outcome=deadline_exceeded when it hits.
+  double deadline = 0.0;
+  // --- distrib ---
+  std::size_t nodes = 4;
+  std::string placement = "hash";
+  std::size_t latency = 1;
+  std::size_t fires_per_round = 4;
+  FaultPlan faults;
 };
+
+/// Parses "a:b" / "a:b:c" small-integer tuples (--crash, --partition).
+std::vector<std::size_t> parse_tuple(const std::string& text,
+                                     const std::string& arg,
+                                     std::size_t want) {
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t colon = text.find(':', pos);
+    const std::string part = text.substr(
+        pos, colon == std::string::npos ? std::string::npos : colon - pos);
+    try {
+      std::size_t used = 0;
+      out.push_back(std::stoull(part, &used));
+      if (used != part.size()) throw Error("");
+    } catch (const std::exception&) {
+      throw Error("expected N:N:N for " + arg + ", got '" + text + "'");
+    }
+    if (colon == std::string::npos) break;
+    pos = colon + 1;
+  }
+  if (out.size() != want) {
+    throw Error(arg + " wants " + std::to_string(want) +
+                " colon-separated numbers, got '" + text + "'");
+  }
+  return out;
+}
 
 Options parse_options(int argc, char** argv, int first) {
   Options opts;
@@ -142,6 +193,17 @@ Options parse_options(int argc, char** argv, int first) {
         throw Error("expected a number for " + arg + ", got '" + value + "'");
       }
     };
+    auto next_real = [&]() -> double {
+      const std::string value = next();
+      try {
+        std::size_t pos = 0;
+        const double x = std::stod(value, &pos);
+        if (pos != value.size()) throw Error("");
+        return x;
+      } catch (const std::exception&) {
+        throw Error("expected a number for " + arg + ", got '" + value + "'");
+      }
+    };
     if (arg == "--init") {
       opts.init = next();
     } else if (arg == "--engine") {
@@ -154,6 +216,34 @@ Options parse_options(int argc, char** argv, int first) {
       opts.trace_out = next();
     } else if (arg == "--metrics") {
       opts.metrics = true;
+    } else if (arg == "--deadline") {
+      opts.deadline = next_real();
+    } else if (arg == "--nodes") {
+      opts.nodes = next_number();
+    } else if (arg == "--placement") {
+      opts.placement = next();
+    } else if (arg == "--latency") {
+      opts.latency = next_number();
+    } else if (arg == "--fires-per-round") {
+      opts.fires_per_round = next_number();
+    } else if (arg == "--loss") {
+      opts.faults.loss = next_real();
+    } else if (arg == "--dup") {
+      opts.faults.duplication = next_real();
+    } else if (arg == "--reorder") {
+      opts.faults.reorder = next_real();
+    } else if (arg == "--crash-rate") {
+      opts.faults.crash_rate = next_real();
+    } else if (arg == "--crash-downtime") {
+      opts.faults.crash_downtime = next_number();
+    } else if (arg == "--crash") {
+      const auto t = parse_tuple(next(), arg, 3);
+      opts.faults.crashes.push_back({t[0], t[1], t[2]});
+    } else if (arg == "--partition") {
+      const auto t = parse_tuple(next(), arg, 3);
+      opts.faults.partitions.push_back({t[0], t[1], t[2]});
+    } else if (arg == "--token-timeout") {
+      opts.faults.token_timeout = next_number();
     } else if (arg == "--log-level") {
       const std::string name = next();
       const auto level = parse_log_level(name.c_str());
@@ -194,10 +284,18 @@ int cmd_run(const std::string& path, const Options& opts) {
   dataflow::DfRunOptions ropts;
   if (opts.trace_out || opts.metrics) ropts.telemetry = &tel;
   if (opts.workers) ropts.workers = *opts.workers;
+  if (opts.deadline > 0.0) {
+    ropts.deadline = opts.deadline;
+    ropts.limit_policy = LimitPolicy::Partial;
+  }
   const bool parallel = opts.engine == "par";
   const auto result = parallel
                           ? dataflow::ParallelEngine().run(g, ropts, {})
                           : dataflow::Interpreter().run(g, ropts, {});
+  if (result.outcome != Outcome::Completed) {
+    std::cout << "# stopped early: " << to_string(result.outcome)
+              << " (partial outputs below)\n";
+  }
   for (const auto& [name, tokens] : result.outputs) {
     std::cout << name << " =";
     for (const Value& v : result.output_values(name)) std::cout << ' ' << v;
@@ -235,10 +333,63 @@ int cmd_rungamma(const std::string& path, const Options& opts) {
   ropts.seed = opts.seed;
   if (opts.workers) ropts.workers = *opts.workers;
   if (opts.trace_out || opts.metrics) ropts.telemetry = &tel;
+  if (opts.deadline > 0.0) {
+    ropts.deadline = opts.deadline;
+    ropts.limit_policy = LimitPolicy::Partial;
+  }
   const auto result = make_engine(opts.engine)->run(program, initial, ropts);
   std::cout << result.final_multiset << '\n'
             << "# " << result.steps << " reactions fired\n";
+  if (result.outcome != Outcome::Completed) {
+    std::cout << "# stopped early: " << to_string(result.outcome)
+              << " (partial multiset above)\n";
+  }
   if (opts.trace_out) dump_trace(tel, *opts.trace_out);
+  if (opts.metrics) obs::write_report(std::cout, tel);
+  return 0;
+}
+
+int cmd_distrib(const std::string& path, const Options& opts) {
+  if (!opts.init) throw Error("distrib needs --init \"<elements>\"");
+  const gamma::Program program = gamma::dsl::parse_program(read_file(path));
+  const gamma::Multiset initial = parse_elements(*opts.init);
+  obs::Telemetry tel;
+  distrib::ClusterOptions copts;
+  copts.nodes = opts.nodes;
+  copts.seed = opts.seed;
+  copts.latency = opts.latency;
+  copts.fires_per_round = opts.fires_per_round;
+  copts.faults = opts.faults;
+  if (opts.metrics) copts.telemetry = &tel;
+  if (opts.placement == "hash") {
+    copts.placement = distrib::Placement::Hash;
+  } else if (opts.placement == "rr") {
+    copts.placement = distrib::Placement::RoundRobin;
+  } else if (opts.placement == "single") {
+    copts.placement = distrib::Placement::Single;
+  } else {
+    throw Error("unknown placement '" + opts.placement +
+                "' (want hash|rr|single)");
+  }
+
+  const auto result = distrib::run_distributed(program, initial, copts);
+  std::cout << result.final_multiset << '\n'
+            << "# " << result.fires << " reactions fired across "
+            << copts.nodes << " node(s) in " << result.rounds << " rounds\n"
+            << "# " << result.messages << " messages, " << result.migrations
+            << " element migrations, " << result.token_laps
+            << " Safra laps\n";
+  if (copts.faults.any()) {
+    std::cout << "# faults: " << result.messages_lost << " lost, "
+              << result.messages_duplicated << " duplicated, "
+              << result.messages_delayed << " delayed, " << result.crashes
+              << " crash(es)\n"
+              << "# recovery: " << result.retransmissions
+              << " retransmissions, " << result.duplicates_suppressed
+              << " duplicates suppressed, " << result.recoveries
+              << " restarts, " << result.token_regenerations
+              << " token regenerations\n";
+  }
   if (opts.metrics) obs::write_report(std::cout, tel);
   return 0;
 }
@@ -308,6 +459,7 @@ int main(int argc, char** argv) try {
   if (cmd == "dot") return cmd_dot(file);
   if (cmd == "opt") return cmd_opt(file);
   if (cmd == "lint") return cmd_lint(file, opts);
+  if (cmd == "distrib") return cmd_distrib(file, opts);
   return usage();
 } catch (const std::exception& e) {
   std::cerr << "gammaflow: " << e.what() << '\n';
