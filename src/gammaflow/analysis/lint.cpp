@@ -15,16 +15,16 @@ using gamma::Branch;
 using gamma::Pattern;
 using gamma::Reaction;
 
-namespace {
-
-const char* severity_name(Severity s) {
-  switch (s) {
+const char* to_string(Severity severity) noexcept {
+  switch (severity) {
     case Severity::Info: return "info";
     case Severity::Warning: return "warning";
     case Severity::Error: return "error";
   }
   return "?";
 }
+
+namespace {
 
 /// Literal label of a pattern's field 1, empty when absent/variable.
 std::string pattern_label(const Pattern& p) {
@@ -134,11 +134,36 @@ std::vector<Finding> LintReport::of(const std::string& check) const {
 
 std::ostream& operator<<(std::ostream& os, const LintReport& report) {
   for (const Finding& f : report.findings) {
-    os << severity_name(f.severity) << " [" << f.check << "]";
+    os << to_string(f.severity) << " [" << f.check << "]";
     if (!f.reaction.empty()) os << " " << f.reaction;
     os << ": " << f.message << '\n';
   }
   return os;
+}
+
+void write_json(std::ostream& os, const LintReport& report) {
+  const auto escape = [](const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out.push_back(c);
+    }
+    return out;
+  };
+  os << "{\"errors\":" << report.errors()
+     << ",\"warnings\":" << report.warnings() << ",\"findings\":[";
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    const Finding& f = report.findings[i];
+    if (i) os << ',';
+    os << "{\"severity\":\"" << to_string(f.severity) << "\",\"check\":\""
+       << escape(f.check) << "\",\"where\":\"" << escape(f.reaction)
+       << "\",\"message\":\"" << escape(f.message) << "\"}";
+  }
+  os << "]}";
 }
 
 LintReport lint_program(const gamma::Program& program,

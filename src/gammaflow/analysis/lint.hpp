@@ -33,6 +33,9 @@ namespace gammaflow::analysis {
 
 enum class Severity { Info, Warning, Error };
 
+/// Stable lowercase name ("info", "warning", "error") for reports.
+const char* to_string(Severity severity) noexcept;
+
 struct Finding {
   Severity severity = Severity::Warning;
   std::string check;     // stable id, e.g. "dead-reaction"
@@ -51,6 +54,10 @@ struct LintReport {
 };
 
 std::ostream& operator<<(std::ostream& os, const LintReport& report);
+
+/// Machine-readable form (one JSON object with a "findings" array) for the
+/// CLI's --json mode; shared by lint_program and verify_graph reports.
+void write_json(std::ostream& os, const LintReport& report);
 
 /// Analyzes `program` against `initial`. Pure; never throws on suspicious
 /// programs (that is the point), only on malformed inputs.

@@ -1,0 +1,53 @@
+// Dataflow-graph verifier — the graph-side counterpart of lint.hpp and the
+// translation-validation oracle for Algorithm 1/2 outputs. Graph::validate()
+// enforces raw structure (port ranges, fed inputs, unique labels) and throws
+// on the FIRST violation; this pass collects findings, re-checks structure,
+// and then verifies the semantic discipline the TALM model relies on:
+//
+//   df-edge-endpoint   E  edge references a node id out of range
+//   df-port-range      E  port index beyond the node's input/output arity
+//   df-input-unfed     E  non-root input port with no producer
+//   df-duplicate-label E  two edges share a label (Algorithm 1 would emit
+//                         two indistinguishable element populations)
+//   df-operator-kind   E  Arith node with a non-arithmetic op / Cmp with a
+//                         non-comparison op
+//   df-untagged-cycle  E  a cycle that passes no IncTag/DecTag: every trip
+//                         re-uses the same iteration tag, so loop waves
+//                         collide (the Fig. 2 discipline violated)
+//   df-steer-control   E/W control input fed by a Const whose value can
+//                         never satisfy truthy() (error), or by an Arith
+//                         (warning — Cmp is the idiomatic producer)
+//   df-tag-mismatch    W  a join node whose input ports can only carry
+//                         provably different iteration tags: it can never
+//                         fire (tag-offset abstract interpretation)
+//   df-unreachable     W  node not reachable from any Const root: it never
+//                         receives a token
+//   df-dead-node       W  node from which no Output is reachable (only
+//                         checked when the graph has Output nodes)
+//   df-deadlock        E  acyclic graphs only: a join node one of whose
+//                         input ports provably never receives a token while
+//                         another does — it starves forever
+//   df-token-imbalance I  acyclic graphs only: input ports with provably
+//                         unequal token counts (leftover tokens linger)
+//   df-discarded-port  I  output port with no consumer (legal — Fig. 2's
+//                         unused steer FALSE ports — but worth surfacing)
+//
+// Findings reuse the LintReport machinery so the CLI `check` subcommand
+// reports both representations uniformly; `Finding::reaction` carries the
+// node's name (or "#<id>" when unnamed).
+//
+// Semantic passes run only when the structural checks are clean — walking
+// adjacency of a malformed graph would be UB, and structural errors must be
+// fixed first anyway.
+#pragma once
+
+#include "gammaflow/analysis/lint.hpp"
+#include "gammaflow/dataflow/graph.hpp"
+
+namespace gammaflow::analysis {
+
+/// Verifies `graph`. Pure and total: never throws on malformed graphs (that
+/// is the point — it is usable where Graph::validate() would abort).
+[[nodiscard]] LintReport verify_graph(const dataflow::Graph& graph);
+
+}  // namespace gammaflow::analysis

@@ -133,14 +133,19 @@ class Simulation {
                       (options_.latency + options_.faults.reorder_jitter + 1) +
                   options_.faults.crash_downtime + 16;
 
-    // Initial placement.
+    // Initial placement. Elements with a conflict-class affinity go to their
+    // class's home node; the rest follow the configured policy.
     std::size_t rr = 0;
     for (const Element& e : initial) {
       std::size_t target = 0;
-      switch (options_.placement) {
-        case Placement::Hash: target = e.hash() % options_.nodes; break;
-        case Placement::RoundRobin: target = rr++ % options_.nodes; break;
-        case Placement::Single: target = 0; break;
+      if (const auto home = affinity_home(e)) {
+        target = *home;
+      } else {
+        switch (options_.placement) {
+          case Placement::Hash: target = e.hash() % options_.nodes; break;
+          case Placement::RoundRobin: target = rr++ % options_.nodes; break;
+          case Placement::Single: target = 0; break;
+        }
       }
       nodes_[target].shard.insert(e);
     }
@@ -439,6 +444,17 @@ class Simulation {
     if (nodes_[0].fired_this_round) verified_ = false;
   }
 
+  /// Home node for an element under the label-affinity placement hint:
+  /// its label's conflict class, mapped onto nodes round-robin. nullopt
+  /// when no hint applies (no map, unlabeled element, unknown label).
+  std::optional<std::size_t> affinity_home(const Element& e) const {
+    if (options_.label_affinity.empty()) return std::nullopt;
+    if (e.arity() < 2 || !e.field(1).is_str()) return std::nullopt;
+    const auto it = options_.label_affinity.find(e.field(1).as_str());
+    if (it == options_.label_affinity.end()) return std::nullopt;
+    return it->second % options_.nodes;
+  }
+
   /// Picks and removes one random live element from a shard.
   std::optional<Element> take_random(Node& node) {
     if (node.shard.size() == 0) return std::nullopt;
@@ -506,13 +522,25 @@ class Simulation {
       }
       if (node.fired_this_round) {
         // Active node: diffuse a few random elements (stir the solution).
+        // With a label-affinity hint, stirring turns directed: a stray
+        // element is routed to its class's home node (where its reaction
+        // partners live), and an element already home stays put. Sends
+        // still come only from active nodes, so EWD998's premise holds.
         for (std::size_t k = 0; k < options_.migrations_per_round; ++k) {
           if (node.shard.size() <= 1) break;
-          std::size_t peer = node.rng.bounded(nodes_.size() - 1);
-          if (peer >= i) ++peer;  // uniform over the OTHER nodes
-          if (auto e = take_random(node)) {
-            send_reliable(i, peer, MsgKind::Elements, {std::move(*e)});
+          auto e = take_random(node);
+          if (!e) break;
+          std::size_t peer = 0;
+          if (const auto home = affinity_home(*e); home && *home != i) {
+            peer = *home;
+          } else if (home) {
+            node.shard.insert(std::move(*e));  // already co-located: keep
+            continue;
+          } else {
+            peer = node.rng.bounded(nodes_.size() - 1);
+            if (peer >= i) ++peer;  // uniform over the OTHER nodes
           }
+          send_reliable(i, peer, MsgKind::Elements, {std::move(*e)});
         }
       }
     }

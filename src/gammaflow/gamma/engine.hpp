@@ -65,6 +65,20 @@ struct RunOptions {
   /// What exhausting max_steps does: Throw (EngineError, historical) or
   /// Partial (return the partial multiset with outcome BudgetExhausted).
   LimitPolicy limit_policy = LimitPolicy::Throw;
+  /// Precomputed conflict classes (reaction name -> class id), normally
+  /// InterferenceReport::engine_classes(). Reactions in different classes
+  /// touch provably disjoint element populations. When every reaction of a
+  /// stage is covered and the stage spans >= 2 classes:
+  ///   ParallelEngine  — partitions the stage's reactions among workers by
+  ///     class (one owner per class) and commits WITHOUT revalidation: no
+  ///     other worker can invalidate an owned match, so commit_conflicts
+  ///     drops to zero ("gamma.class_fast_commits" counts these commits).
+  ///   IndexedEngine   — runs each class to its own fixpoint once instead of
+  ///     re-passing over all reactions (sound because a quiescent class
+  ///     cannot be re-enabled from outside: feed edges stay inside classes).
+  /// Unknown or missing names simply disable the optimization for that
+  /// stage; semantics never change.
+  std::map<std::string, std::size_t> conflict_classes;
 };
 
 struct FireEvent {

@@ -35,8 +35,6 @@ RunResult IndexedEngine::run(const Program& program, const Multiset& initial,
        result.outcome == Outcome::Completed;
        ++stage_idx) {
     const auto& stage = program.stages()[stage_idx];
-    std::vector<std::size_t> order(stage.size());
-    std::iota(order.begin(), order.end(), std::size_t{0});
 
     // Pre-resolved per-reaction latency histograms keep string building off
     // the firing path.
@@ -48,65 +46,100 @@ RunResult IndexedEngine::run(const Program& program, const Multiset& initial,
       }
     }
 
-    bool progressed = true;
-    while (progressed && result.outcome == Outcome::Completed) {
-      progressed = false;
-      ++passes;
-      obs::Span pass_span(tel, rec, "pass");
-      std::uint64_t pass_fires = 0;
-      std::shuffle(order.begin(), order.end(), rng);
-      for (const std::size_t idx : order) {
-        if (result.outcome != Outcome::Completed) break;
-        const Reaction& r = stage[idx];
-        // Fire this reaction repeatedly while it stays enabled: cheaper than
-        // re-shuffling after every step, and fairness across reactions is
-        // restored by the shuffled outer pass.
-        while (true) {
-          if (governor.should_stop()) {
-            result.outcome = governor.outcome();
-            break;
-          }
-          const std::uint64_t fire_start = tel ? tel->now_us() : 0;
-          auto match = find_match(store, r, &rng);
-          ++attempts;
-          if (!match) {
-            ++failures;
-            break;
-          }
-          if (result.steps >= options.max_steps) {
-            if (options.limit_policy == LimitPolicy::Throw) {
-              throw EngineError("indexed engine exceeded max_steps=" +
-                                std::to_string(options.max_steps));
+    // Runs the reactions in `subset` to their combined fixed point (a full
+    // pass over the subset with no match is the proof, as the index search
+    // is exhaustive).
+    const auto run_to_fixpoint = [&](std::vector<std::size_t> order) {
+      bool progressed = true;
+      while (progressed && result.outcome == Outcome::Completed) {
+        progressed = false;
+        ++passes;
+        obs::Span pass_span(tel, rec, "pass");
+        std::uint64_t pass_fires = 0;
+        std::shuffle(order.begin(), order.end(), rng);
+        for (const std::size_t idx : order) {
+          if (result.outcome != Outcome::Completed) break;
+          const Reaction& r = stage[idx];
+          // Fire this reaction repeatedly while it stays enabled: cheaper
+          // than re-shuffling after every step, and fairness across
+          // reactions is restored by the shuffled outer pass.
+          while (true) {
+            if (governor.should_stop()) {
+              result.outcome = governor.outcome();
+              break;
             }
-            result.outcome = Outcome::BudgetExhausted;
-            break;
-          }
-          if (options.record_trace) {
-            if (result.trace.size() < options.trace_limit) {
-              FireEvent ev;
-              ev.reaction = r.name();
-              ev.stage = stage_idx;
-              for (const Store::Id id : match->ids) {
-                ev.consumed.push_back(store.element(id));
+            const std::uint64_t fire_start = tel ? tel->now_us() : 0;
+            auto match = find_match(store, r, &rng);
+            ++attempts;
+            if (!match) {
+              ++failures;
+              break;
+            }
+            if (result.steps >= options.max_steps) {
+              if (options.limit_policy == LimitPolicy::Throw) {
+                throw EngineError("indexed engine exceeded max_steps=" +
+                                  std::to_string(options.max_steps));
               }
-              ev.produced = match->produced;
-              result.trace.push_back(std::move(ev));
-            } else {
-              ++result.trace_dropped;
+              result.outcome = Outcome::BudgetExhausted;
+              break;
             }
-          }
-          ++result.fires_by_reaction[r.name()];
-          ++result.steps;
-          commit(store, *match);
-          progressed = true;
-          ++pass_fires;
-          if (tel) {
-            fire_hist[idx]->observe(
-                static_cast<double>(tel->now_us() - fire_start));
+            if (options.record_trace) {
+              if (result.trace.size() < options.trace_limit) {
+                FireEvent ev;
+                ev.reaction = r.name();
+                ev.stage = stage_idx;
+                for (const Store::Id id : match->ids) {
+                  ev.consumed.push_back(store.element(id));
+                }
+                ev.produced = match->produced;
+                result.trace.push_back(std::move(ev));
+              } else {
+                ++result.trace_dropped;
+              }
+            }
+            ++result.fires_by_reaction[r.name()];
+            ++result.steps;
+            commit(store, *match);
+            progressed = true;
+            ++pass_fires;
+            if (tel) {
+              fire_hist[idx]->observe(
+                  static_cast<double>(tel->now_us() - fire_start));
+            }
           }
         }
+        pass_span.set_arg(pass_fires);
       }
-      pass_span.set_arg(pass_fires);
+    };
+
+    // Conflict-class scheduling: when the caller's classes cover the whole
+    // stage with >= 2 classes, run each class to its own fixpoint once, in
+    // shuffled order, with no global re-pass. Sound because interference
+    // (compete AND feed edges) stays inside a class: a quiescent class can
+    // never be re-enabled by another class's firings.
+    std::vector<std::vector<std::size_t>> groups;
+    if (!options.conflict_classes.empty() && stage.size() >= 2) {
+      std::map<std::size_t, std::vector<std::size_t>> by_class;
+      bool covered = true;
+      for (std::size_t i = 0; i < stage.size() && covered; ++i) {
+        const auto it = options.conflict_classes.find(stage[i].name());
+        covered = it != options.conflict_classes.end();
+        if (covered) by_class[it->second].push_back(i);
+      }
+      if (covered && by_class.size() >= 2) {
+        for (auto& [c, idxs] : by_class) groups.push_back(std::move(idxs));
+      }
+    }
+    if (groups.empty()) {
+      std::vector<std::size_t> all(stage.size());
+      std::iota(all.begin(), all.end(), std::size_t{0});
+      run_to_fixpoint(std::move(all));
+    } else {
+      std::shuffle(groups.begin(), groups.end(), rng);
+      for (auto& group : groups) {
+        if (result.outcome != Outcome::Completed) break;
+        run_to_fixpoint(std::move(group));
+      }
     }
   }
 

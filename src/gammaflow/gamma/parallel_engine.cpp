@@ -66,6 +66,7 @@ struct WorkerMetrics {
   std::uint64_t search_retries = 0;
   std::uint64_t quiescence_rounds = 0;
   std::uint64_t fires = 0;
+  std::uint64_t class_fast_commits = 0;
 };
 
 /// Read-only telemetry context shared by a stage's workers; null members
@@ -76,13 +77,25 @@ struct StageObs {
   std::vector<Histogram*> fire_hist;
 };
 
+/// `owned` restricts this worker to a subset of the stage's reactions (class
+/// partition; null = all). `fast_commit` skips commit revalidation — sound
+/// ONLY under the class partition: this worker is the sole owner of every
+/// reaction that can consume its matched elements, so between its shared-lock
+/// search and its exclusive-lock commit no other worker can remove them, and
+/// live slots are never recycled.
 void worker_loop(StageShared& sh, const std::vector<Reaction>& stage,
                  std::size_t stage_idx, const RunOptions& options,
                  std::chrono::steady_clock::time_point deadline, Rng rng,
                  unsigned total_workers, unsigned worker_id,
-                 const StageObs& ob, WorkerMetrics& wm) {
-  std::vector<std::size_t> order(stage.size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
+                 const StageObs& ob, WorkerMetrics& wm,
+                 const std::vector<std::size_t>* owned, bool fast_commit) {
+  std::vector<std::size_t> order;
+  if (owned) {
+    order = *owned;
+  } else {
+    order.resize(stage.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+  }
   std::uint64_t my_quiet_version = ~std::uint64_t{0};
   RunGovernor governor(options.cancel, deadline);
 
@@ -138,14 +151,18 @@ void worker_loop(StageShared& sh, const std::vector<Reaction>& stage,
       std::vector<const Element*> elems;
       elems.reserve(proposal->ids.size());
       for (const Store::Id id : proposal->ids) {
-        if (!sh.store.alive(id)) {
+        if (!fast_commit && !sh.store.alive(id)) {
           valid = false;
           break;
         }
         elems.push_back(&sh.store.element(id));
       }
       std::optional<std::vector<Element>> produced;
-      if (valid) {
+      if (fast_commit) {
+        // Ownership guarantees the searched match is still enabled; reuse
+        // the outputs computed during the search.
+        produced = std::move(proposal->produced);
+      } else if (valid) {
         expr::Env env;
         if (proposal->reaction->match(elems, env)) {
           produced = proposal->reaction->apply(env);
@@ -186,6 +203,7 @@ void worker_loop(StageShared& sh, const std::vector<Reaction>& stage,
         ++sh.fires[fired.reaction->name()];
         ++sh.steps;
         ++wm.fires;
+        if (fast_commit) ++wm.class_fast_commits;
         commit(sh.store, fired);
         if (++sh.commits_since_compact >= kCompactInterval) {
           sh.store.compact();
@@ -258,6 +276,37 @@ RunResult ParallelEngine::run(const Program& program, const Multiset& initial,
     const auto& stage = program.stages()[stage_idx];
     StageShared shared{Store(current)};
 
+    // Conflict-class partition: when the caller's classes cover this whole
+    // stage and span >= 2 classes, give every class exactly one owning
+    // worker. Owners commit without revalidation (see worker_loop) — the
+    // partition is what makes that sound.
+    std::vector<std::vector<std::size_t>> owned_sets;
+    if (!options.conflict_classes.empty() && stage.size() >= 2) {
+      std::vector<std::size_t> cls(stage.size());
+      bool covered = true;
+      for (std::size_t i = 0; i < stage.size() && covered; ++i) {
+        const auto it = options.conflict_classes.find(stage[i].name());
+        covered = it != options.conflict_classes.end();
+        if (covered) cls[i] = it->second;
+      }
+      std::map<std::size_t, unsigned> owner;  // class id -> worker
+      if (covered) {
+        for (const std::size_t c : cls) {
+          owner.emplace(c, static_cast<unsigned>(owner.size()) %
+                               std::max(1u, workers));
+        }
+      }
+      if (covered && owner.size() >= 2) {
+        owned_sets.assign(std::min<std::size_t>(workers, owner.size()), {});
+        for (std::size_t i = 0; i < stage.size(); ++i) {
+          owned_sets[owner.at(cls[i])].push_back(i);
+        }
+      }
+    }
+    const bool class_mode = !owned_sets.empty();
+    const unsigned stage_workers =
+        class_mode ? static_cast<unsigned>(owned_sets.size()) : workers;
+
     StageObs ob;
     ob.tel = tel;
     if (tel) {
@@ -266,15 +315,16 @@ RunResult ParallelEngine::run(const Program& program, const Multiset& initial,
         ob.fire_hist.push_back(&tel->stats().hist("gamma.fire_us." + r.name()));
       }
     }
-    std::vector<WorkerMetrics> wm(workers);
+    std::vector<WorkerMetrics> wm(stage_workers);
 
     std::vector<std::thread> threads;
-    threads.reserve(workers);
-    for (unsigned w = 0; w < workers; ++w) {
+    threads.reserve(stage_workers);
+    for (unsigned w = 0; w < stage_workers; ++w) {
       threads.emplace_back(worker_loop, std::ref(shared), std::cref(stage),
                            stage_idx, std::cref(options), deadline,
-                           seed_rng.split(), workers, w, std::cref(ob),
-                           std::ref(wm[w]));
+                           seed_rng.split(), stage_workers, w, std::cref(ob),
+                           std::ref(wm[w]),
+                           class_mode ? &owned_sets[w] : nullptr, class_mode);
     }
     for (auto& t : threads) t.join();
 
@@ -297,6 +347,7 @@ RunResult ParallelEngine::run(const Program& program, const Multiset& initial,
         total.search_retries += m.search_retries;
         total.quiescence_rounds += m.quiescence_rounds;
         total.fires += m.fires;
+        total.class_fast_commits += m.class_fast_commits;
       }
       auto& stats = tel->stats();
       stats.count("gamma.match_attempts", total.match_attempts);
@@ -305,6 +356,7 @@ RunResult ParallelEngine::run(const Program& program, const Multiset& initial,
       stats.count("gamma.search_retries", total.search_retries);
       stats.count("gamma.quiescence_rounds", total.quiescence_rounds);
       stats.count("gamma.fires", total.fires);
+      stats.count("gamma.class_fast_commits", total.class_fast_commits);
     }
   }
 

@@ -36,7 +36,9 @@
 #include "gammaflow/frontend/compile.hpp"
 #include "gammaflow/gamma/dsl/parser.hpp"
 #include "gammaflow/gamma/engine.hpp"
+#include "gammaflow/analysis/interference.hpp"
 #include "gammaflow/analysis/lint.hpp"
+#include "gammaflow/analysis/verify_df.hpp"
 #include "gammaflow/translate/df_to_gamma.hpp"
 #include "gammaflow/translate/gamma_to_df.hpp"
 #include "gammaflow/translate/reduce.hpp"
@@ -58,11 +60,23 @@ int usage() {
       "  dot <prog.src|graph.df>               Graphviz\n"
       "  opt <prog.src|graph.df>               optimize (fold/bypass/DCE)\n"
       "  lint <prog.gamma> [--init \"...\"]     static Gamma checks\n"
+      "  check <any input> [--init \"...\"]     ALL static passes: lint +\n"
+      "                                        interference/confluence on\n"
+      "                                        .gamma, graph verifier on\n"
+      "                                        .src/.df\n"
       "  distrib <prog.gamma> --init \"...\"     simulated cluster run\n"
       "options: --init \"[v,'L'] ...\"  --engine seq|idx|par  --seed N\n"
       "         --workers N            worker threads (par engines)\n"
       "         --deadline S           wall-clock budget in seconds (run,\n"
       "                                rungamma); prints the partial state\n"
+      "         --werror               lint/check: warnings also fail (exit 1)\n"
+      "         --json                 lint/check: machine-readable output\n"
+      "         --classes              rungamma: derive conflict classes from\n"
+      "                                interference analysis and hand them to\n"
+      "                                the engine (par: no-revalidation\n"
+      "                                commits; idx: class scheduling)\n"
+      "         --affinity             distrib: place elements by conflict-\n"
+      "                                class label affinity\n"
       "distrib: --nodes N --placement hash|rr|single --latency N\n"
       "         --fires-per-round N    local matches per node per round\n"
       "  fault injection (deterministic from --seed):\n"
@@ -139,6 +153,11 @@ struct Options {
   /// Wall-clock budget in seconds for run/rungamma; <= 0 = none. The run
   /// returns its partial state with outcome=deadline_exceeded when it hits.
   double deadline = 0.0;
+  // --- static analysis ---
+  bool werror = false;    // lint/check: warnings fail the exit code
+  bool json = false;      // lint/check: machine-readable output
+  bool classes = false;   // rungamma: feed conflict classes to the engine
+  bool affinity = false;  // distrib: label-affinity placement hint
   // --- distrib ---
   std::size_t nodes = 4;
   std::string placement = "hash";
@@ -218,6 +237,14 @@ Options parse_options(int argc, char** argv, int first) {
       opts.metrics = true;
     } else if (arg == "--deadline") {
       opts.deadline = next_real();
+    } else if (arg == "--werror") {
+      opts.werror = true;
+    } else if (arg == "--json") {
+      opts.json = true;
+    } else if (arg == "--classes") {
+      opts.classes = true;
+    } else if (arg == "--affinity") {
+      opts.affinity = true;
     } else if (arg == "--nodes") {
       opts.nodes = next_number();
     } else if (arg == "--placement") {
@@ -321,6 +348,13 @@ int cmd_togamma(const std::string& path) {
     for (const std::string& label : labels) std::cout << " '" << label << "'";
     std::cout << '\n';
   }
+  // Translation validation: Algorithm 1's output must lint clean of errors.
+  const auto report = analysis::lint_program(conv.program, conv.initial);
+  if (report.errors() > 0) {
+    std::cerr << "# translation validation FAILED (" << report.errors()
+              << " error(s)):\n" << report;
+    return 1;
+  }
   return 0;
 }
 
@@ -336,6 +370,15 @@ int cmd_rungamma(const std::string& path, const Options& opts) {
   if (opts.deadline > 0.0) {
     ropts.deadline = opts.deadline;
     ropts.limit_policy = LimitPolicy::Partial;
+  }
+  if (opts.classes) {
+    analysis::InterferenceOptions iopts;
+    iopts.seed = opts.seed;
+    const auto report = analysis::analyze_interference(program, initial, iopts);
+    ropts.conflict_classes = report.engine_classes();
+    std::cerr << "# conflict classes: " << report.class_count << " over "
+              << report.reactions.size() << " reaction(s), verdict "
+              << analysis::to_string(report.verdict) << '\n';
   }
   const auto result = make_engine(opts.engine)->run(program, initial, ropts);
   std::cout << result.final_multiset << '\n'
@@ -370,6 +413,14 @@ int cmd_distrib(const std::string& path, const Options& opts) {
   } else {
     throw Error("unknown placement '" + opts.placement +
                 "' (want hash|rr|single)");
+  }
+  if (opts.affinity) {
+    analysis::InterferenceOptions iopts;
+    iopts.seed = opts.seed;
+    const auto report = analysis::analyze_interference(program, initial, iopts);
+    copts.label_affinity = report.label_affinity();
+    std::cerr << "# affinity placement: " << copts.label_affinity.size()
+              << " label(s) over " << report.class_count << " class(es)\n";
   }
 
   const auto result = distrib::run_distributed(program, initial, copts);
@@ -414,6 +465,14 @@ int cmd_reconstruct(const std::string& path, const Options& opts) {
   const dataflow::Graph g =
       translate::reconstruct_graph(program, parse_elements(*opts.init));
   dataflow::write_text(std::cout, g);
+  // Translation validation: Algorithm 2's output must verify clean of
+  // errors (structure, tag discipline, token balance).
+  const auto report = analysis::verify_graph(g);
+  if (report.errors() > 0) {
+    std::cerr << "# translation validation FAILED (" << report.errors()
+              << " error(s)):\n" << report;
+    return 1;
+  }
   return 0;
 }
 
@@ -426,14 +485,64 @@ int cmd_opt(const std::string& path) {
   return 0;
 }
 
+/// Shared lint/verify exit policy: errors always fail; --werror promotes
+/// warnings.
+int report_exit(const analysis::LintReport& report, bool werror) {
+  if (report.errors() > 0) return 1;
+  if (werror && report.warnings() > 0) return 1;
+  return 0;
+}
+
 int cmd_lint(const std::string& path, const Options& opts) {
   const gamma::Program program = gamma::dsl::parse_program(read_file(path));
   const gamma::Multiset initial =
       opts.init ? parse_elements(*opts.init) : gamma::Multiset{};
   const auto report = analysis::lint_program(program, initial);
-  std::cout << report;
-  if (report.clean()) std::cout << "clean: no findings\n";
-  return report.errors() > 0 ? 1 : 0;
+  if (opts.json) {
+    analysis::write_json(std::cout, report);
+    std::cout << '\n';
+  } else {
+    std::cout << report;
+    if (report.clean()) std::cout << "clean: no findings\n";
+  }
+  return report_exit(report, opts.werror);
+}
+
+int cmd_check(const std::string& path, const Options& opts) {
+  if (ends_with(path, ".src") || ends_with(path, ".df")) {
+    const auto report = analysis::verify_graph(load_graph(path));
+    if (opts.json) {
+      std::cout << "{\"verify\":";
+      analysis::write_json(std::cout, report);
+      std::cout << "}\n";
+    } else {
+      std::cout << report;
+      if (report.clean()) std::cout << "clean: no findings\n";
+    }
+    return report_exit(report, opts.werror);
+  }
+  // Gamma side: lint + interference/confluence.
+  const gamma::Program program = gamma::dsl::parse_program(read_file(path));
+  const gamma::Multiset initial =
+      opts.init ? parse_elements(*opts.init) : gamma::Multiset{};
+  const auto lint = analysis::lint_program(program, initial);
+  analysis::InterferenceOptions iopts;
+  iopts.seed = opts.seed;
+  const auto interference =
+      analysis::analyze_interference(program, initial, iopts);
+  if (opts.json) {
+    std::cout << "{\"lint\":";
+    analysis::write_json(std::cout, lint);
+    std::cout << ",\"interference\":";
+    analysis::write_json(std::cout, interference);
+    std::cout << "}\n";
+  } else {
+    std::cout << lint;
+    if (lint.clean()) std::cout << "lint clean: no findings\n";
+    std::cout << interference;
+  }
+  if (interference.has_divergence()) return 1;
+  return report_exit(lint, opts.werror);
 }
 
 int cmd_dot(const std::string& path) {
@@ -459,6 +568,7 @@ int main(int argc, char** argv) try {
   if (cmd == "dot") return cmd_dot(file);
   if (cmd == "opt") return cmd_opt(file);
   if (cmd == "lint") return cmd_lint(file, opts);
+  if (cmd == "check") return cmd_check(file, opts);
   if (cmd == "distrib") return cmd_distrib(file, opts);
   return usage();
 } catch (const std::exception& e) {
