@@ -39,6 +39,16 @@ class Value {
   [[nodiscard]] bool is_str() const noexcept { return kind() == ValueKind::Str; }
   [[nodiscard]] bool is_numeric() const noexcept { return is_int() || is_real(); }
 
+  /// Non-throwing accessors: pointer to the payload, or nullptr on kind
+  /// mismatch. Inline so hot loops (the bytecode Vm) can test-and-read
+  /// without an out-of-line call.
+  [[nodiscard]] const std::int64_t* if_int() const noexcept {
+    return std::get_if<std::int64_t>(&rep_);
+  }
+  [[nodiscard]] const bool* if_bool() const noexcept {
+    return std::get_if<bool>(&rep_);
+  }
+
   /// Accessors throw TypeError when the stored kind differs.
   [[nodiscard]] std::int64_t as_int() const;
   [[nodiscard]] double as_real() const;

@@ -23,6 +23,7 @@
 #include "gammaflow/common/stats.hpp"
 #include "gammaflow/common/value.hpp"
 #include "gammaflow/dataflow/graph.hpp"
+#include "gammaflow/expr/bytecode.hpp"
 
 namespace gammaflow::obs {
 class Telemetry;
@@ -62,6 +63,10 @@ struct DfRunOptions {
   /// Throw on max_fires (historical) or return partial state with outcome
   /// BudgetExhausted.
   LimitPolicy limit_policy = LimitPolicy::Throw;
+  /// Evaluate Arith/Cmp node firings via per-node compiled bytecode
+  /// (default) instead of the expr::apply AST dispatch. Results are
+  /// identical either way; `--no-compile` flips this off for A/B runs.
+  bool compile = true;
 };
 
 /// An operand parked in a matching store with no partner when the machine
@@ -155,5 +160,26 @@ struct Firing {
 };
 [[nodiscard]] Firing fire_node(const Node& node, const std::vector<Value>& inputs,
                                Tag tag);
+
+/// Bytecode for a graph's Arith/Cmp nodes, compiled once per run when
+/// DfRunOptions::compile is on: node i's operation becomes a two-slot chunk
+/// (`a op b`, or `a op <immediate>` embedding the constant in the pool; Cmp
+/// chunks end in BoolToInt so they emit Int 1/0 exactly like fire_node).
+/// Shared read-only across worker threads; each thread brings its own Vm.
+struct GraphCode {
+  std::vector<std::optional<expr::Chunk>> per_node;  // indexed by NodeId
+  std::size_t compiled_nodes = 0;
+  double compile_ms = 0.0;
+
+  [[nodiscard]] const expr::Chunk* chunk(NodeId id) const noexcept {
+    return id < per_node.size() && per_node[id] ? &*per_node[id] : nullptr;
+  }
+};
+[[nodiscard]] GraphCode compile_graph(const Graph& graph);
+
+/// fire_node through bytecode: runs `chunk` on `vm` for Arith/Cmp nodes and
+/// delegates to the AST path when `chunk` is null (all other node kinds).
+[[nodiscard]] Firing fire_node(const Node& node, const std::vector<Value>& inputs,
+                               Tag tag, const expr::Chunk* chunk, expr::Vm& vm);
 
 }  // namespace gammaflow::dataflow

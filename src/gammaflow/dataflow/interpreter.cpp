@@ -28,6 +28,7 @@ class Machine {
         governor_(options.cancel, options.deadline),
         waiting_(graph.node_count()) {
     result_.fires_by_node.assign(graph.node_count(), 0);
+    if (options.compile) code_ = compile_graph(graph);
     if ((tel_ = options.telemetry) != nullptr) {
       rec_ = &tel_->register_thread("df-interpreter");
       tag_hist_ = &tel_->stats().hist("df.inctag_depth");
@@ -82,6 +83,7 @@ class Machine {
 
   DfRunResult run(const std::vector<std::pair<Label, Token>>& extra_tokens) {
     const auto t0 = std::chrono::steady_clock::now();
+    const std::uint64_t instrs0 = expr::vm_instrs_executed();
 
     for (const NodeId root : graph_.roots()) {
       if (stopping()) break;
@@ -139,6 +141,13 @@ class Machine {
       stats.count("df.steer_true", steer_true_);
       stats.count("df.steer_false", steer_false_);
       stats.count(std::string("df.outcome.") + to_string(result_.outcome));
+      stats.count(std::string("df.eval_mode.") +
+                  (options_.compile ? "vm" : "ast"));
+      stats.count("vm.instrs_executed", expr::vm_instrs_executed() - instrs0);
+      if (options_.compile) {
+        stats.count("df.compiled_nodes", code_.compiled_nodes);
+        stats.hist("expr.compile_ms").observe(code_.compile_ms);
+      }
       result_.metrics = tel_->metrics();
     }
     result_.wall_seconds =
@@ -161,7 +170,10 @@ class Machine {
     const bool cacheable =
         options_.memoize &&
         (node.kind == NodeKind::Arith || node.kind == NodeKind::Cmp);
-    if (!cacheable) return fire_node(node, inst.inputs, inst.tag);
+    if (!cacheable) {
+      return fire_node(node, inst.inputs, inst.tag, code_.chunk(inst.node),
+                       vm_);
+    }
 
     // Operation-level reuse: the cache is keyed by the OPERATION signature
     // (kind, operator, immediate), not the node id, so identical
@@ -191,7 +203,8 @@ class Machine {
       }
     }
     ++result_.memo_misses;
-    Firing f = fire_node(node, inst.inputs, inst.tag);
+    Firing f = fire_node(node, inst.inputs, inst.tag, code_.chunk(inst.node),
+                         vm_);
     memo_.emplace(key, MemoEntry{node.kind, node.op, node.has_immediate,
                                  node.constant, inst.inputs, f.value});
     return f;
@@ -267,6 +280,8 @@ class Machine {
   std::vector<std::unordered_map<Tag, Slots>> waiting_;
   std::deque<ReadyInstance> ready_;
   std::unordered_multimap<std::size_t, MemoEntry> memo_;
+  GraphCode code_;  // empty (all-null chunks) when options.compile is off
+  expr::Vm vm_;
   DfRunResult result_;
 
   obs::Telemetry* tel_ = nullptr;

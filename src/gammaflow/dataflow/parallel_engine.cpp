@@ -38,6 +38,9 @@ struct Slots {
 
 struct WorkerState {
   MpscQueue<Routed> inbox;
+  // Per-PE bytecode evaluator (chunks are shared read-only; register files
+  // are not).
+  expr::Vm vm;
   // Matching stores for owned nodes.
   std::unordered_map<NodeId, std::unordered_map<Tag, Slots>> waiting;
   // Worker-local results, merged after join.
@@ -58,6 +61,7 @@ class ParallelRun {
         worker_count_(std::max(1u, options.workers)),
         workers_(worker_count_) {
     for (auto& w : workers_) w.fires_by_node.assign(graph.node_count(), 0);
+    if (options.compile) code_ = compile_graph(graph);
     if ((tel_ = options.telemetry) != nullptr) {
       inbox_hist_ = &tel_->stats().hist("df.inbox_depth");
       tag_hist_ = &tel_->stats().hist("df.inctag_depth");
@@ -66,6 +70,7 @@ class ParallelRun {
 
   DfRunResult run(const std::vector<std::pair<Label, Token>>& extra_tokens) {
     const auto t0 = std::chrono::steady_clock::now();
+    const std::uint64_t instrs0 = expr::vm_instrs_executed();
     deadline_ = deadline_from_now(options_.deadline);
     GF_DEBUG << "dataflow parallel run: " << worker_count_ << " PE(s), "
              << graph_.node_count() << " nodes";
@@ -129,6 +134,13 @@ class ParallelRun {
       stats.count("df.steer_false", steer_false);
       stats.count("df.tokens_absorbed", absorbed);
       stats.count(std::string("df.outcome.") + to_string(result.outcome));
+      stats.count(std::string("df.eval_mode.") +
+                  (options_.compile ? "vm" : "ast"));
+      stats.count("vm.instrs_executed", expr::vm_instrs_executed() - instrs0);
+      if (options_.compile) {
+        stats.count("df.compiled_nodes", code_.compiled_nodes);
+        stats.hist("expr.compile_ms").observe(code_.compile_ms);
+      }
       result.metrics = tel_->metrics();
     }
     for (WorkerState& w : workers_) {
@@ -293,7 +305,9 @@ class ParallelRun {
                                          std::move(inputs[0]));
       return;
     }
-    const Firing firing = fire_node(node, inputs, routed.token.tag);
+    const Firing firing =
+        fire_node(node, inputs, routed.token.tag, code_.chunk(routed.node),
+                  me.vm);
     if (tel_ != nullptr) {
       if (node.kind == NodeKind::Steer && firing.emits) {
         ++(firing.port == kSteerData ? me.steer_true : me.steer_false);
@@ -314,6 +328,7 @@ class ParallelRun {
   const DfRunOptions& options_;
   unsigned worker_count_;
   std::vector<WorkerState> workers_;
+  GraphCode code_;  // empty (all-null chunks) when options.compile is off
   std::chrono::steady_clock::time_point deadline_;
   std::atomic<std::int64_t> in_flight_{0};
   std::atomic<std::uint64_t> total_fires_{0};

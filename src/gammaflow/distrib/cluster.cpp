@@ -425,7 +425,10 @@ class Simulation {
       for (std::size_t k = 0; k < options_.fires_per_round; ++k) {
         bool fired = false;
         for (const Reaction& r : stage) {
-          if (auto match = gamma::find_match(node.shard, r, &node.rng)) {
+          if (auto match = gamma::find_match(
+                  node.shard, r, &node.rng,
+                  options_.compile ? expr::EvalMode::Vm
+                                   : expr::EvalMode::Ast)) {
             gamma::commit(node.shard, *match);
             ++node.fires;
             fired = true;

@@ -1,0 +1,473 @@
+#include "gammaflow/expr/bytecode.hpp"
+
+#include <atomic>
+#include <cstddef>
+#include <limits>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "gammaflow/common/error.hpp"
+#include "gammaflow/expr/eval.hpp"
+
+namespace gammaflow::expr {
+
+namespace {
+
+std::atomic<std::uint64_t> g_vm_instrs{0};
+
+constexpr std::size_t kOperandLimit =
+    std::numeric_limits<std::uint16_t>::max();
+
+OpCode opcode_for(BinOp op) {
+  switch (op) {
+    case BinOp::Add: return OpCode::Add;
+    case BinOp::Sub: return OpCode::Sub;
+    case BinOp::Mul: return OpCode::Mul;
+    case BinOp::Div: return OpCode::Div;
+    case BinOp::Mod: return OpCode::Mod;
+    case BinOp::Lt: return OpCode::Lt;
+    case BinOp::Le: return OpCode::Le;
+    case BinOp::Gt: return OpCode::Gt;
+    case BinOp::Ge: return OpCode::Ge;
+    case BinOp::Eq: return OpCode::Eq;
+    case BinOp::Ne: return OpCode::Ne;
+    case BinOp::And:
+    case BinOp::Or: break;  // lowered to jumps, never a direct opcode
+  }
+  throw ProgramError("bytecode: operator has no direct opcode");
+}
+
+/// Evaluates a variable-free subtree exactly as the walker would, including
+/// short-circuit logic: `lhs and rhs` folds to false when lhs folds falsy
+/// even if rhs references variables or would throw — the walker never
+/// evaluates rhs in that case either. Returns nullopt (no fold) whenever
+/// evaluation would throw, preserving the runtime error for the Vm.
+std::optional<Value> fold(const Expr& e) {
+  try {
+    switch (e.kind()) {
+      case Expr::Kind::Literal:
+        return e.literal();
+      case Expr::Kind::Var:
+        return std::nullopt;
+      case Expr::Kind::Unary: {
+        auto a = fold(*e.operand());
+        if (!a) return std::nullopt;
+        return apply(e.un_op(), *a);
+      }
+      case Expr::Kind::Binary: {
+        auto a = fold(*e.lhs());
+        if (!a) return std::nullopt;
+        if (e.bin_op() == BinOp::And) {
+          if (!a->truthy()) return Value(false);
+          auto b = fold(*e.rhs());
+          if (!b) return std::nullopt;
+          return Value(b->truthy());
+        }
+        if (e.bin_op() == BinOp::Or) {
+          if (a->truthy()) return Value(true);
+          auto b = fold(*e.rhs());
+          if (!b) return std::nullopt;
+          return Value(b->truthy());
+        }
+        auto b = fold(*e.rhs());
+        if (!b) return std::nullopt;
+        return apply(e.bin_op(), *a, *b);
+      }
+    }
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+class Compiler {
+ public:
+  explicit Compiler(std::span<const std::string> slot_names)
+      : slots_(slot_names) {}
+
+  Chunk compile(const ExprPtr& e, const CompileOptions& options) {
+    if (!e) throw ProgramError("bytecode: cannot compile a null expression");
+    const std::uint16_t result = emit(*e, 0);
+    if (options.bool_to_int_result) {
+      push({OpCode::BoolToInt, result, result, 0});
+    }
+    push({OpCode::Ret, 0, result, 0});
+    chunk_.slot_names.assign(slots_.begin(), slots_.end());
+    return std::move(chunk_);
+  }
+
+ private:
+  /// Emits code leaving the result in register `dst`; returns `dst`.
+  /// Register discipline: a binary node evaluates lhs into dst and rhs into
+  /// dst+1, so live registers form a stack and the high-water mark equals
+  /// the tree's right-spine depth.
+  std::uint16_t emit(const Expr& e, std::uint16_t dst) {
+    reserve(dst);
+    if (e.kind() != Expr::Kind::Literal) {
+      if (auto v = fold(e)) {
+        push({OpCode::LoadConst, dst, intern(*std::move(v)), 0});
+        return dst;
+      }
+    }
+    switch (e.kind()) {
+      case Expr::Kind::Literal:
+        push({OpCode::LoadConst, dst, intern(e.literal()), 0});
+        return dst;
+      case Expr::Kind::Var:
+        push({OpCode::LoadSlot, dst, slot_of(e.var()), 0});
+        return dst;
+      case Expr::Kind::Unary: {
+        emit(*e.operand(), dst);
+        push({e.un_op() == UnOp::Neg ? OpCode::Neg : OpCode::Not, dst, dst, 0});
+        return dst;
+      }
+      case Expr::Kind::Binary: {
+        if (e.bin_op() == BinOp::And || e.bin_op() == BinOp::Or) {
+          // `a and b` == truthy(a) ? Bool(truthy(b)) : Bool(false); the jump
+          // writes the short-circuit constant into dst itself, so no merge
+          // move is needed.
+          const OpCode jump = e.bin_op() == BinOp::And ? OpCode::JumpIfFalsy
+                                                       : OpCode::JumpIfTruthy;
+          emit(*e.lhs(), dst);
+          const std::size_t patch = chunk_.code.size();
+          push({jump, dst, dst, 0});
+          emit(*e.rhs(), dst);
+          push({OpCode::Truthy, dst, dst, 0});
+          chunk_.code[patch].b = checked_u16(chunk_.code.size(),
+                                             "bytecode: jump target");
+          return dst;
+        }
+        emit(*e.lhs(), dst);
+        const std::uint16_t rhs =
+            checked_u16(std::size_t{dst} + 1, "bytecode: expression too deep");
+        emit(*e.rhs(), rhs);
+        push({opcode_for(e.bin_op()), dst, dst, rhs});
+        return dst;
+      }
+    }
+    throw ProgramError("bytecode: unknown expression kind");
+  }
+
+  std::uint16_t slot_of(const std::string& name) const {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i] == name) {
+        return checked_u16(i, "bytecode: slot index");
+      }
+    }
+    throw ProgramError("unbound variable '" + name + "' (not a binder slot)");
+  }
+
+  std::uint16_t intern(Value v) {
+    for (std::size_t i = 0; i < chunk_.consts.size(); ++i) {
+      if (chunk_.consts[i] == v) {
+        return checked_u16(i, "bytecode: constant index");
+      }
+    }
+    chunk_.consts.push_back(std::move(v));
+    return checked_u16(chunk_.consts.size() - 1, "bytecode: constant pool");
+  }
+
+  void reserve(std::uint16_t reg) {
+    if (std::size_t{reg} + 1 > chunk_.register_count) {
+      chunk_.register_count = static_cast<std::uint16_t>(reg + 1);
+    }
+  }
+
+  void push(Instr in) { chunk_.code.push_back(in); }
+
+  static std::uint16_t checked_u16(std::size_t v, const char* what) {
+    if (v > kOperandLimit) throw ProgramError(std::string(what) + " overflow");
+    return static_cast<std::uint16_t>(v);
+  }
+
+  std::span<const std::string> slots_;
+  Chunk chunk_;
+};
+
+/// Inline truthiness for the jump/normalization opcodes; falls back to
+/// Value::truthy() (out-of-line) only to raise its exact TypeError.
+inline bool fast_truthy(const Value& v) {
+  if (const bool* b = v.if_bool()) return *b;
+  if (const std::int64_t* i = v.if_int()) return *i != 0;
+  return v.truthy();  // throws; never returns
+}
+
+}  // namespace
+
+const char* to_string(EvalMode mode) noexcept {
+  return mode == EvalMode::Vm ? "vm" : "ast";
+}
+
+const char* to_string(OpCode op) noexcept {
+  switch (op) {
+    case OpCode::LoadConst: return "loadconst";
+    case OpCode::LoadSlot: return "loadslot";
+    case OpCode::Add: return "add";
+    case OpCode::Sub: return "sub";
+    case OpCode::Mul: return "mul";
+    case OpCode::Div: return "div";
+    case OpCode::Mod: return "mod";
+    case OpCode::Lt: return "lt";
+    case OpCode::Le: return "le";
+    case OpCode::Gt: return "gt";
+    case OpCode::Ge: return "ge";
+    case OpCode::Eq: return "eq";
+    case OpCode::Ne: return "ne";
+    case OpCode::Neg: return "neg";
+    case OpCode::Not: return "not";
+    case OpCode::Truthy: return "truthy";
+    case OpCode::BoolToInt: return "booltoint";
+    case OpCode::JumpIfFalsy: return "jumpiffalsy";
+    case OpCode::JumpIfTruthy: return "jumpiftruthy";
+    case OpCode::Ret: return "ret";
+  }
+  return "?";
+}
+
+std::string Chunk::disassemble() const {
+  std::ostringstream os;
+  for (std::size_t pc = 0; pc < code.size(); ++pc) {
+    const Instr& in = code[pc];
+    os << pc << ": " << to_string(in.op);
+    switch (in.op) {
+      case OpCode::LoadConst:
+        os << " r" << in.dst << ", " << consts[in.a];
+        break;
+      case OpCode::LoadSlot:
+        os << " r" << in.dst << ", s" << in.a;
+        if (in.a < slot_names.size()) os << " (" << slot_names[in.a] << ")";
+        break;
+      case OpCode::Neg:
+      case OpCode::Not:
+      case OpCode::Truthy:
+      case OpCode::BoolToInt:
+        os << " r" << in.dst << ", r" << in.a;
+        break;
+      case OpCode::JumpIfFalsy:
+      case OpCode::JumpIfTruthy:
+        os << " r" << in.a << ", ->" << in.b << " (r" << in.dst << ")";
+        break;
+      case OpCode::Ret:
+        os << " r" << in.a;
+        break;
+      default:
+        os << " r" << in.dst << ", r" << in.a << ", r" << in.b;
+        break;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+Chunk compile(const ExprPtr& e, std::span<const std::string> slot_names,
+              const CompileOptions& options) {
+  return Compiler(slot_names).compile(e, options);
+}
+
+Value Vm::run(const Chunk& chunk, std::span<const Value* const> slots) {
+  if (regs_.size() < chunk.register_count) regs_.resize(chunk.register_count);
+  const Instr* code = chunk.code.data();
+  std::size_t pc = 0;
+  std::uint64_t retired = 0;
+  // Flush the instruction count even when a value op throws (TypeError on
+  // mixed kinds), so metrics stay honest on failing conditions.
+  struct Flush {
+    Vm* vm;
+    const std::uint64_t* n;
+    ~Flush() {
+      vm->instrs_ += *n;
+      g_vm_instrs.fetch_add(*n, std::memory_order_relaxed);
+    }
+  } flush{this, &retired};
+  for (;;) {
+    const Instr& in = code[pc];
+    ++retired;
+    switch (in.op) {
+      case OpCode::LoadConst:
+        regs_[in.dst] = chunk.consts[in.a];
+        ++pc;
+        break;
+      case OpCode::LoadSlot: {
+        const Value* slot = slots[in.a];
+        if (slot == nullptr) {
+          // Matches Env::lookup: the walker only throws when the variable is
+          // actually referenced on the evaluated path, and so do we.
+          throw ProgramError("unbound variable '" + chunk.slot_names[in.a] +
+                             "'");
+        }
+        regs_[in.dst] = *slot;
+        ++pc;
+        break;
+      }
+      // Binary value ops: an inline Int×Int fast path (the dominant case in
+      // reaction conditions) with a fall-through to the checked helpers in
+      // value.cpp for every other kind combination — promotion, string
+      // concat, and the exact TypeError texts all come from the same single
+      // source of truth as the walker. Comparisons intentionally go through
+      // double like value.cpp's compare() so results are bit-identical.
+      case OpCode::Add: {
+        const Value& x = regs_[in.a];
+        const Value& y = regs_[in.b];
+        const std::int64_t* xi = x.if_int();
+        const std::int64_t* yi = y.if_int();
+        regs_[in.dst] = (xi && yi) ? Value(*xi + *yi) : add(x, y);
+        ++pc;
+        break;
+      }
+      case OpCode::Sub: {
+        const Value& x = regs_[in.a];
+        const Value& y = regs_[in.b];
+        const std::int64_t* xi = x.if_int();
+        const std::int64_t* yi = y.if_int();
+        regs_[in.dst] = (xi && yi) ? Value(*xi - *yi) : sub(x, y);
+        ++pc;
+        break;
+      }
+      case OpCode::Mul: {
+        const Value& x = regs_[in.a];
+        const Value& y = regs_[in.b];
+        const std::int64_t* xi = x.if_int();
+        const std::int64_t* yi = y.if_int();
+        regs_[in.dst] = (xi && yi) ? Value(*xi * *yi) : mul(x, y);
+        ++pc;
+        break;
+      }
+      case OpCode::Div: {
+        const Value& x = regs_[in.a];
+        const Value& y = regs_[in.b];
+        const std::int64_t* xi = x.if_int();
+        const std::int64_t* yi = y.if_int();
+        regs_[in.dst] =
+            (xi && yi && *yi != 0) ? Value(*xi / *yi) : div(x, y);
+        ++pc;
+        break;
+      }
+      case OpCode::Mod: {
+        const Value& x = regs_[in.a];
+        const Value& y = regs_[in.b];
+        const std::int64_t* xi = x.if_int();
+        const std::int64_t* yi = y.if_int();
+        regs_[in.dst] =
+            (xi && yi && *yi != 0) ? Value(*xi % *yi) : mod(x, y);
+        ++pc;
+        break;
+      }
+      case OpCode::Lt: {
+        const Value& x = regs_[in.a];
+        const Value& y = regs_[in.b];
+        const std::int64_t* xi = x.if_int();
+        const std::int64_t* yi = y.if_int();
+        regs_[in.dst] =
+            (xi && yi)
+                ? Value(static_cast<double>(*xi) < static_cast<double>(*yi))
+                : cmp_lt(x, y);
+        ++pc;
+        break;
+      }
+      case OpCode::Le: {
+        const Value& x = regs_[in.a];
+        const Value& y = regs_[in.b];
+        const std::int64_t* xi = x.if_int();
+        const std::int64_t* yi = y.if_int();
+        regs_[in.dst] =
+            (xi && yi)
+                ? Value(static_cast<double>(*xi) <= static_cast<double>(*yi))
+                : cmp_le(x, y);
+        ++pc;
+        break;
+      }
+      case OpCode::Gt: {
+        const Value& x = regs_[in.a];
+        const Value& y = regs_[in.b];
+        const std::int64_t* xi = x.if_int();
+        const std::int64_t* yi = y.if_int();
+        regs_[in.dst] =
+            (xi && yi)
+                ? Value(static_cast<double>(*xi) > static_cast<double>(*yi))
+                : cmp_gt(x, y);
+        ++pc;
+        break;
+      }
+      case OpCode::Ge: {
+        const Value& x = regs_[in.a];
+        const Value& y = regs_[in.b];
+        const std::int64_t* xi = x.if_int();
+        const std::int64_t* yi = y.if_int();
+        regs_[in.dst] =
+            (xi && yi)
+                ? Value(static_cast<double>(*xi) >= static_cast<double>(*yi))
+                : cmp_ge(x, y);
+        ++pc;
+        break;
+      }
+      case OpCode::Eq: {
+        const Value& x = regs_[in.a];
+        const Value& y = regs_[in.b];
+        const std::int64_t* xi = x.if_int();
+        const std::int64_t* yi = y.if_int();
+        regs_[in.dst] =
+            (xi && yi)
+                ? Value(static_cast<double>(*xi) == static_cast<double>(*yi))
+                : cmp_eq(x, y);
+        ++pc;
+        break;
+      }
+      case OpCode::Ne: {
+        const Value& x = regs_[in.a];
+        const Value& y = regs_[in.b];
+        const std::int64_t* xi = x.if_int();
+        const std::int64_t* yi = y.if_int();
+        regs_[in.dst] =
+            (xi && yi)
+                ? Value(static_cast<double>(*xi) != static_cast<double>(*yi))
+                : cmp_ne(x, y);
+        ++pc;
+        break;
+      }
+      case OpCode::Neg: {
+        const Value& x = regs_[in.a];
+        const std::int64_t* xi = x.if_int();
+        regs_[in.dst] = xi ? Value(-*xi) : neg(x);
+        ++pc;
+        break;
+      }
+      case OpCode::Not:
+        regs_[in.dst] = Value(!fast_truthy(regs_[in.a]));
+        ++pc;
+        break;
+      case OpCode::Truthy:
+        regs_[in.dst] = Value(fast_truthy(regs_[in.a]));
+        ++pc;
+        break;
+      case OpCode::BoolToInt:
+        regs_[in.dst] = Value(fast_truthy(regs_[in.a]) ? 1 : 0);
+        ++pc;
+        break;
+      case OpCode::JumpIfFalsy:
+        if (!fast_truthy(regs_[in.a])) {
+          regs_[in.dst] = Value(false);
+          pc = in.b;
+        } else {
+          ++pc;
+        }
+        break;
+      case OpCode::JumpIfTruthy:
+        if (fast_truthy(regs_[in.a])) {
+          regs_[in.dst] = Value(true);
+          pc = in.b;
+        } else {
+          ++pc;
+        }
+        break;
+      case OpCode::Ret:
+        return std::move(regs_[in.a]);
+    }
+  }
+}
+
+std::uint64_t vm_instrs_executed() noexcept {
+  return g_vm_instrs.load(std::memory_order_relaxed);
+}
+
+}  // namespace gammaflow::expr

@@ -1,0 +1,134 @@
+// Bytecode backend for the expression IR: a one-pass compiler from the Expr
+// AST into a compact register machine, and a stack-free Vm that executes it.
+//
+// Why: every engine evaluates reaction conditions and by-list expressions on
+// EVERY candidate match, so the Γ fixed-point hot path is dominated by AST
+// walking — shared_ptr chasing, per-node kind dispatch, and a string lookup
+// per variable occurrence. Compiling once per program load replaces all of
+// that with a flat Instr array over a register file: variables become slot
+// indices resolved at compile time, literals live in a constant pool, and
+// evaluation is a single dispatch loop with no allocation.
+//
+// Equivalence obligation (enforced by the differential suite in
+// tests/test_bytecode.cpp): for any expression and environment, Vm::run on
+// compile(e) returns exactly what eval(e, env) returns — same Value (kind
+// and payload), same short-circuit behaviour for and/or, and a TypeError /
+// ProgramError whenever the walker throws one. The compiler therefore folds
+// only literal subtrees whose evaluation succeeds (the same guard
+// expr::simplify uses) and applies NO algebraic identities: `0 + x -> x`
+// style rewrites can erase the walker's type errors, which would break
+// state-identity between compiled and interpreted engine runs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gammaflow/common/value.hpp"
+#include "gammaflow/expr/ast.hpp"
+
+namespace gammaflow::expr {
+
+/// How an engine evaluates reaction conditions and outputs: walking the Expr
+/// AST (the historical reference path) or running compiled bytecode
+/// (default; RunOptions::compile / `--no-compile` select per run).
+enum class EvalMode : std::uint8_t { Ast, Vm };
+
+const char* to_string(EvalMode mode) noexcept;
+
+/// Register-machine opcodes. Three-operand form over registers r[dst], r[a],
+/// r[b]; LoadConst/LoadSlot use `a` as a pool/slot index, the conditional
+/// jumps use `b` as an absolute instruction target. See DESIGN.md §8 for the
+/// full ISA table.
+enum class OpCode : std::uint8_t {
+  LoadConst,  // r[dst] = consts[a]
+  LoadSlot,   // r[dst] = *slots[a]          (binder slot, resolved at compile)
+  Add,        // r[dst] = r[a] + r[b]        (checked, promoting — value.hpp)
+  Sub,        // r[dst] = r[a] - r[b]
+  Mul,        // r[dst] = r[a] * r[b]
+  Div,        // r[dst] = r[a] / r[b]        (int/int is integer division)
+  Mod,        // r[dst] = r[a] % r[b]        (two ints only)
+  Lt,         // r[dst] = Bool(r[a] < r[b])
+  Le,         // r[dst] = Bool(r[a] <= r[b])
+  Gt,         // r[dst] = Bool(r[a] > r[b])
+  Ge,         // r[dst] = Bool(r[a] >= r[b])
+  Eq,         // r[dst] = Bool(r[a] == r[b]) (structural)
+  Ne,         // r[dst] = Bool(r[a] != r[b])
+  Neg,        // r[dst] = -r[a]
+  Not,        // r[dst] = not r[a]
+  Truthy,     // r[dst] = Bool(truthy(r[a])) (and/or result normalization)
+  BoolToInt,  // r[dst] = truthy(r[a]) ? Int 1 : Int 0 (dataflow Cmp nodes)
+  JumpIfFalsy,   // if !truthy(r[a]) { r[dst] = Bool(false); pc = b }
+  JumpIfTruthy,  // if  truthy(r[a]) { r[dst] = Bool(true);  pc = b }
+  Ret,        // return r[a]
+};
+
+const char* to_string(OpCode op) noexcept;
+
+struct Instr {
+  OpCode op = OpCode::Ret;
+  std::uint16_t dst = 0;
+  std::uint16_t a = 0;
+  std::uint16_t b = 0;
+};
+
+/// A compiled expression: flat code, constant pool, and the register/slot
+/// footprint the Vm needs. Immutable after compile(); safe to share across
+/// threads (each thread brings its own Vm).
+struct Chunk {
+  std::vector<Instr> code;
+  std::vector<Value> consts;
+  /// Binder slot names in slot-index order (diagnostics / disassembly; the
+  /// code itself refers to slots by index only).
+  std::vector<std::string> slot_names;
+  std::uint16_t register_count = 0;
+
+  /// Human-readable listing, one instruction per line (tests, DESIGN.md).
+  [[nodiscard]] std::string disassemble() const;
+};
+
+struct CompileOptions {
+  /// Append a BoolToInt before Ret: dataflow Cmp nodes emit Int 1/0 (not
+  /// Bool) so cross-model results stay structurally identical.
+  bool bool_to_int_result = false;
+};
+
+/// Compiles `e` against a fixed slot layout: every Var must name an entry of
+/// `slot_names` (its index becomes the LoadSlot operand) — a miss is a
+/// compile-time ProgramError, which is strictly earlier than the walker's
+/// eval-time error and only reachable through unvalidated expressions.
+/// Literal-only subtrees are folded when their evaluation succeeds; throwing
+/// subtrees (1/0) are preserved so runtime errors match the walker.
+[[nodiscard]] Chunk compile(const ExprPtr& e,
+                            std::span<const std::string> slot_names,
+                            const CompileOptions& options = {});
+
+/// Executes chunks. Owns a reusable register file so steady-state evaluation
+/// allocates nothing; one Vm per thread (engines keep one per worker).
+class Vm {
+ public:
+  /// Runs `chunk` with `slots[i]` bound to slot i (pointers, not copies —
+  /// the caller's environment outlives the call). A null slot pointer means
+  /// "unbound": referencing it throws the walker's ProgramError, and a slot
+  /// the evaluated path never touches may stay null, exactly like lazy
+  /// Env::lookup. Value operations throw TypeError as the walker does.
+  [[nodiscard]] Value run(const Chunk& chunk,
+                          std::span<const Value* const> slots);
+
+  /// Instructions retired by THIS Vm since construction.
+  [[nodiscard]] std::uint64_t instrs_executed() const noexcept {
+    return instrs_;
+  }
+
+ private:
+  std::vector<Value> regs_;
+  std::uint64_t instrs_ = 0;
+};
+
+/// Process-wide count of VM instructions retired (relaxed counter flushed
+/// once per Vm::run). Engines report per-run deltas as the
+/// `vm.instrs_executed` metric.
+[[nodiscard]] std::uint64_t vm_instrs_executed() noexcept;
+
+}  // namespace gammaflow::expr

@@ -49,7 +49,15 @@ Value eval(const Expr& e, const Env& env) {
         return eval(*e.lhs(), env).truthy() ? Value(true)
                                             : Value(eval(*e.rhs(), env).truthy());
       }
-      return apply(e.bin_op(), eval(*e.lhs(), env), eval(*e.rhs(), env));
+      // Operands evaluate left-to-right, explicitly sequenced: inside an
+      // apply() call the order would be unspecified, and WHICH side's error
+      // surfaces from a double-faulting expression must not depend on the
+      // compiler (the bytecode Vm is defined to match this order exactly).
+      {
+        const Value a = eval(*e.lhs(), env);
+        const Value b = eval(*e.rhs(), env);
+        return apply(e.bin_op(), a, b);
+      }
     }
   }
   throw TypeError("unknown expression kind");

@@ -52,6 +52,11 @@ struct RunOptions {
   /// SequentialEngine only: cap on enabled matches enumerated per step; the
   /// uniform choice is over the first `uniform_cap` found.
   std::size_t uniform_cap = 4096;
+  /// Evaluate reaction conditions/outputs via compiled bytecode (default)
+  /// instead of walking the expression AST. Results are state-identical
+  /// either way (enforced by the differential suite); `--no-compile` in the
+  /// CLI flips this off for A/B comparison and as an escape hatch.
+  bool compile = true;
   /// Optional telemetry sink (spans + metrics). Null (the default) disables
   /// instrumentation entirely; every probe site is behind one pointer test.
   obs::Telemetry* telemetry = nullptr;

@@ -20,10 +20,13 @@ RunResult IndexedEngine::run(const Program& program, const Multiset& initial,
   RunResult result;
   Rng rng(options.seed);
   Store store(initial);
+  const expr::EvalMode mode =
+      options.compile ? expr::EvalMode::Vm : expr::EvalMode::Ast;
 
   obs::Telemetry* const tel = options.telemetry;
   obs::ThreadRecorder* const rec =
       tel ? &tel->register_thread("gamma-indexed") : nullptr;
+  const std::uint64_t instrs0 = expr::vm_instrs_executed();
   std::uint64_t attempts = 0;
   std::uint64_t failures = 0;
   std::uint64_t passes = 0;
@@ -69,7 +72,7 @@ RunResult IndexedEngine::run(const Program& program, const Multiset& initial,
               break;
             }
             const std::uint64_t fire_start = tel ? tel->now_us() : 0;
-            auto match = find_match(store, r, &rng);
+            auto match = find_match(store, r, &rng, mode);
             ++attempts;
             if (!match) {
               ++failures;
@@ -150,6 +153,14 @@ RunResult IndexedEngine::run(const Program& program, const Multiset& initial,
     stats.count("gamma.fires", result.steps);
     stats.count("gamma.passes", passes);
     stats.count(std::string("gamma.outcome.") + to_string(result.outcome));
+    stats.count(std::string("gamma.eval_mode.") + expr::to_string(mode));
+    stats.count("vm.instrs_executed", expr::vm_instrs_executed() - instrs0);
+    Histogram& compile_hist = stats.hist("expr.compile_ms");
+    for (const auto& stage : program.stages()) {
+      for (const Reaction& r : stage) {
+        compile_hist.observe(r.compiled().compile_ms());
+      }
+    }
     result.metrics = tel->metrics();
   }
   result.final_multiset = store.to_multiset();

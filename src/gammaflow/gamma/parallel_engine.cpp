@@ -98,6 +98,8 @@ void worker_loop(StageShared& sh, const std::vector<Reaction>& stage,
   }
   std::uint64_t my_quiet_version = ~std::uint64_t{0};
   RunGovernor governor(options.cancel, deadline);
+  const expr::EvalMode mode =
+      options.compile ? expr::EvalMode::Vm : expr::EvalMode::Ast;
 
   obs::Telemetry* const tel = ob.tel;
   obs::ThreadRecorder* const rec =
@@ -130,7 +132,7 @@ void worker_loop(StageShared& sh, const std::vector<Reaction>& stage,
       const Store& cstore = sh.store;
       for (const std::size_t idx : order) {
         ++wm.match_attempts;
-        proposal = find_match(cstore, stage[idx], &rng);
+        proposal = find_match(cstore, stage[idx], &rng, mode);
         if (proposal) {
           proposal_idx = idx;
           break;
@@ -165,7 +167,7 @@ void worker_loop(StageShared& sh, const std::vector<Reaction>& stage,
       } else if (valid) {
         expr::Env env;
         if (proposal->reaction->match(elems, env)) {
-          produced = proposal->reaction->apply(env);
+          produced = proposal->reaction->apply(env, mode);
         }
       }
       if (produced) {
@@ -266,6 +268,7 @@ RunResult ParallelEngine::run(const Program& program, const Multiset& initial,
   // One absolute deadline for the whole run (all stages, all workers).
   const auto deadline = deadline_from_now(options.deadline);
   obs::Telemetry* const tel = options.telemetry;
+  const std::uint64_t instrs0 = expr::vm_instrs_executed();
   GF_DEBUG << "gamma parallel run: " << workers << " workers, "
            << program.stages().size() << " stage(s), |M|=" << initial.size();
 
@@ -361,8 +364,16 @@ RunResult ParallelEngine::run(const Program& program, const Multiset& initial,
   }
 
   if (tel) {
-    tel->stats().count(std::string("gamma.outcome.") +
-                       to_string(result.outcome));
+    auto& stats = tel->stats();
+    stats.count(std::string("gamma.outcome.") + to_string(result.outcome));
+    stats.count(std::string("gamma.eval_mode.") +
+                expr::to_string(options.compile ? expr::EvalMode::Vm
+                                                : expr::EvalMode::Ast));
+    stats.count("vm.instrs_executed", expr::vm_instrs_executed() - instrs0);
+    Histogram& compile_hist = stats.hist("expr.compile_ms");
+    for (const auto& st : program.stages()) {
+      for (const Reaction& r : st) compile_hist.observe(r.compiled().compile_ms());
+    }
     result.metrics = tel->metrics();
   }
   result.final_multiset = std::move(current);

@@ -1,6 +1,7 @@
 #include "gammaflow/gamma/reaction.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <ostream>
 #include <set>
 #include <sstream>
@@ -10,12 +11,106 @@
 
 namespace gammaflow::gamma {
 
+CompiledReaction::CompiledReaction(const Reaction& reaction) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const Pattern& p : reaction.patterns()) {
+    for (const PatternField& f : p.fields()) {
+      if (f.is_binder() &&
+          std::find(slots_.begin(), slots_.end(), f.name()) == slots_.end()) {
+        slots_.push_back(f.name());
+      }
+    }
+  }
+  const std::span<const std::string> slot_span(slots_);
+  branches_.reserve(reaction.branches().size());
+  for (const Branch& br : reaction.branches()) {
+    BranchCode bc;
+    bc.is_else = br.is_else;
+    if (br.condition) bc.condition = expr::compile(br.condition, slot_span);
+    bc.outputs.reserve(br.outputs.size());
+    for (const auto& tuple : br.outputs) {
+      std::vector<expr::Chunk> fields;
+      fields.reserve(tuple.size());
+      for (const auto& field : tuple) {
+        fields.push_back(expr::compile(field, slot_span));
+      }
+      bc.outputs.push_back(std::move(fields));
+    }
+    branches_.push_back(std::move(bc));
+  }
+  compile_ms_ = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+}
+
+std::size_t CompiledReaction::instr_count() const noexcept {
+  std::size_t n = 0;
+  for (const BranchCode& bc : branches_) {
+    if (bc.condition) n += bc.condition->code.size();
+    for (const auto& tuple : bc.outputs) {
+      for (const expr::Chunk& c : tuple) n += c.code.size();
+    }
+  }
+  return n;
+}
+
+void CompiledReaction::bind_slots(const expr::Env& env,
+                                  std::vector<const Value*>& out) const {
+  out.assign(slots_.size(), nullptr);
+  // Fast path: Reaction::match binds the Env in exactly slot order (first
+  // binder occurrence across the replace list), so the i-th entry IS slot i.
+  auto it = env.begin();
+  std::size_t i = 0;
+  for (; i < slots_.size() && it != env.end(); ++i, ++it) {
+    if (it->first != slots_[i]) break;
+    out[i] = &it->second;
+  }
+  if (i == slots_.size() && it == env.end()) return;
+  // Caller-built environment in some other shape: fall back to name lookup.
+  // Names missing from env stay null — LoadSlot throws only if referenced,
+  // mirroring the walker's lazy Env::lookup.
+  for (std::size_t k = 0; k < slots_.size(); ++k) out[k] = env.find(slots_[k]);
+}
+
+std::optional<std::vector<Element>> CompiledReaction::apply(
+    const expr::Env& env, expr::Vm& vm) const {
+  thread_local std::vector<const Value*> slot_ptrs;
+  bind_slots(env, slot_ptrs);
+  const std::span<const Value* const> slots(slot_ptrs);
+
+  const BranchCode* firing = nullptr;
+  for (const BranchCode& bc : branches_) {
+    if (bc.is_else || !bc.condition) {
+      firing = &bc;
+      break;
+    }
+    if (vm.run(*bc.condition, slots).truthy()) {
+      firing = &bc;
+      break;
+    }
+  }
+  if (!firing) return std::nullopt;
+
+  std::vector<Element> produced;
+  produced.reserve(firing->outputs.size());
+  for (const auto& tuple : firing->outputs) {
+    std::vector<Value> fields;
+    fields.reserve(tuple.size());
+    for (const expr::Chunk& chunk : tuple) {
+      fields.push_back(vm.run(chunk, slots));
+    }
+    produced.emplace_back(std::move(fields));
+  }
+  return produced;
+}
+
 Reaction::Reaction(std::string name, std::vector<Pattern> patterns,
                    std::vector<Branch> branches)
     : name_(std::move(name)),
       patterns_(std::move(patterns)),
       branches_(std::move(branches)) {
   validate();
+  compiled_ = std::make_shared<const CompiledReaction>(*this);
 }
 
 void Reaction::validate() const {
@@ -99,11 +194,25 @@ std::optional<std::vector<Element>> Reaction::apply(const expr::Env& env) const 
   return produced;
 }
 
+std::optional<std::vector<Element>> Reaction::apply(
+    const expr::Env& env, expr::EvalMode mode) const {
+  if (mode == expr::EvalMode::Ast) return apply(env);
+  thread_local expr::Vm vm;
+  return compiled_->apply(env, vm);
+}
+
 std::optional<std::vector<Element>> Reaction::try_fire(
     std::span<const Element* const> elements) const {
   expr::Env env;
   if (!match(elements, env)) return std::nullopt;
   return apply(env);
+}
+
+std::optional<std::vector<Element>> Reaction::try_fire(
+    std::span<const Element* const> elements, expr::EvalMode mode) const {
+  expr::Env env;
+  if (!match(elements, env)) return std::nullopt;
+  return apply(env, mode);
 }
 
 bool Reaction::is_shrinking() const noexcept {

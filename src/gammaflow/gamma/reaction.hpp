@@ -13,17 +13,65 @@
 #pragma once
 
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "gammaflow/expr/ast.hpp"
+#include "gammaflow/expr/bytecode.hpp"
 #include "gammaflow/expr/env.hpp"
 #include "gammaflow/gamma/element.hpp"
 #include "gammaflow/gamma/pattern.hpp"
 
 namespace gammaflow::gamma {
+
+class Reaction;
+
+/// Bytecode cache for one reaction: every condition and by-list field
+/// expression compiled once against the reaction's binder-slot layout (first
+/// occurrence across the replace list, which is exactly the order
+/// Reaction::match binds an Env in — so slot pointers come straight out of
+/// the match environment with no name lookups). Built eagerly by the
+/// Reaction constructor and shared by copies; immutable, thread-safe to
+/// read, each evaluating thread brings its own expr::Vm.
+class CompiledReaction {
+ public:
+  explicit CompiledReaction(const Reaction& reaction);
+
+  struct BranchCode {
+    /// Missing = unconditional (or else) branch, mirroring Branch::condition.
+    std::optional<expr::Chunk> condition;
+    bool is_else = false;
+    std::vector<std::vector<expr::Chunk>> outputs;
+  };
+
+  /// Binder-slot layout: slot i holds the i-th distinct binder name.
+  [[nodiscard]] const std::vector<std::string>& slots() const noexcept {
+    return slots_;
+  }
+  [[nodiscard]] const std::vector<BranchCode>& branches() const noexcept {
+    return branches_;
+  }
+  /// Wall time spent compiling this reaction (`expr.compile_ms` metric).
+  [[nodiscard]] double compile_ms() const noexcept { return compile_ms_; }
+  /// Total bytecode instructions across all chunks.
+  [[nodiscard]] std::size_t instr_count() const noexcept;
+
+  /// VM analogue of Reaction::apply: selects the firing branch under `env`
+  /// and evaluates its outputs by running bytecode on `vm`. Produces the
+  /// same result (or the same thrown error) as the AST walker.
+  [[nodiscard]] std::optional<std::vector<Element>> apply(
+      const expr::Env& env, expr::Vm& vm) const;
+
+ private:
+  void bind_slots(const expr::Env& env, std::vector<const Value*>& out) const;
+
+  std::vector<std::string> slots_;
+  std::vector<BranchCode> branches_;
+  double compile_ms_ = 0.0;
+};
 
 struct Branch {
   /// Guard; null means unconditional (fires whenever patterns match) unless
@@ -72,9 +120,22 @@ class Reaction {
   [[nodiscard]] std::optional<std::vector<Element>> apply(
       const expr::Env& env) const;
 
+  /// Same, via the requested evaluator: Ast walks the expression trees (the
+  /// reference path above), Vm runs this reaction's compiled bytecode on a
+  /// thread-local expr::Vm. Engines pick the mode from RunOptions::compile.
+  [[nodiscard]] std::optional<std::vector<Element>> apply(
+      const expr::Env& env, expr::EvalMode mode) const;
+
   /// match + apply in one call; elements.size() must equal arity().
   [[nodiscard]] std::optional<std::vector<Element>> try_fire(
       std::span<const Element* const> elements) const;
+  [[nodiscard]] std::optional<std::vector<Element>> try_fire(
+      std::span<const Element* const> elements, expr::EvalMode mode) const;
+
+  /// The bytecode compiled once at construction (never null; copies share).
+  [[nodiscard]] const CompiledReaction& compiled() const noexcept {
+    return *compiled_;
+  }
 
   /// True when every firing preserves or shrinks multiset size — a simple
   /// sufficient condition for termination of a single-reaction program.
@@ -88,6 +149,7 @@ class Reaction {
   std::string name_;
   std::vector<Pattern> patterns_;
   std::vector<Branch> branches_;
+  std::shared_ptr<const CompiledReaction> compiled_;
 };
 
 std::ostream& operator<<(std::ostream& os, const Reaction& r);

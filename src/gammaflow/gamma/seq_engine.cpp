@@ -19,12 +19,15 @@ RunResult SequentialEngine::run(const Program& program, const Multiset& initial,
   RunResult result;
   Rng rng(options.seed);
   Store store(initial);
+  const expr::EvalMode mode =
+      options.compile ? expr::EvalMode::Vm : expr::EvalMode::Ast;
 
   obs::Telemetry* const tel = options.telemetry;
   obs::ThreadRecorder* const rec =
       tel ? &tel->register_thread("gamma-sequential") : nullptr;
   Histogram* const enabled_hist =
       tel ? &tel->stats().hist("gamma.enabled_matches") : nullptr;
+  const std::uint64_t instrs0 = expr::vm_instrs_executed();
   std::uint64_t attempts = 0;
 
   RunGovernor governor(options.cancel, options.deadline);
@@ -46,11 +49,13 @@ RunResult SequentialEngine::run(const Program& program, const Multiset& initial,
       std::vector<Match> matches;
       for (const Reaction& r : stage) {
         ++attempts;
-        enumerate_matches(store, r, options.uniform_cap - matches.size(),
-                          [&](const Match& m) {
-                            matches.push_back(m);
-                            return matches.size() < options.uniform_cap;
-                          });
+        enumerate_matches(
+            store, r, options.uniform_cap - matches.size(),
+            [&](const Match& m) {
+              matches.push_back(m);
+              return matches.size() < options.uniform_cap;
+            },
+            mode);
         if (matches.size() >= options.uniform_cap) break;
       }
       if (tel) enabled_hist->observe(static_cast<double>(matches.size()));
@@ -92,6 +97,14 @@ RunResult SequentialEngine::run(const Program& program, const Multiset& initial,
     stats.count("gamma.match_attempts", attempts);
     stats.count("gamma.fires", result.steps);
     stats.count(std::string("gamma.outcome.") + to_string(result.outcome));
+    stats.count(std::string("gamma.eval_mode.") + expr::to_string(mode));
+    stats.count("vm.instrs_executed", expr::vm_instrs_executed() - instrs0);
+    Histogram& compile_hist = stats.hist("expr.compile_ms");
+    for (const auto& stage : program.stages()) {
+      for (const Reaction& r : stage) {
+        compile_hist.observe(r.compiled().compile_ms());
+      }
+    }
     result.metrics = tel->metrics();
   }
   result.final_multiset = store.to_multiset();

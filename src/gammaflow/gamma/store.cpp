@@ -92,7 +92,8 @@ namespace {
 // stamp and skipped.
 template <typename StoreT>  // Store (pruning) or const Store (read-only)
 std::size_t search(StoreT& store, const Reaction& reaction, std::size_t limit,
-                   Rng* rng, const std::function<bool(Match&)>& fn) {
+                   Rng* rng, expr::EvalMode mode,
+                   const std::function<bool(Match&)>& fn) {
   const auto& patterns = reaction.patterns();
   const std::size_t k = patterns.size();
 
@@ -112,7 +113,7 @@ std::size_t search(StoreT& store, const Reaction& reaction, std::size_t limit,
   auto dfs = [&](auto&& self, std::size_t depth) -> void {
     if (stop) return;
     if (depth == k) {
-      auto produced = reaction.apply(envs[k]);
+      auto produced = reaction.apply(envs[k], mode);
       if (!produced) return;  // patterns matched but no branch fires
       Match m;
       m.reaction = &reaction;
@@ -151,9 +152,9 @@ std::size_t search(StoreT& store, const Reaction& reaction, std::size_t limit,
 }  // namespace
 
 std::optional<Match> find_match(Store& store, const Reaction& reaction,
-                                Rng* rng) {
+                                Rng* rng, expr::EvalMode mode) {
   std::optional<Match> found;
-  search(store, reaction, 1, rng, [&](Match& m) {
+  search(store, reaction, 1, rng, mode, [&](Match& m) {
     found = std::move(m);
     return false;
   });
@@ -161,9 +162,9 @@ std::optional<Match> find_match(Store& store, const Reaction& reaction,
 }
 
 std::optional<Match> find_match(const Store& store, const Reaction& reaction,
-                                Rng* rng) {
+                                Rng* rng, expr::EvalMode mode) {
   std::optional<Match> found;
-  search(store, reaction, 1, rng, [&](Match& m) {
+  search(store, reaction, 1, rng, mode, [&](Match& m) {
     found = std::move(m);
     return false;
   });
@@ -172,8 +173,9 @@ std::optional<Match> find_match(const Store& store, const Reaction& reaction,
 
 std::size_t enumerate_matches(Store& store, const Reaction& reaction,
                               std::size_t limit,
-                              const std::function<bool(const Match&)>& fn) {
-  return search(store, reaction, limit, nullptr,
+                              const std::function<bool(const Match&)>& fn,
+                              expr::EvalMode mode) {
+  return search(store, reaction, limit, nullptr, mode,
                 [&](Match& m) { return fn(m); });
 }
 

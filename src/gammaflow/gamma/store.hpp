@@ -114,16 +114,19 @@ struct Match {
 /// Finds one enabled match for `reaction` (patterns match AND a branch
 /// fires). With `rng`, candidate buckets are probed starting at random
 /// offsets so repeated calls are fair; without, the first match in bucket
-/// order is returned (deterministic).
-[[nodiscard]] std::optional<Match> find_match(Store& store,
-                                              const Reaction& reaction,
-                                              Rng* rng = nullptr);
+/// order is returned (deterministic). `mode` selects how conditions and
+/// outputs are evaluated once the patterns match — the AST walker (default,
+/// reference semantics) or the reaction's compiled bytecode; both produce
+/// identical Matches, engines pass Vm when RunOptions::compile is on.
+[[nodiscard]] std::optional<Match> find_match(
+    Store& store, const Reaction& reaction, Rng* rng = nullptr,
+    expr::EvalMode mode = expr::EvalMode::Ast);
 
 /// Read-only variant for concurrent searchers holding a shared lock; leaves
 /// index garbage in place (see Store::compact).
-[[nodiscard]] std::optional<Match> find_match(const Store& store,
-                                              const Reaction& reaction,
-                                              Rng* rng = nullptr);
+[[nodiscard]] std::optional<Match> find_match(
+    const Store& store, const Reaction& reaction, Rng* rng = nullptr,
+    expr::EvalMode mode = expr::EvalMode::Ast);
 
 /// Invokes `fn` for every enabled match (ordered tuples of distinct
 /// elements), stopping early when fn returns false or `limit` matches were
@@ -131,7 +134,8 @@ struct Match {
 /// meant for small multisets (semantics tests) and match counting.
 std::size_t enumerate_matches(Store& store, const Reaction& reaction,
                               std::size_t limit,
-                              const std::function<bool(const Match&)>& fn);
+                              const std::function<bool(const Match&)>& fn,
+                              expr::EvalMode mode = expr::EvalMode::Ast);
 
 /// Applies a found match: removes the consumed ids, inserts the produced
 /// elements. Precondition: all ids alive.

@@ -1,0 +1,419 @@
+// Differential tests for the bytecode backend: the Vm must be observationally
+// identical to the AST walker — same Value on success, same error (type AND
+// message) on failure, same short-circuit and lazy-unbound behaviour — on
+// hand-picked edge cases, on >=500 randomly generated expressions, and on the
+// example-program corpus run through every engine with compile on vs off.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+#include "gammaflow/common/rng.hpp"
+#include "gammaflow/dataflow/engine.hpp"
+#include "gammaflow/distrib/cluster.hpp"
+#include "gammaflow/expr/bytecode.hpp"
+#include "gammaflow/expr/env.hpp"
+#include "gammaflow/expr/eval.hpp"
+#include "gammaflow/expr/parser.hpp"
+#include "gammaflow/frontend/compile.hpp"
+#include "gammaflow/gamma/dsl/parser.hpp"
+#include "gammaflow/gamma/engine.hpp"
+#include "gammaflow/translate/df_to_gamma.hpp"
+
+namespace gammaflow {
+namespace {
+
+using expr::Env;
+using expr::ExprPtr;
+
+ExprPtr parse(const std::string& text) {
+  expr::TokenStream ts(expr::tokenize(text));
+  ExprPtr e = expr::parse_expression(ts);
+  EXPECT_TRUE(ts.done()) << "trailing input in: " << text;
+  return e;
+}
+
+/// The slot layout every test compiles against; `u` stays unbound so lazy
+/// unbound-variable semantics get exercised.
+const std::vector<std::string> kSlots = {"a", "b", "c", "u"};
+
+/// A walker or Vm evaluation collapsed to its observable: the value, or the
+/// error text (prefixed with a coarse error class).
+struct Observed {
+  bool ok = false;
+  Value value;
+  std::string error;
+
+  friend bool operator==(const Observed& x, const Observed& y) {
+    return x.ok == y.ok && (x.ok ? x.value == y.value : x.error == y.error);
+  }
+  friend std::ostream& operator<<(std::ostream& os, const Observed& o) {
+    return o.ok ? (os << "value " << o.value) : (os << "error " << o.error);
+  }
+};
+
+template <typename Fn>
+Observed observe(Fn&& fn) {
+  Observed o;
+  try {
+    o.value = fn();
+    o.ok = true;
+  } catch (const TypeError& ex) {
+    o.error = std::string("TypeError: ") + ex.what();
+  } catch (const ProgramError& ex) {
+    o.error = std::string("ProgramError: ") + ex.what();
+  }
+  return o;
+}
+
+Observed walker_result(const ExprPtr& e, const Env& env) {
+  return observe([&] { return expr::eval(e, env); });
+}
+
+Observed vm_result(const ExprPtr& e, const Env& env) {
+  const expr::Chunk chunk = expr::compile(e, kSlots);
+  std::vector<const Value*> slots(kSlots.size(), nullptr);
+  for (std::size_t i = 0; i < kSlots.size(); ++i) {
+    slots[i] = env.find(kSlots[i]);
+  }
+  expr::Vm vm;
+  return observe([&] { return vm.run(chunk, slots); });
+}
+
+Env abc_env(std::int64_t a, std::int64_t b, std::int64_t c) {
+  Env env;
+  env.bind("a", Value(a));
+  env.bind("b", Value(b));
+  env.bind("c", Value(c));
+  return env;
+}
+
+void expect_identical(const std::string& text, const Env& env) {
+  const ExprPtr e = parse(text);
+  EXPECT_EQ(walker_result(e, env), vm_result(e, env)) << text;
+}
+
+// ---------------------------------------------------------------------------
+// Hand-picked equivalence edges.
+
+TEST(Bytecode, ValueAndArithmeticAgree) {
+  const Env env = abc_env(7, -3, 0);
+  for (const char* text :
+       {"a + b", "a - b", "a * b", "a + b * c", "-(a) + -b", "a % 4",
+        "(a + b) * (a - b)", "a / 2", "b / a"}) {
+    expect_identical(text, env);
+  }
+}
+
+TEST(Bytecode, ComparisonsAgree) {
+  const Env env = abc_env(5, 5, -2);
+  for (const char* text : {"a < b", "a <= b", "a > b", "a >= b", "a == b",
+                           "a != b", "a == 5", "c < a and a <= b"}) {
+    expect_identical(text, env);
+  }
+}
+
+TEST(Bytecode, DivisionByZeroThrowsIdentically) {
+  const Env env = abc_env(1, 0, 3);
+  expect_identical("a / b", env);
+  expect_identical("a % b", env);
+  expect_identical("1 / 0", env);      // constant, but never folded away
+  expect_identical("1 / 0 + a", env);  // throwing subtree preserved
+}
+
+TEST(Bytecode, ShortCircuitSkipsPoisonedRhs) {
+  // b == 0, so the division would throw — but neither evaluator reaches it.
+  const Env env = abc_env(1, 0, 3);
+  expect_identical("b != 0 and 10 / b > 2", env);
+  expect_identical("b == 0 or 10 / b > 2", env);
+  // And when the guard passes, both throw the same error.
+  expect_identical("b == 0 and 10 / b > 2", env);
+}
+
+TEST(Bytecode, FoldedShortCircuitMatchesWalker) {
+  const Env env = abc_env(1, 2, 3);
+  // `false and X` folds to false without evaluating X — like the walker.
+  expect_identical("false and 1 / 0 > 1", env);
+  expect_identical("true or 1 / 0 > 1", env);
+  // But a reachable poisoned branch still throws in both.
+  expect_identical("true and 1 / 0 > 1", env);
+}
+
+TEST(Bytecode, UnboundSlotIsLazy) {
+  const Env env = abc_env(1, 2, 3);  // `u` not bound
+  expect_identical("a > 0 or u > 0", env);   // u never touched: fine
+  expect_identical("a < 0 or u > 0", env);   // u referenced: same error
+  expect_identical("u + 1", env);
+}
+
+TEST(Bytecode, TruthinessErrorsAgree) {
+  Env env = abc_env(1, 2, 3);
+  env.bind("s", Value("text"));
+  const std::vector<std::string> slots = {"a", "s"};
+  for (const char* text : {"s and a > 0", "a > 0 and s", "not s"}) {
+    const ExprPtr e = parse(text);
+    const expr::Chunk chunk = expr::compile(e, slots);
+    const Value* ptrs[2] = {env.find("a"), env.find("s")};
+    expr::Vm vm;
+    EXPECT_EQ(walker_result(e, env), observe([&] { return vm.run(chunk, ptrs); }))
+        << text;
+  }
+}
+
+TEST(Bytecode, StringOperationsAgree) {
+  Env env;
+  env.bind("a", Value("foo"));
+  env.bind("b", Value("bar"));
+  env.bind("c", Value(std::int64_t{1}));
+  for (const char* text :
+       {"a + b", "a < b", "a == b", "a != b", "a + b == 'foobar'", "a - b",
+        "a + c"}) {
+    expect_identical(text, env);
+  }
+}
+
+TEST(Bytecode, UnknownVariableFailsAtCompileTime) {
+  EXPECT_THROW(expr::compile(parse("nope + 1"), kSlots), ProgramError);
+}
+
+TEST(Bytecode, CompileRejectsNull) {
+  EXPECT_THROW(expr::compile(nullptr, kSlots), ProgramError);
+}
+
+TEST(Bytecode, LiteralFoldingKeepsPoolSmall) {
+  // A pure-literal subtree becomes one constant; throwing ones stay as code.
+  const expr::Chunk folded = expr::compile(parse("(2 + 3) * 4 + a"), kSlots);
+  ASSERT_FALSE(folded.consts.empty());
+  EXPECT_EQ(folded.consts[0], Value(std::int64_t{20}));
+  const expr::Chunk kept = expr::compile(parse("1 / 0 + a"), kSlots);
+  EXPECT_GT(kept.code.size(), folded.code.size());
+}
+
+TEST(Bytecode, DisassembleMentionsEveryInstruction) {
+  const expr::Chunk chunk = expr::compile(parse("a < b and a + 1 < c"), kSlots);
+  const std::string listing = chunk.disassemble();
+  EXPECT_NE(listing.find("loadslot"), std::string::npos);
+  EXPECT_NE(listing.find("jumpiffalsy"), std::string::npos);
+  EXPECT_NE(listing.find("ret"), std::string::npos);
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(listing.begin(), listing.end(), '\n')),
+            chunk.code.size());
+}
+
+TEST(Bytecode, InstructionCountersAdvance) {
+  const expr::Chunk chunk = expr::compile(parse("a + b"), kSlots);
+  const Env env = abc_env(1, 2, 3);
+  std::vector<const Value*> slots(kSlots.size(), nullptr);
+  for (std::size_t i = 0; i < kSlots.size(); ++i) slots[i] = env.find(kSlots[i]);
+  expr::Vm vm;
+  const std::uint64_t global0 = expr::vm_instrs_executed();
+  (void)vm.run(chunk, slots);
+  EXPECT_EQ(vm.instrs_executed(), chunk.code.size());  // 2 loads, add, ret
+  EXPECT_EQ(expr::vm_instrs_executed() - global0, chunk.code.size());
+}
+
+// ---------------------------------------------------------------------------
+// Randomized differential property: >=500 generated (expression, env) pairs.
+
+ExprPtr random_expr(Rng& rng, int depth) {
+  if (depth == 0 || rng.coin(0.3)) {
+    switch (rng.bounded(8)) {
+      case 0: return expr::var("a");
+      case 1: return expr::var("b");
+      case 2: return expr::var("c");
+      case 3: return rng.coin(0.25) ? expr::var("u") : expr::var("a");
+      case 4:  // small ints, zero included: div/mod-by-zero must be reachable
+        return expr::lit(Value(static_cast<std::int64_t>(rng.bounded(7)) - 2));
+      case 5: return expr::lit(Value(rng.coin()));
+      case 6: return expr::lit(Value(rng.coin() ? "s" : "t"));
+      default:
+        return expr::lit(Value(static_cast<std::int64_t>(rng.bounded(40)) - 20));
+    }
+  }
+  if (rng.coin(0.15)) {
+    return expr::Expr::unary(rng.coin() ? expr::UnOp::Neg : expr::UnOp::Not,
+                             random_expr(rng, depth - 1));
+  }
+  static constexpr expr::BinOp kOps[] = {
+      expr::BinOp::Add, expr::BinOp::Sub, expr::BinOp::Mul, expr::BinOp::Div,
+      expr::BinOp::Mod, expr::BinOp::Lt,  expr::BinOp::Le,  expr::BinOp::Gt,
+      expr::BinOp::Ge,  expr::BinOp::Eq,  expr::BinOp::Ne,  expr::BinOp::And,
+      expr::BinOp::Or};
+  return expr::Expr::binary(kOps[rng.bounded(13)], random_expr(rng, depth - 1),
+                            random_expr(rng, depth - 1));
+}
+
+Value random_value(Rng& rng) {
+  switch (rng.bounded(4)) {
+    case 0: return Value(static_cast<std::int64_t>(rng.bounded(9)) - 4);
+    case 1: return Value(static_cast<double>(rng.bounded(8)) / 2.0);
+    case 2: return Value(rng.coin());
+    default: return Value(rng.coin() ? "s" : "x");
+  }
+}
+
+class BytecodeDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BytecodeDifferential, VmMatchesWalker) {
+  // 10 trials per parameterized seed x 50 seeds = 500 distinct cases.
+  for (std::uint64_t trial = 0; trial < 10; ++trial) {
+    Rng rng(GetParam() * 1000 + trial);
+    const ExprPtr e = random_expr(rng, 4);
+    Env env;
+    env.bind("a", random_value(rng));
+    env.bind("b", random_value(rng));
+    env.bind("c", random_value(rng));  // `u` stays unbound
+    EXPECT_EQ(walker_result(e, env), vm_result(e, env))
+        << "seed " << GetParam() << " trial " << trial << ": "
+        << e->to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BytecodeDifferential,
+                         ::testing::Range(std::uint64_t{1}, std::uint64_t{51}));
+
+// ---------------------------------------------------------------------------
+// Engine-level state identity on the example corpus, compile on vs off.
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string examples_dir() {
+  return std::string(GF_REPO_DIR) + "/examples/programs/";
+}
+
+gamma::Multiset int_multiset(std::initializer_list<std::int64_t> xs) {
+  gamma::Multiset m;
+  for (const std::int64_t x : xs) m.add(gamma::Element{Value(x)});
+  return m;
+}
+
+struct GammaCase {
+  const char* file;
+  gamma::Multiset initial;
+};
+
+std::vector<GammaCase> gamma_corpus() {
+  std::vector<GammaCase> cases;
+  cases.push_back({"min.gamma", int_multiset({9, 4, 17, 4, 1, 30, 2})});
+  cases.push_back({"sieve.gamma", int_multiset({2, 3, 4, 5, 6, 7, 8, 9, 10,
+                                                11, 12, 13, 14, 15, 16})});
+  gamma::Multiset fig1;
+  fig1.add(gamma::Element{Value(1), Value("A1")});
+  fig1.add(gamma::Element{Value(5), Value("B1")});
+  fig1.add(gamma::Element{Value(3), Value("C1")});
+  fig1.add(gamma::Element{Value(2), Value("D1")});
+  cases.push_back({"fig1.gamma", std::move(fig1)});
+  return cases;
+}
+
+TEST(BytecodeCorpus, GammaEnginesStateIdenticalCompileOnOff) {
+  const std::vector<std::unique_ptr<gamma::Engine>> engines = [] {
+    std::vector<std::unique_ptr<gamma::Engine>> v;
+    v.push_back(std::make_unique<gamma::SequentialEngine>());
+    v.push_back(std::make_unique<gamma::IndexedEngine>());
+    v.push_back(std::make_unique<gamma::ParallelEngine>());
+    return v;
+  }();
+  for (const GammaCase& c : gamma_corpus()) {
+    const gamma::Program program =
+        gamma::dsl::parse_program(read_file(examples_dir() + c.file));
+    for (const auto& engine : engines) {
+      for (const std::uint64_t seed : {1ULL, 7ULL, 42ULL}) {
+        gamma::RunOptions vm_opts;
+        vm_opts.seed = seed;
+        vm_opts.compile = true;
+        gamma::RunOptions ast_opts = vm_opts;
+        ast_opts.compile = false;
+        const auto vm = engine->run(program, c.initial, vm_opts);
+        const auto ast = engine->run(program, c.initial, ast_opts);
+        EXPECT_EQ(vm.final_multiset, ast.final_multiset)
+            << c.file << " engine " << engine->name() << " seed " << seed;
+        EXPECT_EQ(vm.steps, ast.steps)
+            << c.file << " engine " << engine->name() << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(BytecodeCorpus, DataflowEnginesOutputsIdenticalCompileOnOff) {
+  for (const char* file : {"fig1.src", "fig2_loop.src", "classify.src"}) {
+    const dataflow::Graph g =
+        frontend::compile_source(read_file(examples_dir() + file));
+    dataflow::DfRunOptions vm_opts;
+    vm_opts.compile = true;
+    dataflow::DfRunOptions ast_opts;
+    ast_opts.compile = false;
+    const auto vm = dataflow::Interpreter().run(g, vm_opts);
+    const auto ast = dataflow::Interpreter().run(g, ast_opts);
+    ASSERT_EQ(vm.outputs.size(), ast.outputs.size()) << file;
+    for (const auto& [name, tokens] : vm.outputs) {
+      EXPECT_EQ(vm.output_values(name), ast.output_values(name))
+          << file << " output " << name;
+    }
+    vm_opts.workers = 3;
+    ast_opts.workers = 3;
+    const auto pvm = dataflow::ParallelEngine().run(g, vm_opts);
+    const auto past = dataflow::ParallelEngine().run(g, ast_opts);
+    for (const auto& [name, tokens] : vm.outputs) {
+      EXPECT_EQ(pvm.output_values(name), ast.output_values(name))
+          << file << " parallel vm output " << name;
+      EXPECT_EQ(past.output_values(name), ast.output_values(name))
+          << file << " parallel ast output " << name;
+    }
+  }
+}
+
+TEST(BytecodeCorpus, ClusterStateIdenticalCompileOnOff) {
+  const gamma::Program program =
+      gamma::dsl::parse_program(read_file(examples_dir() + "min.gamma"));
+  const gamma::Multiset initial = int_multiset({9, 4, 17, 4, 1, 30, 2, 8});
+  distrib::ClusterOptions vm_opts;
+  vm_opts.nodes = 3;
+  vm_opts.seed = 5;
+  vm_opts.compile = true;
+  distrib::ClusterOptions ast_opts = vm_opts;
+  ast_opts.compile = false;
+  const auto vm = distrib::run_distributed(program, initial, vm_opts);
+  const auto ast = distrib::run_distributed(program, initial, ast_opts);
+  EXPECT_EQ(vm.final_multiset, ast.final_multiset);
+  EXPECT_EQ(vm.fires, ast.fires);
+}
+
+TEST(BytecodeCorpus, TranslatedProgramsAgreeAcrossModes) {
+  // Algorithm 1 output (condition-free reactions plus steer conditions) must
+  // also be mode-independent end to end.
+  for (const char* file : {"fig1.src", "fig2_loop.src"}) {
+    const dataflow::Graph g =
+        frontend::compile_source(read_file(examples_dir() + file));
+    const auto conv = translate::dataflow_to_gamma(g);
+    gamma::RunOptions vm_opts;
+    vm_opts.seed = 3;
+    vm_opts.compile = true;
+    gamma::RunOptions ast_opts = vm_opts;
+    ast_opts.compile = false;
+    const auto vm = gamma::IndexedEngine().run(conv.program, conv.initial,
+                                               vm_opts);
+    const auto ast = gamma::IndexedEngine().run(conv.program, conv.initial,
+                                                ast_opts);
+    EXPECT_EQ(vm.final_multiset, ast.final_multiset) << file;
+  }
+}
+
+TEST(BytecodeCorpus, CompiledReactionReportsFootprint) {
+  const gamma::Reaction r = gamma::dsl::parse_reaction(
+      "Rmin = replace x, y by x where x < y");
+  const gamma::CompiledReaction& cr = r.compiled();
+  EXPECT_EQ(cr.slots(), (std::vector<std::string>{"x", "y"}));
+  EXPECT_GT(cr.instr_count(), 0u);
+  EXPECT_GE(cr.compile_ms(), 0.0);
+}
+
+}  // namespace
+}  // namespace gammaflow

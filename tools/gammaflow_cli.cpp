@@ -47,8 +47,8 @@ using namespace gammaflow;
 
 namespace {
 
-int usage() {
-  std::cerr <<
+void print_usage(std::ostream& out) {
+  out <<
       "usage: gammaflow <command> <file> [options]\n"
       "  compile <prog.src>                    source -> dataflow graph text\n"
       "  run <prog.src|graph.df>               execute as dataflow\n"
@@ -65,10 +65,15 @@ int usage() {
       "                                        .gamma, graph verifier on\n"
       "                                        .src/.df\n"
       "  distrib <prog.gamma> --init \"...\"     simulated cluster run\n"
+      "  help                                  print this message (--help, -h)\n"
       "options: --init \"[v,'L'] ...\"  --engine seq|idx|par  --seed N\n"
       "         --workers N            worker threads (par engines)\n"
       "         --deadline S           wall-clock budget in seconds (run,\n"
       "                                rungamma); prints the partial state\n"
+      "         --no-compile           run, rungamma, distrib: evaluate\n"
+      "                                conditions/actions with the AST walker\n"
+      "                                instead of compiled bytecode (results\n"
+      "                                are identical; this is the slow path)\n"
       "         --werror               lint/check: warnings also fail (exit 1)\n"
       "         --json                 lint/check: machine-readable output\n"
       "         --classes              rungamma: derive conflict classes from\n"
@@ -89,6 +94,10 @@ int usage() {
       "  --trace-out <file.json>  Chrome trace-event dump (chrome://tracing)\n"
       "  --metrics                print engine-internal metrics after the run\n"
       "  --log-level <level>      trace|debug|info|warn|error (or GF_LOG_LEVEL)\n";
+}
+
+int usage() {
+  print_usage(std::cerr);
   return 2;
 }
 
@@ -158,6 +167,9 @@ struct Options {
   bool json = false;      // lint/check: machine-readable output
   bool classes = false;   // rungamma: feed conflict classes to the engine
   bool affinity = false;  // distrib: label-affinity placement hint
+  /// Bytecode escape hatch (--no-compile): evaluate conditions/actions with
+  /// the AST walker instead of the register VM. Results are identical.
+  bool compile = true;
   // --- distrib ---
   std::size_t nodes = 4;
   std::string placement = "hash";
@@ -245,6 +257,8 @@ Options parse_options(int argc, char** argv, int first) {
       opts.classes = true;
     } else if (arg == "--affinity") {
       opts.affinity = true;
+    } else if (arg == "--no-compile") {
+      opts.compile = false;
     } else if (arg == "--nodes") {
       opts.nodes = next_number();
     } else if (arg == "--placement") {
@@ -309,6 +323,7 @@ int cmd_run(const std::string& path, const Options& opts) {
   const dataflow::Graph g = load_graph(path);
   obs::Telemetry tel;
   dataflow::DfRunOptions ropts;
+  ropts.compile = opts.compile;
   if (opts.trace_out || opts.metrics) ropts.telemetry = &tel;
   if (opts.workers) ropts.workers = *opts.workers;
   if (opts.deadline > 0.0) {
@@ -365,6 +380,7 @@ int cmd_rungamma(const std::string& path, const Options& opts) {
   obs::Telemetry tel;
   gamma::RunOptions ropts;
   ropts.seed = opts.seed;
+  ropts.compile = opts.compile;
   if (opts.workers) ropts.workers = *opts.workers;
   if (opts.trace_out || opts.metrics) ropts.telemetry = &tel;
   if (opts.deadline > 0.0) {
@@ -403,6 +419,7 @@ int cmd_distrib(const std::string& path, const Options& opts) {
   copts.latency = opts.latency;
   copts.fires_per_round = opts.fires_per_round;
   copts.faults = opts.faults;
+  copts.compile = opts.compile;
   if (opts.metrics) copts.telemetry = &tel;
   if (opts.placement == "hash") {
     copts.placement = distrib::Placement::Hash;
@@ -553,6 +570,13 @@ int cmd_dot(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) try {
+  if (argc >= 2) {
+    const std::string first = argv[1];
+    if (first == "help" || first == "--help" || first == "-h") {
+      print_usage(std::cout);
+      return 0;
+    }
+  }
   if (argc < 3) return usage();
   const std::string cmd = argv[1];
   const std::string file = argv[2];
