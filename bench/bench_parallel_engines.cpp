@@ -73,11 +73,13 @@ gamma::Multiset contended_init(std::size_t n, std::uint64_t seed) {
 
 gamma::RunResult run_instrumented(const gamma::Program& p,
                                   const gamma::Multiset& m,
-                                  bool with_classes, unsigned workers) {
+                                  bool with_classes, unsigned workers,
+                                  bool shard = true) {
   obs::Telemetry tel;
   gamma::RunOptions opts;
   opts.workers = workers;
   opts.telemetry = &tel;
+  opts.shard = shard;
   if (with_classes) {
     opts.conflict_classes =
         analysis::analyze_interference(p, m).engine_classes();
@@ -88,38 +90,50 @@ gamma::RunResult run_instrumented(const gamma::Program& p,
 void verify_conflict_classes() {
   bench::header(
       "E11 — interference-derived conflict classes in the parallel engine",
-      "claim: on class-partitionable workloads the optimistic engine's "
-      "commit conflicts drop to zero (fast commits, no revalidation); on "
-      "contended single-class workloads behavior is unchanged");
+      "claim: on class-partitionable workloads the sharded store commits "
+      "with zero conflicts and no revalidation; on contended single-class "
+      "workloads behavior is unchanged");
   const gamma::Program chains = chain_program(8);
   const gamma::Multiset chains_m = chain_init(8, 16, 24);
   const gamma::Program hot = contended_program();
   const gamma::Multiset hot_m = contended_init(512, 29);
 
   bench::Table table(
-      {"workload", "classes", "fires", "conflicts", "fast_commits"}, 16);
+      {"workload", "classes", "store", "fires", "conflicts", "fast_commits"},
+      14);
   struct Case {
     const char* name;
+    const char* tag;
+    const char* store;  // the path the engine actually takes
     const gamma::Program* p;
     const gamma::Multiset* m;
     bool with_classes;
+    bool shard;
   };
-  for (const Case c : {Case{"conflict-free", &chains, &chains_m, false},
-                       Case{"conflict-free", &chains, &chains_m, true},
-                       Case{"contended", &hot, &hot_m, false},
-                       Case{"contended", &hot, &hot_m, true}}) {
-    const auto r = run_instrumented(*c.p, *c.m, c.with_classes, 4);
+  // `classes + no-shard` is the pre-sharding engine (optimistic global lock
+  // with per-class fast commits); `classes + shard` is the per-shard-lock
+  // path the classes now unlock. Contended (one class) cannot shard: both
+  // store columns are the optimistic path, behavior unchanged.
+  for (const Case c :
+       {Case{"conflict-free", "baseline", "global", &chains, &chains_m, false,
+             true},
+        Case{"conflict-free", "classes_noshard", "global", &chains, &chains_m,
+             true, false},
+        Case{"conflict-free", "classes", "sharded", &chains, &chains_m, true,
+             true},
+        Case{"contended", "baseline", "global", &hot, &hot_m, false, true},
+        Case{"contended", "classes", "global", &hot, &hot_m, true, true}}) {
+    const auto r = run_instrumented(*c.p, *c.m, c.with_classes, 4, c.shard);
     const auto counter = [&](const char* name) {
       const auto it = r.metrics.counters.find(name);
       return it == r.metrics.counters.end() ? std::uint64_t{0} : it->second;
     };
-    table.row(c.name, c.with_classes ? "on" : "off", r.steps,
+    table.row(c.name, c.with_classes ? "on" : "off", c.store, r.steps,
               counter("gamma.commit_conflicts"),
               counter("gamma.class_fast_commits"));
-    bench::metrics_json(std::cout,
-                        std::string("parallel_gamma_") + c.name +
-                            (c.with_classes ? "_classes" : "_baseline"),
-                        r.metrics);
+    bench::metrics_json(
+        std::cout, std::string("parallel_gamma_") + c.name + '_' + c.tag,
+        r.metrics);
   }
 }
 
@@ -235,6 +249,33 @@ void BM_GammaChains_Parallel(benchmark::State& state) {
   state.SetLabel(with_classes ? "classes" : "baseline");
 }
 BENCHMARK(BM_GammaChains_Parallel)
+    ->Args({0, 4})
+    ->Args({1, 4})
+    ->Args({0, 8})
+    ->Args({1, 8})
+    ->Unit(benchmark::kMicrosecond);
+
+// --- sharded-store ablation: same classes, per-shard locks vs global lock ---
+// Classes are on in both arms; the only difference is RunOptions::shard,
+// i.e. whether the plan's per-shard ownership replaces the optimistic
+// shared/exclusive global lock.
+void BM_GammaChains_ShardAblation(benchmark::State& state) {
+  const bool shard = state.range(0) != 0;
+  const auto chains = static_cast<std::size_t>(state.range(1));
+  const gamma::Program p = chain_program(chains);
+  const gamma::Multiset m = chain_init(chains, 8, 16);
+  gamma::RunOptions opts;
+  opts.workers = 4;
+  opts.shard = shard;
+  opts.conflict_classes =
+      analysis::analyze_interference(p, m).engine_classes();
+  const gamma::ParallelEngine engine;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(p, m, opts));
+  }
+  state.SetLabel(shard ? "sharded" : "global-lock");
+}
+BENCHMARK(BM_GammaChains_ShardAblation)
     ->Args({0, 4})
     ->Args({1, 4})
     ->Args({0, 8})

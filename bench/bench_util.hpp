@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <string>
@@ -16,6 +18,23 @@
 #include "gammaflow/common/stats.hpp"
 
 namespace gammaflow::bench {
+
+/// When the GF_BENCH_BASELINE environment variable names a file, every
+/// metrics_json record is ALSO appended there (one bare JSON object per
+/// line, no "# metrics " prefix) — how the committed BENCH_*.json baselines
+/// are produced:
+///   GF_BENCH_BASELINE=BENCH_engines.json
+///     ./bench/bench_parallel_engines --benchmark_filter=NONE
+inline std::ofstream* baseline_file() {
+  static std::ofstream file;
+  static bool opened = [] {
+    const char* path = std::getenv("GF_BENCH_BASELINE");
+    if (path == nullptr || *path == '\0') return false;
+    file.open(path, std::ios::app);
+    return file.is_open();
+  }();
+  return opened ? &file : nullptr;
+}
 
 inline void header(const std::string& experiment, const std::string& claim) {
   std::cout << "\n================================================================\n"
@@ -51,9 +70,9 @@ class Table {
 /// One-line JSON metrics record: counters verbatim, histograms reduced to
 /// count/mean/p50/p99/max. Prefixed "# metrics " so table parsers skip it
 /// while trajectory tooling can grep it out of bench logs.
-inline void metrics_json(std::ostream& os, const std::string& name,
-                         const MetricsSnapshot& m) {
-  os << "# metrics {\"bench\":\"" << name << "\",\"counters\":{";
+inline void write_metrics_object(std::ostream& os, const std::string& name,
+                                 const MetricsSnapshot& m) {
+  os << "{\"bench\":\"" << name << "\",\"counters\":{";
   bool first = true;
   for (const auto& [key, value] : m.counters) {
     if (!first) os << ',';
@@ -69,7 +88,18 @@ inline void metrics_json(std::ostream& os, const std::string& name,
        << ",\"p50\":" << h.quantile(0.5) << ",\"p99\":" << h.quantile(0.99)
        << ",\"max\":" << h.max << '}';
   }
-  os << "}}\n";
+  os << "}}";
+}
+
+inline void metrics_json(std::ostream& os, const std::string& name,
+                         const MetricsSnapshot& m) {
+  os << "# metrics ";
+  write_metrics_object(os, name, m);
+  os << '\n';
+  if (std::ofstream* baseline = baseline_file()) {
+    write_metrics_object(*baseline, name, m);
+    *baseline << '\n';
+  }
 }
 
 /// Standard main body: verification table first, benchmarks second.

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "gammaflow/gamma/store.hpp"
+#include "gammaflow/runtime/match_pipeline.hpp"
 
 namespace gammaflow::analysis {
 
@@ -36,7 +37,7 @@ MatchOpportunities match_opportunities(const gamma::Program& program,
   MatchOpportunities out;
   gamma::Store store(m);
   for (const gamma::Reaction* r : program.all_reactions()) {
-    const std::size_t n = gamma::enumerate_matches(
+    const std::size_t n = runtime::MatchPipeline::enumerate(
         store, *r, cap_per_reaction, [](const gamma::Match&) { return true; });
     out.per_reaction[r->name()] = n;
     out.total += n;
@@ -56,7 +57,7 @@ std::size_t concurrent_firings(const gamma::Program& program,
   while (progressed) {
     progressed = false;
     for (const gamma::Reaction* r : program.all_reactions()) {
-      while (auto match = gamma::find_match(store, *r, &rng)) {
+      while (auto match = runtime::MatchPipeline::find(store, *r, &rng)) {
         for (const auto id : match->ids) store.remove(id);
         ++fired;
         progressed = true;
@@ -74,7 +75,7 @@ double match_probability(const gamma::Reaction& reaction,
   double tuples = 1.0;
   for (std::size_t i = 0; i < k; ++i) tuples *= static_cast<double>(n - i);
   gamma::Store store(m);
-  const std::size_t enabled = gamma::enumerate_matches(
+  const std::size_t enabled = runtime::MatchPipeline::enumerate(
       store, reaction, cap, [](const gamma::Match&) { return true; });
   return static_cast<double>(enabled) / tuples;
 }

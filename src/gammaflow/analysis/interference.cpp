@@ -10,6 +10,7 @@
 #include "gammaflow/common/rng.hpp"
 #include "gammaflow/gamma/engine.hpp"
 #include "gammaflow/gamma/store.hpp"
+#include "gammaflow/runtime/match_pipeline.hpp"
 
 namespace gammaflow::analysis {
 
@@ -597,7 +598,7 @@ InterferenceReport analyze_interference(const Program& program,
         std::vector<gamma::Match> m1s;
         std::vector<gamma::Match> m2s;
         const std::size_t limit = options.probe_matches;
-        gamma::enumerate_matches(store, *reactions[i], limit,
+        runtime::MatchPipeline::enumerate(store, *reactions[i], limit,
                                  [&](const gamma::Match& m) {
                                    m1s.push_back(m);
                                    return true;
@@ -605,7 +606,7 @@ InterferenceReport analyze_interference(const Program& program,
         if (i == j) {
           m2s = m1s;
         } else {
-          gamma::enumerate_matches(store, *reactions[j], limit,
+          runtime::MatchPipeline::enumerate(store, *reactions[j], limit,
                                    [&](const gamma::Match& m) {
                                      m2s.push_back(m);
                                      return true;
@@ -623,8 +624,8 @@ InterferenceReport analyze_interference(const Program& program,
             gamma::Store s2(state);
             // Re-find the same matches in the fresh stores: ids are stable
             // because Store construction inserts in multiset order.
-            gamma::commit(s1, m1s[a]);
-            gamma::commit(s2, m2s[b]);
+            runtime::MatchPipeline::commit(s1, m1s[a]);
+            runtime::MatchPipeline::commit(s2, m2s[b]);
             const Multiset m1 = s1.to_multiset();
             const Multiset m2 = s2.to_multiset();
             const std::uint64_t probe_seed = splitmix64(probe_counter);

@@ -9,25 +9,23 @@
 //   ParallelEngine  — PEs (worker threads) own hash-partitioned nodes, route
 //                     tokens via MPSC inboxes, and terminate by in-flight
 //                     token counting.
+// Both are thin policies over runtime::StepLoop / StopFlag / InFlight; the
+// deadline/cancel/budget/telemetry scaffolding is shared with the Gamma
+// engines and the distributed cluster.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
-#include <thread>
 #include <utility>
 #include <vector>
 
-#include "gammaflow/common/cancel.hpp"
 #include "gammaflow/common/error.hpp"
 #include "gammaflow/common/stats.hpp"
 #include "gammaflow/common/value.hpp"
 #include "gammaflow/dataflow/graph.hpp"
 #include "gammaflow/expr/bytecode.hpp"
-
-namespace gammaflow::obs {
-class Telemetry;
-}
+#include "gammaflow/runtime/options.hpp"
 
 namespace gammaflow::dataflow {
 
@@ -39,34 +37,15 @@ struct Token {
   Tag tag = 0;
 };
 
-struct DfRunOptions {
+struct DfRunOptions : runtime::RunOptions {
   /// Firing budget; exceeded => EngineError (guards divergent loop graphs).
   std::uint64_t max_fires = 50'000'000;
-  /// Record the firing sequence (node ids in fire order).
-  bool record_trace = false;
-  /// Worker count (ParallelEngine only).
-  unsigned workers = std::max(2u, std::thread::hardware_concurrency());
   /// Instruction-level trace reuse (DF-DTM, the paper's ref [3] and one of
   /// the §I benefits the equivalence unlocks for Gamma programs): memoize
   /// (node, operand values) -> result for pure Arith/Cmp nodes and reuse
   /// instead of recomputing. Interpreter only; hit/miss counts land in
   /// DfRunResult. Observable results are unchanged (tested).
   bool memoize = false;
-  /// Cap on recorded trace entries (see gamma::RunOptions::trace_limit).
-  std::uint64_t trace_limit = 1'000'000;
-  /// Optional telemetry sink (spans + metrics); null disables all probes.
-  obs::Telemetry* telemetry = nullptr;
-  /// Optional cooperative stop flag (see gamma::RunOptions::cancel).
-  const CancelToken* cancel = nullptr;
-  /// Wall-clock budget in seconds from run start; <= 0 disables.
-  double deadline = 0.0;
-  /// Throw on max_fires (historical) or return partial state with outcome
-  /// BudgetExhausted.
-  LimitPolicy limit_policy = LimitPolicy::Throw;
-  /// Evaluate Arith/Cmp node firings via per-node compiled bytecode
-  /// (default) instead of the expr::apply AST dispatch. Results are
-  /// identical either way; `--no-compile` flips this off for A/B runs.
-  bool compile = true;
 };
 
 /// An operand parked in a matching store with no partner when the machine

@@ -4,12 +4,12 @@
 // (what a machine with unbounded PEs could do per step), while execution
 // itself stays deterministic.
 #include <array>
-#include <chrono>
 #include <deque>
 #include <unordered_map>
 
 #include "gammaflow/dataflow/engine.hpp"
 #include "gammaflow/obs/telemetry.hpp"
+#include "gammaflow/runtime/step_loop.hpp"
 
 namespace gammaflow::dataflow {
 namespace {
@@ -25,12 +25,14 @@ class Machine {
   Machine(const Graph& graph, const DfRunOptions& options)
       : graph_(graph),
         options_(options),
-        governor_(options.cancel, options.deadline),
+        loop_(options, options.max_fires, "interpreter", "max_fires"),
+        trace_(options),
+        telemetry_(options, "df"),
         waiting_(graph.node_count()) {
     result_.fires_by_node.assign(graph.node_count(), 0);
     if (options.compile) code_ = compile_graph(graph);
-    if ((tel_ = options.telemetry) != nullptr) {
-      rec_ = &tel_->register_thread("df-interpreter");
+    if ((tel_ = telemetry_.sink()) != nullptr) {
+      rec_ = telemetry_.recorder("df-interpreter");
       tag_hist_ = &tel_->stats().hist("df.inctag_depth");
       wave_hist_ = &tel_->stats().hist("df.wavefront_width");
       ready_hist_ = &tel_->stats().hist("df.ready_queue_depth");
@@ -82,9 +84,6 @@ class Machine {
   }
 
   DfRunResult run(const std::vector<std::pair<Label, Token>>& extra_tokens) {
-    const auto t0 = std::chrono::steady_clock::now();
-    const std::uint64_t instrs0 = expr::vm_instrs_executed();
-
     for (const NodeId root : graph_.roots()) {
       if (stopping()) break;
       const Firing f = fire_node(graph_.node(root), {}, 0);
@@ -98,7 +97,7 @@ class Machine {
       deliver(e.dst, e.dst_port, token);
     }
 
-    while (!ready_.empty() && result_.outcome == Outcome::Completed) {
+    while (!ready_.empty() && loop_.running()) {
       // One wavefront: everything currently ready fires "simultaneously".
       const std::size_t wave = ready_.size();
       result_.wavefronts.push_back(wave);
@@ -140,19 +139,16 @@ class Machine {
       stats.count("df.fires", result_.fires);
       stats.count("df.steer_true", steer_true_);
       stats.count("df.steer_false", steer_false_);
-      stats.count(std::string("df.outcome.") + to_string(result_.outcome));
-      stats.count(std::string("df.eval_mode.") +
-                  (options_.compile ? "vm" : "ast"));
-      stats.count("vm.instrs_executed", expr::vm_instrs_executed() - instrs0);
       if (options_.compile) {
         stats.count("df.compiled_nodes", code_.compiled_nodes);
         stats.hist("expr.compile_ms").observe(code_.compile_ms);
       }
-      result_.metrics = tel_->metrics();
     }
-    result_.wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
+    result_.outcome = loop_.outcome();
+    result_.trace = trace_.take();
+    result_.trace_dropped = trace_.dropped();
+    telemetry_.finish(result_.outcome, result_.metrics);
+    result_.wall_seconds = loop_.wall_seconds();
     return std::move(result_);
   }
 
@@ -220,22 +216,11 @@ class Machine {
   };
 
   /// Cooperative stop probe: budget, then cancel/deadline. Sticky through
-  /// result_.outcome so enclosing loops unwind without firing further.
+  /// the StepLoop's outcome so enclosing loops unwind without firing further.
   [[nodiscard]] bool stopping() {
-    if (result_.outcome != Outcome::Completed) return true;
-    if (result_.fires >= options_.max_fires) {
-      if (options_.limit_policy == LimitPolicy::Throw) {
-        throw EngineError("interpreter exceeded max_fires=" +
-                          std::to_string(options_.max_fires));
-      }
-      result_.outcome = Outcome::BudgetExhausted;
-      return true;
-    }
-    if (governor_.should_stop()) {
-      result_.outcome = governor_.outcome();
-      return true;
-    }
-    return false;
+    if (!loop_.running()) return true;
+    if (!loop_.admit(result_.fires)) return true;
+    return loop_.should_stop();
   }
 
   void count_fire(NodeId node) {
@@ -244,13 +229,7 @@ class Machine {
     if (tel_ != nullptr) {
       ++fires_by_kind_[static_cast<std::size_t>(graph_.node(node).kind)];
     }
-    if (options_.record_trace) {
-      if (result_.trace.size() < options_.trace_limit) {
-        result_.trace.push_back(node);
-      } else {
-        ++result_.trace_dropped;
-      }
-    }
+    if (trace_.admit()) trace_.push(node);
   }
 
   void collect_leftovers() {
@@ -276,7 +255,9 @@ class Machine {
 
   const Graph& graph_;
   const DfRunOptions& options_;
-  RunGovernor governor_;
+  runtime::StepLoop loop_;
+  runtime::TraceSink<NodeId> trace_;
+  runtime::EngineTelemetry telemetry_;
   std::vector<std::unordered_map<Tag, Slots>> waiting_;
   std::deque<ReadyInstance> ready_;
   std::unordered_multimap<std::size_t, MemoEntry> memo_;

@@ -4,12 +4,17 @@
 // mirrors how dataflow runtimes virtualize PEs on multicores (§II-A of the
 // paper: each core runs the firing rule for its nodes).
 //
-// Termination: an atomic in-flight counter covers every token that is queued
-// or being absorbed. When it reaches zero, no token can ever be produced
-// again (all stores are stable), which is the dataflow quiescence condition.
+// Termination: an atomic in-flight counter (runtime::InFlight) covers every
+// token that is queued or being absorbed. When it reaches zero, no token can
+// ever be produced again (all stores are stable), which is the dataflow
+// quiescence condition. Stop propagation is a runtime::StopFlag; deadlines,
+// the firing budget, and the telemetry tail come from the same runtime core
+// the Gamma engines use.
 #include <array>
 #include <atomic>
 #include <chrono>
+#include <exception>
+#include <mutex>
 #include <thread>
 #include <unordered_map>
 
@@ -17,6 +22,7 @@
 #include "gammaflow/common/mpsc_queue.hpp"
 #include "gammaflow/dataflow/engine.hpp"
 #include "gammaflow/obs/telemetry.hpp"
+#include "gammaflow/runtime/step_loop.hpp"
 
 namespace gammaflow::dataflow {
 namespace {
@@ -59,19 +65,19 @@ class ParallelRun {
       : graph_(graph),
         options_(options),
         worker_count_(std::max(1u, options.workers)),
-        workers_(worker_count_) {
+        workers_(worker_count_),
+        loop_(options, options.max_fires, "parallel dataflow engine",
+              "max_fires"),
+        telemetry_(options, "df") {
     for (auto& w : workers_) w.fires_by_node.assign(graph.node_count(), 0);
     if (options.compile) code_ = compile_graph(graph);
-    if ((tel_ = options.telemetry) != nullptr) {
+    if ((tel_ = telemetry_.sink()) != nullptr) {
       inbox_hist_ = &tel_->stats().hist("df.inbox_depth");
       tag_hist_ = &tel_->stats().hist("df.inctag_depth");
     }
   }
 
   DfRunResult run(const std::vector<std::pair<Label, Token>>& extra_tokens) {
-    const auto t0 = std::chrono::steady_clock::now();
-    const std::uint64_t instrs0 = expr::vm_instrs_executed();
-    deadline_ = deadline_from_now(options_.deadline);
     GF_DEBUG << "dataflow parallel run: " << worker_count_ << " PE(s), "
              << graph_.node_count() << " nodes";
 
@@ -99,13 +105,16 @@ class ParallelRun {
       threads.emplace_back([this, w] { worker_loop(w); });
     }
     for (auto& t : threads) t.join();
+    if (error_) std::rethrow_exception(error_);
     if (failed_.load()) {
+      // Single-assignment violation; surfaced as the budget error it would
+      // become (historical behavior, pinned by the fault suite).
       throw EngineError("parallel dataflow engine exceeded max_fires=" +
                         std::to_string(options_.max_fires));
     }
 
     DfRunResult result;
-    result.outcome = static_cast<Outcome>(stop_outcome_.load());
+    result.outcome = stop_.outcome();
     result.fires = total_fires_.load();
     result.fires_by_node.assign(graph_.node_count(), 0);
     if (tel_ != nullptr) {
@@ -133,16 +142,12 @@ class ParallelRun {
       stats.count("df.steer_true", steer_true);
       stats.count("df.steer_false", steer_false);
       stats.count("df.tokens_absorbed", absorbed);
-      stats.count(std::string("df.outcome.") + to_string(result.outcome));
-      stats.count(std::string("df.eval_mode.") +
-                  (options_.compile ? "vm" : "ast"));
-      stats.count("vm.instrs_executed", expr::vm_instrs_executed() - instrs0);
       if (options_.compile) {
         stats.count("df.compiled_nodes", code_.compiled_nodes);
         stats.hist("expr.compile_ms").observe(code_.compile_ms);
       }
-      result.metrics = tel_->metrics();
     }
+    telemetry_.finish(result.outcome, result.metrics);
     for (WorkerState& w : workers_) {
       for (NodeId n = 0; n < graph_.node_count(); ++n) {
         result.fires_by_node[n] += w.fires_by_node[n];
@@ -170,9 +175,7 @@ class ParallelRun {
         }
       }
     }
-    result.wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
+    result.wall_seconds = loop_.wall_seconds();
     GF_DEBUG << "dataflow parallel run done: " << result.fires << " firings, "
              << result.wall_seconds << "s";
     return result;
@@ -184,7 +187,7 @@ class ParallelRun {
   }
 
   void send(NodeId node, PortId port, Token token) {
-    in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    in_flight_.add();
     workers_[owner(node)].inbox.push(Routed{node, port, std::move(token)});
   }
 
@@ -198,7 +201,7 @@ class ParallelRun {
 
   void worker_loop(unsigned my_id) {
     WorkerState& me = workers_[my_id];
-    RunGovernor governor(options_.cancel, deadline_);
+    RunGovernor governor = loop_.make_governor(options_);
     obs::ThreadRecorder* const rec =
         tel_ != nullptr
             ? &tel_->register_thread("df-worker-" + std::to_string(my_id))
@@ -219,22 +222,21 @@ class ParallelRun {
 
     unsigned idle_spins = 0;
     while (true) {
-      if (failed_.load(std::memory_order_relaxed) ||
-          stop_outcome_.load(std::memory_order_relaxed) != 0) {
+      if (failed_.load(std::memory_order_relaxed) || stop_.stopped()) {
         close_busy();
         return;
       }
       if (governor.should_stop()) {
         // First worker to notice publishes the outcome; peers drain out at
         // the check above, so every thread joins promptly.
-        publish_stop(governor.outcome());
+        stop_.publish(governor.outcome());
         close_busy();
         return;
       }
       std::optional<Routed> routed = me.inbox.try_pop();
       if (!routed) {
         close_busy();
-        if (in_flight_.load(std::memory_order_acquire) == 0) return;
+        if (in_flight_.idle()) return;
         if (++idle_spins > 64) {
           std::this_thread::sleep_for(std::chrono::microseconds(50));
         } else {
@@ -255,7 +257,7 @@ class ParallelRun {
       }
       // Absorbed (stored or fired + emissions already counted): this token
       // is no longer in flight.
-      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      in_flight_.sub();
     }
   }
 
@@ -280,20 +282,27 @@ class ParallelRun {
       me.waiting[routed.node].erase(routed.token.tag);
     }
 
-    if (total_fires_.fetch_add(1, std::memory_order_relaxed) >=
-        options_.max_fires) {
+    // Run-wide budget gate: claim a fire slot, give it back on refusal.
+    const std::uint64_t n = total_fires_.fetch_add(1, std::memory_order_relaxed);
+    bool admitted = false;
+    try {
+      admitted = runtime::admit_step(options_.limit_policy, n,
+                                     options_.max_fires,
+                                     "parallel dataflow engine", "max_fires");
+    } catch (...) {
+      const std::scoped_lock lk(error_mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+    if (!admitted) {
       total_fires_.fetch_sub(1, std::memory_order_relaxed);
-      if (options_.limit_policy == LimitPolicy::Partial) {
-        publish_stop(Outcome::BudgetExhausted);
-        // Park the assembled-but-unfired operands back in the matching
-        // store so the partial result reports them as leftovers.
-        Slots& slots = me.waiting[routed.node][routed.token.tag];
-        slots.values.clear();
-        for (Value& v : inputs) slots.values.emplace_back(std::move(v));
-        slots.filled = slots.values.size();
-      } else {
-        failed_.store(true);
-      }
+      stop_.publish(Outcome::BudgetExhausted);
+      // Park the assembled-but-unfired operands back in the matching store
+      // so the partial result reports them as leftovers. (Harmless on the
+      // Throw path: the captured error discards the result after join.)
+      Slots& slots = me.waiting[routed.node][routed.token.tag];
+      slots.values.clear();
+      for (Value& v : inputs) slots.values.emplace_back(std::move(v));
+      slots.filled = slots.values.size();
       return;
     }
     ++me.fires_by_node[routed.node];
@@ -318,22 +327,19 @@ class ParallelRun {
     route_emission(routed.node, firing);
   }
 
-  void publish_stop(Outcome outcome) noexcept {
-    std::uint8_t expected = 0;
-    stop_outcome_.compare_exchange_strong(expected,
-                                          static_cast<std::uint8_t>(outcome));
-  }
-
   const Graph& graph_;
   const DfRunOptions& options_;
   unsigned worker_count_;
   std::vector<WorkerState> workers_;
+  runtime::StepLoop loop_;
+  runtime::EngineTelemetry telemetry_;
   GraphCode code_;  // empty (all-null chunks) when options.compile is off
-  std::chrono::steady_clock::time_point deadline_;
-  std::atomic<std::int64_t> in_flight_{0};
+  runtime::InFlight in_flight_;
   std::atomic<std::uint64_t> total_fires_{0};
-  std::atomic<bool> failed_{false};  // single-assignment violation / budget
-  std::atomic<std::uint8_t> stop_outcome_{0};  // Outcome; nonzero = stop
+  std::atomic<bool> failed_{false};  // single-assignment violation
+  runtime::StopFlag stop_;
+  std::mutex error_mutex_;
+  std::exception_ptr error_;  // budget EngineError under LimitPolicy::Throw
 
   obs::Telemetry* tel_ = nullptr;
   Histogram* inbox_hist_ = nullptr;

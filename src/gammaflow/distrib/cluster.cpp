@@ -8,6 +8,9 @@
 #include "gammaflow/common/rng.hpp"
 #include "gammaflow/gamma/store.hpp"
 #include "gammaflow/obs/telemetry.hpp"
+#include "gammaflow/runtime/match_pipeline.hpp"
+#include "gammaflow/runtime/sharded_store.hpp"
+#include "gammaflow/runtime/step_loop.hpp"
 
 namespace gammaflow::distrib {
 
@@ -106,6 +109,11 @@ class Simulation {
       : program_(program),
         options_(options),
         injector_(options.faults, options.seed),
+        telemetry_(options, "distrib"),
+        affinity_(std::unordered_map<std::string, std::size_t>(
+                      options.label_affinity.begin(),
+                      options.label_affinity.end()),
+                  options.nodes),
         nodes_(options.nodes) {
     options_.validate();
     if (program.stage_count() > 1) {
@@ -138,7 +146,7 @@ class Simulation {
     std::size_t rr = 0;
     for (const Element& e : initial) {
       std::size_t target = 0;
-      if (const auto home = affinity_home(e)) {
+      if (const auto home = affinity_.home(e)) {
         target = *home;
       } else {
         switch (options_.placement) {
@@ -163,14 +171,20 @@ class Simulation {
   }
 
   ClusterResult run() {
+    runtime::StepLoop loop(options_, options_.max_rounds, "distributed run",
+                           "max_rounds");
     // Token starts at node 0 (the initiator is also the consolidation
     // collector, so it is the natural place to decide termination).
     nodes_[0].held_token = Token{false, 0, token_gen_};
 
     while (!terminated_) {
-      if (round_ >= options_.max_rounds) {
-        throw EngineError("distributed run exceeded max_rounds=" +
-                          std::to_string(options_.max_rounds));
+      // Cancel/deadline, then the round budget (EngineError under Throw).
+      // On a cooperative stop the chemistry/stirring/token phases end, but
+      // unacked in-flight transfers are settled first so the partial
+      // multiset is exact (see settle_in_flight).
+      if (loop.should_stop() || !loop.admit(round_)) {
+        settle_in_flight();
+        break;
       }
       ++round_;
       crash_and_recover();
@@ -183,6 +197,7 @@ class Simulation {
     }
 
     ClusterResult result;
+    result.outcome = loop.outcome();
     result.rounds = round_;
     result.migrations = migrations_;
     result.messages = messages_;
@@ -203,7 +218,7 @@ class Simulation {
       result.final_shard_sizes.push_back(n.shard.size());
       result.final_multiset.add(n.shard.to_multiset());
     }
-    if (obs::Telemetry* tel = options_.telemetry) {
+    if (obs::Telemetry* tel = telemetry_.sink()) {
       auto& stats = tel->stats();
       stats.count("distrib.rounds", result.rounds);
       stats.count("distrib.fires", result.fires);
@@ -225,8 +240,9 @@ class Simulation {
         stats.observe_hist("distrib.final_shard_size",
                            static_cast<double>(s));
       }
-      result.metrics = tel->metrics();
+      runtime::observe_reaction_compile(tel, program_);
     }
+    telemetry_.finish(result.outcome, result.metrics);
     return result;
   }
 
@@ -425,11 +441,9 @@ class Simulation {
       for (std::size_t k = 0; k < options_.fires_per_round; ++k) {
         bool fired = false;
         for (const Reaction& r : stage) {
-          if (auto match = gamma::find_match(
-                  node.shard, r, &node.rng,
-                  options_.compile ? expr::EvalMode::Vm
-                                   : expr::EvalMode::Ast)) {
-            gamma::commit(node.shard, *match);
+          if (auto match = runtime::MatchPipeline::find(
+                  node.shard, r, &node.rng, options_.eval_mode())) {
+            runtime::MatchPipeline::commit(node.shard, *match);
             ++node.fires;
             fired = true;
             node.fired_this_round = true;
@@ -445,17 +459,6 @@ class Simulation {
       }
     }
     if (nodes_[0].fired_this_round) verified_ = false;
-  }
-
-  /// Home node for an element under the label-affinity placement hint:
-  /// its label's conflict class, mapped onto nodes round-robin. nullopt
-  /// when no hint applies (no map, unlabeled element, unknown label).
-  std::optional<std::size_t> affinity_home(const Element& e) const {
-    if (options_.label_affinity.empty()) return std::nullopt;
-    if (e.arity() < 2 || !e.field(1).is_str()) return std::nullopt;
-    const auto it = options_.label_affinity.find(e.field(1).as_str());
-    if (it == options_.label_affinity.end()) return std::nullopt;
-    return it->second % options_.nodes;
   }
 
   /// Picks and removes one random live element from a shard.
@@ -534,7 +537,7 @@ class Simulation {
           auto e = take_random(node);
           if (!e) break;
           std::size_t peer = 0;
-          if (const auto home = affinity_home(*e); home && *home != i) {
+          if (const auto home = affinity_.home(*e); home && *home != i) {
             peer = *home;
           } else if (home) {
             node.shard.insert(std::move(*e));  // already co-located: keep
@@ -647,6 +650,28 @@ class Simulation {
     token_in_flight_ = false;
   }
 
+  /// Early-stop settlement: every LOGICAL element transfer that is still
+  /// unacked lives in some sender's outbox (the payload is kept until the
+  /// ack lands), and the receiver's `seen` filter says whether it was
+  /// already delivered. The simulator has global knowledge, so the drain a
+  /// real deployment would run (retry until acked) collapses into one
+  /// deterministic pass: deliver each undelivered payload straight into the
+  /// receiver's shard, drop the rest. No element is lost on the wire and
+  /// none is double-counted, making the partial multiset exact.
+  void settle_in_flight() {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      for (OutboxEntry& e : nodes_[i].outbox) {
+        if (e.kind != MsgKind::Elements) continue;  // Pull: control only
+        Node& receiver = nodes_[e.to];
+        if (!receiver.seen[i].insert(e.seq).second) continue;  // delivered
+        for (Element& el : e.elements) receiver.shard.insert(std::move(el));
+      }
+      nodes_[i].outbox.clear();
+    }
+    wires_.clear();
+    token_msgs_.clear();
+  }
+
   // --- phase 5: replication ---
   // Synchronous primary-backup: each node ships its end-of-round state to
   // its ring successor. The simulation applies it at the round boundary, so
@@ -667,6 +692,9 @@ class Simulation {
   const gamma::Program& program_;
   ClusterOptions options_;
   FaultInjector injector_;
+  runtime::EngineTelemetry telemetry_;
+  // label -> home-node routing (a cluster node IS a shard).
+  runtime::ShardMap affinity_;
   std::vector<Node> nodes_;
   std::vector<Node> replicas_;  // replicas_[i] lives on node (i+1) % N
   std::vector<std::uint64_t> replica_shard_versions_;

@@ -10,74 +10,55 @@
 //     per step, use on small multisets.
 //   IndexedEngine    — index-guided first-match selection with randomized
 //     probe order. The fast single-threaded engine.
-//   ParallelEngine   — worker threads match optimistically under a shared
-//     lock and commit under an exclusive lock, with version-stamped
-//     quiescence detection for termination.
+//   ParallelEngine   — worker threads. With a sound shard plan (conflict
+//     classes + label-literal patterns, see runtime/sharded_store.hpp) the
+//     stage runs on a ShardedStore: each shard is an independent local
+//     fixpoint under its own lock, no revalidation, fully deterministic.
+//     Otherwise workers match optimistically under a shared lock and commit
+//     under an exclusive lock, with version-stamped quiescence detection.
+//
+// All three are thin policies over runtime::StepLoop / MatchPipeline; the
+// deadline/cancel/budget/telemetry scaffolding lives there, shared with the
+// dataflow engines and the distributed cluster.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
-#include <thread>
 #include <vector>
 
-#include "gammaflow/common/cancel.hpp"
 #include "gammaflow/common/error.hpp"
 #include "gammaflow/common/stats.hpp"
 #include "gammaflow/gamma/multiset.hpp"
 #include "gammaflow/gamma/program.hpp"
-
-namespace gammaflow::obs {
-class Telemetry;
-}
+#include "gammaflow/runtime/options.hpp"
 
 namespace gammaflow::gamma {
 
-struct RunOptions {
+struct RunOptions : runtime::RunOptions {
   /// Seed for every nondeterministic choice; same seed => same run for the
   /// deterministic engines.
   std::uint64_t seed = 1;
   /// Firing budget across all stages; exceeded => EngineError (guards
   /// non-terminating programs).
   std::uint64_t max_steps = 50'000'000;
-  /// Record every firing (reaction name, consumed, produced) in the result.
-  bool record_trace = false;
-  /// Cap on recorded FireEvents: firings past the cap still execute but are
-  /// not recorded (RunResult::trace_dropped counts them). Deliberately
-  /// generous — the cap exists so a long `record_trace` run degrades to a
-  /// truncated trace instead of an OOM, not to make truncation routine.
-  std::uint64_t trace_limit = 1'000'000;
-  /// Worker count (ParallelEngine only).
-  unsigned workers = std::max(2u, std::thread::hardware_concurrency());
   /// SequentialEngine only: cap on enabled matches enumerated per step; the
   /// uniform choice is over the first `uniform_cap` found.
   std::size_t uniform_cap = 4096;
-  /// Evaluate reaction conditions/outputs via compiled bytecode (default)
-  /// instead of walking the expression AST. Results are state-identical
-  /// either way (enforced by the differential suite); `--no-compile` in the
-  /// CLI flips this off for A/B comparison and as an escape hatch.
-  bool compile = true;
-  /// Optional telemetry sink (spans + metrics). Null (the default) disables
-  /// instrumentation entirely; every probe site is behind one pointer test.
-  obs::Telemetry* telemetry = nullptr;
-  /// Optional cooperative stop flag shared with the caller. When it fires
-  /// the engine returns the state reached so far (outcome Cancelled) with
-  /// all worker threads joined — it never throws for a cancellation.
-  const CancelToken* cancel = nullptr;
-  /// Wall-clock budget in seconds from run start; <= 0 disables. Exceeding
-  /// it returns a valid partial result with outcome DeadlineExceeded.
-  double deadline = 0.0;
-  /// What exhausting max_steps does: Throw (EngineError, historical) or
-  /// Partial (return the partial multiset with outcome BudgetExhausted).
-  LimitPolicy limit_policy = LimitPolicy::Throw;
+  /// ParallelEngine: allow the sharded-store path when `conflict_classes`
+  /// yields a sound shard plan. Off (`--no-shard`) forces the optimistic
+  /// single-store path — an escape hatch and the A/B baseline for
+  /// bench_store. Results are state-identical either way on the confluent
+  /// corpus (enforced by the cross-engine equivalence suite).
+  bool shard = true;
   /// Precomputed conflict classes (reaction name -> class id), normally
   /// InterferenceReport::engine_classes(). Reactions in different classes
   /// touch provably disjoint element populations. When every reaction of a
   /// stage is covered and the stage spans >= 2 classes:
-  ///   ParallelEngine  — partitions the stage's reactions among workers by
-  ///     class (one owner per class) and commits WITHOUT revalidation: no
-  ///     other worker can invalidate an owned match, so commit_conflicts
-  ///     drops to zero ("gamma.class_fast_commits" counts these commits).
+  ///   ParallelEngine  — partitions the STORE by class (runtime::ShardedStore)
+  ///     when the plan is sound: each shard runs its own lock-free local
+  ///     fixpoint, commits without revalidation ("gamma.class_fast_commits"
+  ///     counts these), and commit_conflicts drops to zero.
   ///   IndexedEngine   — runs each class to its own fixpoint once instead of
   ///     re-passing over all reactions (sound because a quiescent class
   ///     cannot be re-enabled from outside: feed edges stay inside classes).

@@ -2,41 +2,40 @@
 // reactions in a seeded random order and fires the first enabled match found
 // through the label/arity indexes. A full pass over every reaction with no
 // match is the stage fixed point (the index search is exhaustive, so "no
-// match found" is a proof, not a heuristic).
+// match found" is a proof, not a heuristic). Scaffolding (deadline, cancel,
+// budget, trace cap, telemetry tail) comes from runtime::StepLoop & friends;
+// this file keeps only the probe-order and conflict-class scheduling policy.
 #include <algorithm>
-#include <chrono>
 #include <numeric>
 
 #include "gammaflow/common/rng.hpp"
 #include "gammaflow/gamma/engine.hpp"
 #include "gammaflow/gamma/store.hpp"
 #include "gammaflow/obs/telemetry.hpp"
+#include "gammaflow/runtime/match_pipeline.hpp"
+#include "gammaflow/runtime/step_loop.hpp"
 
 namespace gammaflow::gamma {
 
 RunResult IndexedEngine::run(const Program& program, const Multiset& initial,
                              const RunOptions& options) const {
-  const auto t0 = std::chrono::steady_clock::now();
   RunResult result;
   Rng rng(options.seed);
   Store store(initial);
-  const expr::EvalMode mode =
-      options.compile ? expr::EvalMode::Vm : expr::EvalMode::Ast;
+  const expr::EvalMode mode = options.eval_mode();
 
-  obs::Telemetry* const tel = options.telemetry;
-  obs::ThreadRecorder* const rec =
-      tel ? &tel->register_thread("gamma-indexed") : nullptr;
-  const std::uint64_t instrs0 = expr::vm_instrs_executed();
+  runtime::StepLoop loop(options, options.max_steps, "indexed engine",
+                         "max_steps");
+  runtime::TraceSink<FireEvent> trace(options);
+  const runtime::EngineTelemetry telemetry(options, "gamma");
+  obs::Telemetry* const tel = telemetry.sink();
+  obs::ThreadRecorder* const rec = telemetry.recorder("gamma-indexed");
   std::uint64_t attempts = 0;
   std::uint64_t failures = 0;
   std::uint64_t passes = 0;
 
-  RunGovernor governor(options.cancel, options.deadline);
-
   for (std::size_t stage_idx = 0;
-       stage_idx < program.stages().size() &&
-       result.outcome == Outcome::Completed;
-       ++stage_idx) {
+       stage_idx < program.stages().size() && loop.running(); ++stage_idx) {
     const auto& stage = program.stages()[stage_idx];
 
     // Pre-resolved per-reaction latency histograms keep string building off
@@ -54,55 +53,40 @@ RunResult IndexedEngine::run(const Program& program, const Multiset& initial,
     // is exhaustive).
     const auto run_to_fixpoint = [&](std::vector<std::size_t> order) {
       bool progressed = true;
-      while (progressed && result.outcome == Outcome::Completed) {
+      while (progressed && loop.running()) {
         progressed = false;
         ++passes;
         obs::Span pass_span(tel, rec, "pass");
         std::uint64_t pass_fires = 0;
         std::shuffle(order.begin(), order.end(), rng);
         for (const std::size_t idx : order) {
-          if (result.outcome != Outcome::Completed) break;
+          if (!loop.running()) break;
           const Reaction& r = stage[idx];
           // Fire this reaction repeatedly while it stays enabled: cheaper
           // than re-shuffling after every step, and fairness across
           // reactions is restored by the shuffled outer pass.
-          while (true) {
-            if (governor.should_stop()) {
-              result.outcome = governor.outcome();
-              break;
-            }
+          while (!loop.should_stop()) {
             const std::uint64_t fire_start = tel ? tel->now_us() : 0;
-            auto match = find_match(store, r, &rng, mode);
+            auto match = runtime::MatchPipeline::find(store, r, &rng, mode);
             ++attempts;
             if (!match) {
               ++failures;
               break;
             }
-            if (result.steps >= options.max_steps) {
-              if (options.limit_policy == LimitPolicy::Throw) {
-                throw EngineError("indexed engine exceeded max_steps=" +
-                                  std::to_string(options.max_steps));
+            if (!loop.admit(result.steps)) break;
+            if (trace.admit()) {
+              FireEvent ev;
+              ev.reaction = r.name();
+              ev.stage = stage_idx;
+              for (const Store::Id id : match->ids) {
+                ev.consumed.push_back(store.element(id));
               }
-              result.outcome = Outcome::BudgetExhausted;
-              break;
-            }
-            if (options.record_trace) {
-              if (result.trace.size() < options.trace_limit) {
-                FireEvent ev;
-                ev.reaction = r.name();
-                ev.stage = stage_idx;
-                for (const Store::Id id : match->ids) {
-                  ev.consumed.push_back(store.element(id));
-                }
-                ev.produced = match->produced;
-                result.trace.push_back(std::move(ev));
-              } else {
-                ++result.trace_dropped;
-              }
+              ev.produced = match->produced;
+              trace.push(std::move(ev));
             }
             ++result.fires_by_reaction[r.name()];
             ++result.steps;
-            commit(store, *match);
+            runtime::MatchPipeline::commit(store, *match);
             progressed = true;
             ++pass_fires;
             if (tel) {
@@ -140,7 +124,7 @@ RunResult IndexedEngine::run(const Program& program, const Multiset& initial,
     } else {
       std::shuffle(groups.begin(), groups.end(), rng);
       for (auto& group : groups) {
-        if (result.outcome != Outcome::Completed) break;
+        if (!loop.running()) break;
         run_to_fixpoint(std::move(group));
       }
     }
@@ -152,21 +136,14 @@ RunResult IndexedEngine::run(const Program& program, const Multiset& initial,
     stats.count("gamma.match_failures", failures);
     stats.count("gamma.fires", result.steps);
     stats.count("gamma.passes", passes);
-    stats.count(std::string("gamma.outcome.") + to_string(result.outcome));
-    stats.count(std::string("gamma.eval_mode.") + expr::to_string(mode));
-    stats.count("vm.instrs_executed", expr::vm_instrs_executed() - instrs0);
-    Histogram& compile_hist = stats.hist("expr.compile_ms");
-    for (const auto& stage : program.stages()) {
-      for (const Reaction& r : stage) {
-        compile_hist.observe(r.compiled().compile_ms());
-      }
-    }
-    result.metrics = tel->metrics();
+    runtime::observe_reaction_compile(tel, program);
   }
+  result.outcome = loop.outcome();
+  result.trace = trace.take();
+  result.trace_dropped = trace.dropped();
+  telemetry.finish(result.outcome, result.metrics);
   result.final_multiset = store.to_multiset();
-  result.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+  result.wall_seconds = loop.wall_seconds();
   return result;
 }
 

@@ -1,27 +1,36 @@
-// ParallelEngine: multithreaded multiset rewriting with optimistic matching.
+// ParallelEngine: multithreaded multiset rewriting. Two store disciplines,
+// chosen per stage:
 //
-// Workers search for matches under a SHARED lock (read-only index probing)
-// and commit under an EXCLUSIVE lock, revalidating the match first — element
-// slots are reused, so between search and commit an id may have died or been
-// recycled for a different element. Revalidation simply re-runs the pattern
-// match and branch selection on the current slot contents, which makes the
-// scheme linearizable: every committed firing was enabled at its commit
-// point.
+// SHARDED (runtime::ShardedStore, when plan_shards accepts the stage's
+// conflict classes and RunOptions::shard is on): the store is partitioned by
+// conflict class, so each shard is a closed sub-chemistry — every match a
+// shard can ever enable is local to it. Workers claim whole shards (atomic
+// index + per-shard mutex) and run each to its own fixed point with no
+// global lock, no revalidation ("gamma.class_fast_commits" counts every
+// commit; "gamma.commit_conflicts" is zero by construction). Each shard owns
+// a pre-split Rng drawn in shard order, so a completed run is deterministic
+// in (seed, program, initial) regardless of worker count or claim order.
 //
-// Termination ("global termination state" in the paper): the store version
-// counter increments on every mutation. A worker whose exhaustive search
-// fails records the version it searched at; when all workers have failed at
-// the SAME version, no reaction is enabled and the stage has reached its
-// fixed point. Any commit invalidates the count because the version moves.
+// OPTIMISTIC (single store, the general fallback): workers search for
+// matches under a SHARED lock (read-only index probing) and commit under an
+// EXCLUSIVE lock, revalidating the match first — element slots are reused,
+// so between search and commit an id may have died or been recycled.
+// Revalidation (runtime::MatchPipeline::validate) re-runs the pattern match
+// and branch selection on the current slot contents, which makes the scheme
+// linearizable: every committed firing was enabled at its commit point.
+// Termination ("global termination state" in the paper) is the version-
+// stamped quiescence vote (runtime::QuiescenceVote): when every worker's
+// exhaustive search failed at the SAME store version, the stage is at its
+// fixed point.
 //
-// Telemetry (only when RunOptions::telemetry is set): each worker records
-// search/commit spans into its own ring buffer, counts match attempts,
-// commit conflicts (revalidation failures) and quiescence rounds into
-// race-free per-worker slots that are flushed into the registry after join,
-// and feeds per-reaction firing latencies into shared lock-free histograms.
-#include <chrono>
+// Scaffolding — deadline/cancel governors, the firing budget, trace caps,
+// and the telemetry tail — comes from runtime::StepLoop & friends; this file
+// keeps the worker topology and commit strategy.
+#include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <exception>
+#include <mutex>
 #include <numeric>
 #include <shared_mutex>
 #include <thread>
@@ -31,34 +40,15 @@
 #include "gammaflow/gamma/engine.hpp"
 #include "gammaflow/gamma/store.hpp"
 #include "gammaflow/obs/telemetry.hpp"
+#include "gammaflow/runtime/match_pipeline.hpp"
+#include "gammaflow/runtime/sharded_store.hpp"
+#include "gammaflow/runtime/step_loop.hpp"
 
 namespace gammaflow::gamma {
 namespace {
 
-constexpr std::uint64_t kCompactInterval = 4096;
-
-struct StageShared {
-  Store store;
-  std::shared_mutex mutex;
-  std::condition_variable_any cv;
-
-  // All guarded by `mutex` (exclusive side):
-  std::uint64_t quiet_version = ~std::uint64_t{0};
-  unsigned quiet_count = 0;
-  bool done = false;
-  Outcome outcome = Outcome::Completed;
-  std::uint64_t steps = 0;
-  std::uint64_t commits_since_compact = 0;
-  std::map<std::string, std::uint64_t> fires;
-  std::vector<FireEvent> trace;
-  std::uint64_t trace_dropped = 0;
-  std::exception_ptr error;
-
-  explicit StageShared(Store s) : store(std::move(s)) {}
-};
-
-/// Per-worker metric slots, written race-free by the owning worker and
-/// flushed into the StatsRegistry after the stage's threads joined.
+/// Per-worker/per-shard metric slots, written race-free by the owner and
+/// summed into the StatsRegistry after the stage's threads joined.
 struct WorkerMetrics {
   std::uint64_t match_attempts = 0;
   std::uint64_t match_failures = 0;
@@ -67,6 +57,16 @@ struct WorkerMetrics {
   std::uint64_t quiescence_rounds = 0;
   std::uint64_t fires = 0;
   std::uint64_t class_fast_commits = 0;
+
+  void add(const WorkerMetrics& m) {
+    match_attempts += m.match_attempts;
+    match_failures += m.match_failures;
+    commit_conflicts += m.commit_conflicts;
+    search_retries += m.search_retries;
+    quiescence_rounds += m.quiescence_rounds;
+    fires += m.fires;
+    class_fast_commits += m.class_fast_commits;
+  }
 };
 
 /// Read-only telemetry context shared by a stage's workers; null members
@@ -75,31 +75,214 @@ struct StageObs {
   obs::Telemetry* tel = nullptr;
   // Indexed by reaction position in the stage ("gamma.fire_us.<name>").
   std::vector<Histogram*> fire_hist;
+
+  StageObs(obs::Telemetry* t, const std::vector<Reaction>& stage) : tel(t) {
+    if (tel == nullptr) return;
+    fire_hist.reserve(stage.size());
+    for (const Reaction& r : stage) {
+      fire_hist.push_back(&tel->stats().hist("gamma.fire_us." + r.name()));
+    }
+  }
 };
 
-/// `owned` restricts this worker to a subset of the stage's reactions (class
-/// partition; null = all). `fast_commit` skips commit revalidation — sound
-/// ONLY under the class partition: this worker is the sole owner of every
-/// reaction that can consume its matched elements, so between its shared-lock
-/// search and its exclusive-lock commit no other worker can remove them, and
-/// live slots are never recycled.
+/// What one stage hands back to the run driver, whichever discipline ran it.
+struct StageResult {
+  Outcome outcome = Outcome::Completed;
+  std::uint64_t steps = 0;
+  std::map<std::string, std::uint64_t> fires;
+  std::exception_ptr error;
+};
+
+// ---------------------------------------------------------------------------
+// Sharded discipline
+// ---------------------------------------------------------------------------
+
+/// One shard's private execution state. The Rng is pre-split in shard order
+/// (NOT claim order) — determinism lives here.
+struct ShardTask {
+  std::vector<std::size_t> reactions;  // stage positions owned by this shard
+  Rng rng;
+  runtime::TraceSink<FireEvent> trace;
+  std::map<std::string, std::uint64_t> fires;
+  WorkerMetrics wm;
+
+  ShardTask(Rng r, const RunOptions& options)
+      : rng(std::move(r)), trace(options) {}
+};
+
+/// Runs one shard's closed sub-chemistry to its fixed point: shuffled passes
+/// over the shard's reactions, firing each while it stays enabled (the
+/// indexed-engine policy, applied shard-locally). Commits never revalidate —
+/// the shard lock is total ownership. `fired` is the run-wide budget gate.
+void run_shard(Store& store, const std::vector<Reaction>& stage,
+               std::size_t stage_idx, ShardTask& task,
+               const RunOptions& options, RunGovernor& governor,
+               runtime::StopFlag& stop, std::atomic<std::uint64_t>& fired,
+               std::mutex& error_mutex, std::exception_ptr& error,
+               const StageObs& ob) {
+  const expr::EvalMode mode = options.eval_mode();
+  obs::Telemetry* const tel = ob.tel;
+  std::vector<std::size_t> order = task.reactions;
+  bool progressed = true;
+  while (progressed && !stop.stopped()) {
+    progressed = false;
+    std::shuffle(order.begin(), order.end(), task.rng);
+    for (const std::size_t idx : order) {
+      if (stop.stopped()) return;
+      const Reaction& r = stage[idx];
+      while (true) {
+        if (governor.should_stop()) {
+          stop.publish(governor.outcome());
+          return;
+        }
+        const std::uint64_t fire_start = tel ? tel->now_us() : 0;
+        auto match = runtime::MatchPipeline::find(store, r, &task.rng, mode);
+        ++task.wm.match_attempts;
+        if (!match) {
+          ++task.wm.match_failures;
+          break;
+        }
+        // Run-wide budget gate: claim a step slot, give it back on refusal.
+        const std::uint64_t n = fired.fetch_add(1, std::memory_order_relaxed);
+        bool admitted = false;
+        try {
+          admitted = runtime::admit_step(options.limit_policy, n,
+                                         options.max_steps, "parallel engine",
+                                         "max_steps");
+        } catch (...) {
+          const std::scoped_lock lk(error_mutex);
+          if (!error) error = std::current_exception();
+        }
+        if (!admitted) {
+          fired.fetch_sub(1, std::memory_order_relaxed);
+          stop.publish(Outcome::BudgetExhausted);
+          return;
+        }
+        if (task.trace.admit()) {
+          FireEvent ev;
+          ev.reaction = r.name();
+          ev.stage = stage_idx;
+          for (const Store::Id id : match->ids) {
+            ev.consumed.push_back(store.element(id));
+          }
+          ev.produced = match->produced;
+          task.trace.push(std::move(ev));
+        }
+        ++task.fires[r.name()];
+        ++task.wm.fires;
+        ++task.wm.class_fast_commits;
+        runtime::MatchPipeline::commit(store, *match);
+        if (store.needs_compact()) store.compact();
+        progressed = true;
+        if (tel) {
+          ob.fire_hist[idx]->observe(
+              static_cast<double>(tel->now_us() - fire_start));
+        }
+      }
+    }
+  }
+}
+
+/// Stage driver for the sharded discipline. Workers claim shards by atomic
+/// index and hold the shard mutex for the whole local fixpoint; per-shard
+/// traces and metrics merge in shard order after join.
+StageResult run_sharded_stage(const std::vector<Reaction>& stage,
+                              std::size_t stage_idx,
+                              const runtime::ShardPlan& plan,
+                              Multiset& current, const RunOptions& options,
+                              const runtime::StepLoop& loop, Rng& seed_rng,
+                              unsigned workers, std::uint64_t prior_steps,
+                              const StageObs& ob,
+                              runtime::TraceSink<FireEvent>& trace,
+                              WorkerMetrics& total) {
+  runtime::ShardedStore sharded(
+      current, runtime::ShardMap(plan.label_shard, plan.shard_count));
+
+  std::vector<ShardTask> tasks;
+  tasks.reserve(plan.shard_count);
+  for (std::size_t s = 0; s < plan.shard_count; ++s) {
+    tasks.emplace_back(seed_rng.split(), options);
+  }
+  for (std::size_t i = 0; i < stage.size(); ++i) {
+    tasks[plan.reaction_shard[i]].reactions.push_back(i);
+  }
+
+  runtime::StopFlag stop;
+  std::atomic<std::uint64_t> fired{prior_steps};
+  std::atomic<std::size_t> next_shard{0};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
+  const unsigned nthreads = static_cast<unsigned>(
+      std::min<std::size_t>(workers, plan.shard_count));
+  auto worker = [&](unsigned wid) {
+    obs::ThreadRecorder* const rec =
+        ob.tel ? &ob.tel->register_thread("gamma-worker-" + std::to_string(wid))
+               : nullptr;
+    RunGovernor governor = loop.make_governor(options);
+    while (!stop.stopped()) {
+      const std::size_t s =
+          next_shard.fetch_add(1, std::memory_order_relaxed);
+      if (s >= sharded.shard_count()) return;
+      runtime::ShardedStore::Shard& shard = sharded.shard(s);
+      const std::scoped_lock lk(shard.mutex);
+      obs::Span span(ob.tel, rec, "shard");
+      run_shard(shard.store, stage, stage_idx, tasks[s], options, governor,
+                stop, fired, error_mutex, error, ob);
+      span.set_arg(tasks[s].wm.fires);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(nthreads);
+  for (unsigned w = 0; w < nthreads; ++w) threads.emplace_back(worker, w);
+  for (auto& t : threads) t.join();
+
+  StageResult out;
+  out.error = error;
+  out.outcome = stop.outcome();
+  for (ShardTask& task : tasks) {  // shard order: deterministic merge
+    out.steps += task.wm.fires;
+    for (const auto& [name, n] : task.fires) out.fires[name] += n;
+    trace.merge(std::move(task.trace));
+    total.add(task.wm);
+  }
+  current = sharded.to_multiset();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Optimistic discipline
+// ---------------------------------------------------------------------------
+
+struct StageShared {
+  Store store;
+  std::shared_mutex mutex;
+  std::condition_variable_any cv;
+
+  // All guarded by `mutex` (exclusive side):
+  runtime::QuiescenceVote vote;
+  bool done = false;
+  Outcome outcome = Outcome::Completed;
+  std::uint64_t steps = 0;
+  std::map<std::string, std::uint64_t> fires;
+  runtime::TraceSink<FireEvent> trace;
+  std::exception_ptr error;
+
+  StageShared(Store s, const RunOptions& options)
+      : store(std::move(s)), trace(options) {}
+};
+
 void worker_loop(StageShared& sh, const std::vector<Reaction>& stage,
                  std::size_t stage_idx, const RunOptions& options,
-                 std::chrono::steady_clock::time_point deadline, Rng rng,
+                 const runtime::StepLoop& loop, Rng rng,
                  unsigned total_workers, unsigned worker_id,
-                 const StageObs& ob, WorkerMetrics& wm,
-                 const std::vector<std::size_t>* owned, bool fast_commit) {
-  std::vector<std::size_t> order;
-  if (owned) {
-    order = *owned;
-  } else {
-    order.resize(stage.size());
-    std::iota(order.begin(), order.end(), std::size_t{0});
-  }
-  std::uint64_t my_quiet_version = ~std::uint64_t{0};
-  RunGovernor governor(options.cancel, deadline);
-  const expr::EvalMode mode =
-      options.compile ? expr::EvalMode::Vm : expr::EvalMode::Ast;
+                 std::uint64_t prior_steps, const StageObs& ob,
+                 WorkerMetrics& wm) {
+  std::vector<std::size_t> order(stage.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::uint64_t my_mark = runtime::QuiescenceVote::kNone;
+  RunGovernor governor = loop.make_governor(options);
+  const expr::EvalMode mode = options.eval_mode();
 
   obs::Telemetry* const tel = ob.tel;
   obs::ThreadRecorder* const rec =
@@ -132,7 +315,7 @@ void worker_loop(StageShared& sh, const std::vector<Reaction>& stage,
       const Store& cstore = sh.store;
       for (const std::size_t idx : order) {
         ++wm.match_attempts;
-        proposal = find_match(cstore, stage[idx], &rng, mode);
+        proposal = runtime::MatchPipeline::find(cstore, stage[idx], &rng, mode);
         if (proposal) {
           proposal_idx = idx;
           break;
@@ -149,68 +332,39 @@ void worker_loop(StageShared& sh, const std::vector<Reaction>& stage,
     if (proposal) {
       // Revalidate on current slot contents (ids may have been consumed or
       // recycled since the search).
-      bool valid = true;
-      std::vector<const Element*> elems;
-      elems.reserve(proposal->ids.size());
-      for (const Store::Id id : proposal->ids) {
-        if (!fast_commit && !sh.store.alive(id)) {
-          valid = false;
-          break;
+      if (runtime::MatchPipeline::validate(sh.store, *proposal, mode)) {
+        bool admitted = false;
+        try {
+          admitted = runtime::admit_step(
+              options.limit_policy, prior_steps + sh.steps, options.max_steps,
+              "parallel engine", "max_steps");
+        } catch (...) {
+          sh.error = std::current_exception();
         }
-        elems.push_back(&sh.store.element(id));
-      }
-      std::optional<std::vector<Element>> produced;
-      if (fast_commit) {
-        // Ownership guarantees the searched match is still enabled; reuse
-        // the outputs computed during the search.
-        produced = std::move(proposal->produced);
-      } else if (valid) {
-        expr::Env env;
-        if (proposal->reaction->match(elems, env)) {
-          produced = proposal->reaction->apply(env, mode);
+        if (!admitted) {
+          sh.outcome = Outcome::BudgetExhausted;
+          sh.done = true;
+          sh.cv.notify_all();
+          return;
         }
-      }
-      if (produced) {
-        if (sh.steps >= options.max_steps) {
-          if (options.limit_policy == LimitPolicy::Partial) {
-            sh.outcome = Outcome::BudgetExhausted;
-            sh.done = true;
-            sh.cv.notify_all();
-            return;
+        if (sh.trace.admit()) {
+          FireEvent ev;
+          ev.reaction = proposal->reaction->name();
+          ev.stage = stage_idx;
+          for (const Store::Id id : proposal->ids) {
+            ev.consumed.push_back(sh.store.element(id));
           }
-          try {
-            throw EngineError("parallel engine exceeded max_steps=" +
-                              std::to_string(options.max_steps));
-          } catch (...) {
-            sh.error = std::current_exception();
-            sh.done = true;
-            sh.cv.notify_all();
-            return;
-          }
+          ev.produced = proposal->produced;
+          sh.trace.push(std::move(ev));
         }
-        if (options.record_trace) {
-          if (sh.trace.size() < options.trace_limit) {
-            FireEvent ev;
-            ev.reaction = proposal->reaction->name();
-            ev.stage = stage_idx;
-            for (const Element* e : elems) ev.consumed.push_back(*e);
-            ev.produced = *produced;
-            sh.trace.push_back(std::move(ev));
-          } else {
-            ++sh.trace_dropped;
-          }
-        }
-        Match fired = std::move(*proposal);
-        fired.produced = std::move(*produced);
-        ++sh.fires[fired.reaction->name()];
+        ++sh.fires[proposal->reaction->name()];
         ++sh.steps;
         ++wm.fires;
-        if (fast_commit) ++wm.class_fast_commits;
-        commit(sh.store, fired);
-        if (++sh.commits_since_compact >= kCompactInterval) {
-          sh.store.compact();
-          sh.commits_since_compact = 0;
-        }
+        runtime::MatchPipeline::commit(sh.store, *proposal);
+        // The read-only searches above cannot prune; they accrue garbage
+        // debt on the buckets instead. Settle it here, where we hold the
+        // exclusive lock anyway.
+        if (sh.store.needs_compact()) sh.store.compact();
         if (tel) {
           // Search-to-commit latency: what one firing of this reaction cost
           // this worker, conflicts and lock waits included.
@@ -235,18 +389,10 @@ void worker_loop(StageShared& sh, const std::vector<Reaction>& stage,
       continue;
     }
     ++wm.quiescence_rounds;
-    if (sh.quiet_version != v_start) {
-      sh.quiet_version = v_start;
-      sh.quiet_count = 0;
-      my_quiet_version = ~std::uint64_t{0};
-    }
-    if (my_quiet_version != v_start) {
-      my_quiet_version = v_start;
-      if (++sh.quiet_count >= total_workers) {
-        sh.done = true;
-        sh.cv.notify_all();
-        return;
-      }
+    if (sh.vote.quiet(v_start, my_mark, total_workers)) {
+      sh.done = true;
+      sh.cv.notify_all();
+      return;
     }
     sh.cv.wait(lock, [&] {
       return sh.done || sh.store.version() != v_start;
@@ -255,20 +401,55 @@ void worker_loop(StageShared& sh, const std::vector<Reaction>& stage,
   }
 }
 
+StageResult run_optimistic_stage(const std::vector<Reaction>& stage,
+                                 std::size_t stage_idx, Multiset& current,
+                                 const RunOptions& options,
+                                 const runtime::StepLoop& loop, Rng& seed_rng,
+                                 unsigned workers, std::uint64_t prior_steps,
+                                 const StageObs& ob,
+                                 runtime::TraceSink<FireEvent>& trace,
+                                 WorkerMetrics& total) {
+  StageShared shared{Store(current), options};
+  std::vector<WorkerMetrics> wm(workers);
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    threads.emplace_back(worker_loop, std::ref(shared), std::cref(stage),
+                         stage_idx, std::cref(options), std::cref(loop),
+                         seed_rng.split(), workers, w, prior_steps,
+                         std::cref(ob), std::ref(wm[w]));
+  }
+  for (auto& t : threads) t.join();
+
+  StageResult out;
+  out.error = shared.error;
+  out.outcome = shared.outcome;
+  out.steps = shared.steps;
+  out.fires = std::move(shared.fires);
+  trace.merge(std::move(shared.trace));
+  for (const WorkerMetrics& m : wm) total.add(m);
+  current = shared.store.to_multiset();
+  return out;
+}
+
 }  // namespace
 
 RunResult ParallelEngine::run(const Program& program, const Multiset& initial,
                               const RunOptions& options) const {
-  const auto t0 = std::chrono::steady_clock::now();
   const unsigned workers = std::max(1u, options.workers);
 
   RunResult result;
   Multiset current = initial;
   Rng seed_rng(options.seed);
-  // One absolute deadline for the whole run (all stages, all workers).
-  const auto deadline = deadline_from_now(options.deadline);
-  obs::Telemetry* const tel = options.telemetry;
-  const std::uint64_t instrs0 = expr::vm_instrs_executed();
+  // One StepLoop for the whole run: the absolute deadline every worker
+  // governor shares, the run-wide firing budget, and the wall clock.
+  runtime::StepLoop loop(options, options.max_steps, "parallel engine",
+                         "max_steps");
+  runtime::TraceSink<FireEvent> trace(options);
+  const runtime::EngineTelemetry telemetry(options, "gamma");
+  obs::Telemetry* const tel = telemetry.sink();
+  WorkerMetrics total;
   GF_DEBUG << "gamma parallel run: " << workers << " workers, "
            << program.stages().size() << " stage(s), |M|=" << initial.size();
 
@@ -277,109 +458,44 @@ RunResult ParallelEngine::run(const Program& program, const Multiset& initial,
        result.outcome == Outcome::Completed;
        ++stage_idx) {
     const auto& stage = program.stages()[stage_idx];
-    StageShared shared{Store(current)};
+    const StageObs ob(tel, stage);
+    const runtime::ShardPlan plan =
+        runtime::plan_shards(stage, options.conflict_classes);
 
-    // Conflict-class partition: when the caller's classes cover this whole
-    // stage and span >= 2 classes, give every class exactly one owning
-    // worker. Owners commit without revalidation (see worker_loop) — the
-    // partition is what makes that sound.
-    std::vector<std::vector<std::size_t>> owned_sets;
-    if (!options.conflict_classes.empty() && stage.size() >= 2) {
-      std::vector<std::size_t> cls(stage.size());
-      bool covered = true;
-      for (std::size_t i = 0; i < stage.size() && covered; ++i) {
-        const auto it = options.conflict_classes.find(stage[i].name());
-        covered = it != options.conflict_classes.end();
-        if (covered) cls[i] = it->second;
-      }
-      std::map<std::size_t, unsigned> owner;  // class id -> worker
-      if (covered) {
-        for (const std::size_t c : cls) {
-          owner.emplace(c, static_cast<unsigned>(owner.size()) %
-                               std::max(1u, workers));
-        }
-      }
-      if (covered && owner.size() >= 2) {
-        owned_sets.assign(std::min<std::size_t>(workers, owner.size()), {});
-        for (std::size_t i = 0; i < stage.size(); ++i) {
-          owned_sets[owner.at(cls[i])].push_back(i);
-        }
-      }
+    StageResult sr;
+    if (options.shard && plan.sharded) {
+      GF_DEBUG << "stage " << stage_idx << ": sharded, " << plan.shard_count
+               << " shard(s)";
+      sr = run_sharded_stage(stage, stage_idx, plan, current, options, loop,
+                             seed_rng, workers, result.steps, ob, trace,
+                             total);
+    } else {
+      sr = run_optimistic_stage(stage, stage_idx, current, options, loop,
+                                seed_rng, workers, result.steps, ob, trace,
+                                total);
     }
-    const bool class_mode = !owned_sets.empty();
-    const unsigned stage_workers =
-        class_mode ? static_cast<unsigned>(owned_sets.size()) : workers;
-
-    StageObs ob;
-    ob.tel = tel;
-    if (tel) {
-      ob.fire_hist.reserve(stage.size());
-      for (const Reaction& r : stage) {
-        ob.fire_hist.push_back(&tel->stats().hist("gamma.fire_us." + r.name()));
-      }
-    }
-    std::vector<WorkerMetrics> wm(stage_workers);
-
-    std::vector<std::thread> threads;
-    threads.reserve(stage_workers);
-    for (unsigned w = 0; w < stage_workers; ++w) {
-      threads.emplace_back(worker_loop, std::ref(shared), std::cref(stage),
-                           stage_idx, std::cref(options), deadline,
-                           seed_rng.split(), stage_workers, w, std::cref(ob),
-                           std::ref(wm[w]),
-                           class_mode ? &owned_sets[w] : nullptr, class_mode);
-    }
-    for (auto& t : threads) t.join();
-
-    if (shared.error) std::rethrow_exception(shared.error);
-    result.outcome = shared.outcome;
-    result.steps += shared.steps;
-    for (const auto& [name, n] : shared.fires) {
-      result.fires_by_reaction[name] += n;
-    }
-    for (auto& ev : shared.trace) result.trace.push_back(std::move(ev));
-    result.trace_dropped += shared.trace_dropped;
-    current = shared.store.to_multiset();
-
-    if (tel) {
-      WorkerMetrics total;
-      for (const WorkerMetrics& m : wm) {
-        total.match_attempts += m.match_attempts;
-        total.match_failures += m.match_failures;
-        total.commit_conflicts += m.commit_conflicts;
-        total.search_retries += m.search_retries;
-        total.quiescence_rounds += m.quiescence_rounds;
-        total.fires += m.fires;
-        total.class_fast_commits += m.class_fast_commits;
-      }
-      auto& stats = tel->stats();
-      stats.count("gamma.match_attempts", total.match_attempts);
-      stats.count("gamma.match_failures", total.match_failures);
-      stats.count("gamma.commit_conflicts", total.commit_conflicts);
-      stats.count("gamma.search_retries", total.search_retries);
-      stats.count("gamma.quiescence_rounds", total.quiescence_rounds);
-      stats.count("gamma.fires", total.fires);
-      stats.count("gamma.class_fast_commits", total.class_fast_commits);
-    }
+    if (sr.error) std::rethrow_exception(sr.error);
+    result.outcome = sr.outcome;
+    result.steps += sr.steps;
+    for (const auto& [name, n] : sr.fires) result.fires_by_reaction[name] += n;
   }
 
   if (tel) {
     auto& stats = tel->stats();
-    stats.count(std::string("gamma.outcome.") + to_string(result.outcome));
-    stats.count(std::string("gamma.eval_mode.") +
-                expr::to_string(options.compile ? expr::EvalMode::Vm
-                                                : expr::EvalMode::Ast));
-    stats.count("vm.instrs_executed", expr::vm_instrs_executed() - instrs0);
-    Histogram& compile_hist = stats.hist("expr.compile_ms");
-    for (const auto& st : program.stages()) {
-      for (const Reaction& r : st) compile_hist.observe(r.compiled().compile_ms());
-    }
-    result.metrics = tel->metrics();
+    stats.count("gamma.match_attempts", total.match_attempts);
+    stats.count("gamma.match_failures", total.match_failures);
+    stats.count("gamma.commit_conflicts", total.commit_conflicts);
+    stats.count("gamma.search_retries", total.search_retries);
+    stats.count("gamma.quiescence_rounds", total.quiescence_rounds);
+    stats.count("gamma.fires", result.steps);
+    stats.count("gamma.class_fast_commits", total.class_fast_commits);
+    runtime::observe_reaction_compile(tel, program);
   }
+  result.trace = trace.take();
+  result.trace_dropped = trace.dropped();
+  telemetry.finish(result.outcome, result.metrics);
   result.final_multiset = std::move(current);
-  result.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+  result.wall_seconds = loop.wall_seconds();
   GF_DEBUG << "gamma parallel run done: " << result.steps << " fires, |M|="
            << result.final_multiset.size() << ", "
            << result.wall_seconds << "s";

@@ -3,45 +3,39 @@
 // fires ONE chosen uniformly at random — the closest executable rendering of
 // "let x1..xn ∈ M, let i ∈ [1,m] such that Ri(x1..xn)" with a fair
 // nondeterministic choice. Quadratic-ish per step; the semantic oracle the
-// other engines are tested against.
-#include <chrono>
-
+// other engines are tested against. All scaffolding (deadline, cancel,
+// budget, trace cap, telemetry tail) lives in runtime::StepLoop & friends —
+// this file is pure match-selection policy.
 #include "gammaflow/common/rng.hpp"
 #include "gammaflow/gamma/engine.hpp"
 #include "gammaflow/gamma/store.hpp"
 #include "gammaflow/obs/telemetry.hpp"
+#include "gammaflow/runtime/match_pipeline.hpp"
+#include "gammaflow/runtime/step_loop.hpp"
 
 namespace gammaflow::gamma {
 
 RunResult SequentialEngine::run(const Program& program, const Multiset& initial,
                                 const RunOptions& options) const {
-  const auto t0 = std::chrono::steady_clock::now();
   RunResult result;
   Rng rng(options.seed);
   Store store(initial);
-  const expr::EvalMode mode =
-      options.compile ? expr::EvalMode::Vm : expr::EvalMode::Ast;
+  const expr::EvalMode mode = options.eval_mode();
 
-  obs::Telemetry* const tel = options.telemetry;
-  obs::ThreadRecorder* const rec =
-      tel ? &tel->register_thread("gamma-sequential") : nullptr;
+  runtime::StepLoop loop(options, options.max_steps, "sequential engine",
+                         "max_steps");
+  runtime::TraceSink<FireEvent> trace(options);
+  const runtime::EngineTelemetry telemetry(options, "gamma");
+  obs::Telemetry* const tel = telemetry.sink();
+  obs::ThreadRecorder* const rec = telemetry.recorder("gamma-sequential");
   Histogram* const enabled_hist =
       tel ? &tel->stats().hist("gamma.enabled_matches") : nullptr;
-  const std::uint64_t instrs0 = expr::vm_instrs_executed();
   std::uint64_t attempts = 0;
 
-  RunGovernor governor(options.cancel, options.deadline);
-
   for (std::size_t stage_idx = 0;
-       stage_idx < program.stages().size() &&
-       result.outcome == Outcome::Completed;
-       ++stage_idx) {
+       stage_idx < program.stages().size() && loop.running(); ++stage_idx) {
     const auto& stage = program.stages()[stage_idx];
-    while (true) {
-      if (governor.should_stop()) {
-        result.outcome = governor.outcome();
-        break;
-      }
+    while (!loop.should_stop()) {
       obs::Span step_span(tel, rec, "step");
       // Gather the enabled matches of every reaction, capped for safety on
       // large multisets. The cap is per step, re-enumerated from scratch, so
@@ -49,7 +43,7 @@ RunResult SequentialEngine::run(const Program& program, const Multiset& initial,
       std::vector<Match> matches;
       for (const Reaction& r : stage) {
         ++attempts;
-        enumerate_matches(
+        runtime::MatchPipeline::enumerate(
             store, r, options.uniform_cap - matches.size(),
             [&](const Match& m) {
               matches.push_back(m);
@@ -64,31 +58,20 @@ RunResult SequentialEngine::run(const Program& program, const Multiset& initial,
 
       const Match& chosen =
           matches[static_cast<std::size_t>(rng.bounded(matches.size()))];
-      if (result.steps >= options.max_steps) {
-        if (options.limit_policy == LimitPolicy::Throw) {
-          throw EngineError("sequential engine exceeded max_steps=" +
-                            std::to_string(options.max_steps));
+      if (!loop.admit(result.steps)) break;
+      if (trace.admit()) {
+        FireEvent ev;
+        ev.reaction = chosen.reaction->name();
+        ev.stage = stage_idx;
+        for (const Store::Id id : chosen.ids) {
+          ev.consumed.push_back(store.element(id));
         }
-        result.outcome = Outcome::BudgetExhausted;
-        break;
-      }
-      if (options.record_trace) {
-        if (result.trace.size() < options.trace_limit) {
-          FireEvent ev;
-          ev.reaction = chosen.reaction->name();
-          ev.stage = stage_idx;
-          for (const Store::Id id : chosen.ids) {
-            ev.consumed.push_back(store.element(id));
-          }
-          ev.produced = chosen.produced;
-          result.trace.push_back(std::move(ev));
-        } else {
-          ++result.trace_dropped;
-        }
+        ev.produced = chosen.produced;
+        trace.push(std::move(ev));
       }
       ++result.fires_by_reaction[chosen.reaction->name()];
       ++result.steps;
-      commit(store, chosen);
+      runtime::MatchPipeline::commit(store, chosen);
     }
   }
 
@@ -96,21 +79,14 @@ RunResult SequentialEngine::run(const Program& program, const Multiset& initial,
     auto& stats = tel->stats();
     stats.count("gamma.match_attempts", attempts);
     stats.count("gamma.fires", result.steps);
-    stats.count(std::string("gamma.outcome.") + to_string(result.outcome));
-    stats.count(std::string("gamma.eval_mode.") + expr::to_string(mode));
-    stats.count("vm.instrs_executed", expr::vm_instrs_executed() - instrs0);
-    Histogram& compile_hist = stats.hist("expr.compile_ms");
-    for (const auto& stage : program.stages()) {
-      for (const Reaction& r : stage) {
-        compile_hist.observe(r.compiled().compile_ms());
-      }
-    }
-    result.metrics = tel->metrics();
+    runtime::observe_reaction_compile(tel, program);
   }
+  result.outcome = loop.outcome();
+  result.trace = trace.take();
+  result.trace_dropped = trace.dropped();
+  telemetry.finish(result.outcome, result.metrics);
   result.final_multiset = store.to_multiset();
-  result.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+  result.wall_seconds = loop.wall_seconds();
   return result;
 }
 

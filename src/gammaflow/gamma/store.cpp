@@ -21,9 +21,9 @@ Store::Id Store::insert(Element e) {
   }
   const Element& stored = slots_[id];
   const Entry entry{id, generations_[id]};
-  arity_index_[stored.arity()].push_back(entry);
+  arity_index_[stored.arity()].entries.push_back(entry);
   for (std::size_t f = 0; f < stored.arity(); ++f) {
-    field_index_[FieldKey{f, stored.field(f)}].push_back(entry);
+    field_index_[FieldKey{f, stored.field(f)}].entries.push_back(entry);
   }
   ++live_count_;
   ++version_;
@@ -40,32 +40,55 @@ void Store::remove(Id id) {
   // Index buckets are pruned lazily on traversal.
 }
 
-void Store::prune(std::vector<Entry>& bucket) {
+void Store::prune(Bucket& bucket) {
   // An entry is stale when its slot died OR was reused by a later occupant
-  // (generation mismatch); either way it no longer belongs here.
-  std::erase_if(bucket, [this](Entry e) { return !live(e); });
+  // (generation mismatch); either way it no longer belongs here. Pruning
+  // settles the bucket's garbage debt.
+  std::erase_if(bucket.entries, [this](Entry e) { return !live(e); });
+  bucket.stale_seen.store(0, std::memory_order_relaxed);
+}
+
+const Store::Bucket* Store::bucket(const Pattern& p) {
+  if (auto key = p.key_constraint()) {
+    auto it = field_index_.find(FieldKey{key->first, key->second});
+    if (it == field_index_.end()) return nullptr;
+    prune(it->second);
+    return &it->second;
+  }
+  auto it = arity_index_.find(p.arity());
+  if (it == arity_index_.end()) return nullptr;
+  prune(it->second);
+  return &it->second;
+}
+
+const Store::Bucket* Store::bucket(const Pattern& p) const {
+  if (auto key = p.key_constraint()) {
+    auto it = field_index_.find(FieldKey{key->first, key->second});
+    return it == field_index_.end() ? nullptr : &it->second;
+  }
+  auto it = arity_index_.find(p.arity());
+  return it == arity_index_.end() ? nullptr : &it->second;
 }
 
 const std::vector<Store::Entry>& Store::candidates(const Pattern& p) {
-  if (auto key = p.key_constraint()) {
-    auto it = field_index_.find(FieldKey{key->first, key->second});
-    if (it == field_index_.end()) return kEmpty;
-    prune(it->second);
-    return it->second;
-  }
-  auto it = arity_index_.find(p.arity());
-  if (it == arity_index_.end()) return kEmpty;
-  prune(it->second);
-  return it->second;
+  const Bucket* b = bucket(p);
+  return b != nullptr ? b->entries : kEmpty;
 }
 
 const std::vector<Store::Entry>& Store::candidates(const Pattern& p) const {
-  if (auto key = p.key_constraint()) {
-    auto it = field_index_.find(FieldKey{key->first, key->second});
-    return it == field_index_.end() ? kEmpty : it->second;
+  const Bucket* b = bucket(p);
+  return b != nullptr ? b->entries : kEmpty;
+}
+
+std::uint64_t Store::garbage_seen() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& [key, bucket] : field_index_) {
+    total += bucket.stale_seen.load(std::memory_order_relaxed);
   }
-  auto it = arity_index_.find(p.arity());
-  return it == arity_index_.end() ? kEmpty : it->second;
+  for (const auto& [arity, bucket] : arity_index_) {
+    total += bucket.stale_seen.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 void Store::compact() {
@@ -79,109 +102,6 @@ Multiset Store::to_multiset() const {
     if (alive_[id]) m.add(slots_[id]);
   }
   return m;
-}
-
-namespace {
-
-// Shared backtracking core. Visits enabled matches of `reaction`; for each,
-// builds a Match and calls `fn`; stops when fn returns false or `limit` is
-// reached. `rng` randomizes the probe order inside each candidate bucket
-// (cyclic start offset — cheap fairness without shuffling).
-//
-// Stale bucket entries (dead or reused slots) are detected by generation
-// stamp and skipped.
-template <typename StoreT>  // Store (pruning) or const Store (read-only)
-std::size_t search(StoreT& store, const Reaction& reaction, std::size_t limit,
-                   Rng* rng, expr::EvalMode mode,
-                   const std::function<bool(Match&)>& fn) {
-  const auto& patterns = reaction.patterns();
-  const std::size_t k = patterns.size();
-
-  // Bucket pointers are stable across the search: candidates() never inserts
-  // map entries and prune() mutates vectors in place.
-  std::vector<const std::vector<Store::Entry>*> buckets(k);
-  for (std::size_t i = 0; i < k; ++i) {
-    buckets[i] = &store.candidates(patterns[i]);
-    if (buckets[i]->empty()) return 0;
-  }
-
-  std::vector<expr::Env> envs(k + 1);
-  std::vector<Store::Id> chosen(k);
-  std::size_t visited = 0;
-  bool stop = false;
-
-  auto dfs = [&](auto&& self, std::size_t depth) -> void {
-    if (stop) return;
-    if (depth == k) {
-      auto produced = reaction.apply(envs[k], mode);
-      if (!produced) return;  // patterns matched but no branch fires
-      Match m;
-      m.reaction = &reaction;
-      m.ids = chosen;
-      m.env = envs[k];
-      m.produced = std::move(*produced);
-      ++visited;
-      if (!fn(m) || visited >= limit) stop = true;
-      return;
-    }
-    const auto& bucket = *buckets[depth];
-    const std::size_t n = bucket.size();
-    const std::size_t start = rng ? rng->bounded(n) : 0;
-    for (std::size_t t = 0; t < n && !stop; ++t) {
-      const Store::Entry entry = bucket[(start + t) % n];
-      if (!store.live(entry)) continue;
-      const Store::Id id = entry.id;
-      bool dup = false;
-      for (std::size_t d = 0; d < depth; ++d) {
-        if (chosen[d] == id) {
-          dup = true;
-          break;
-        }
-      }
-      if (dup) continue;
-      envs[depth + 1] = envs[depth];
-      if (!patterns[depth].match(store.element(id), envs[depth + 1])) continue;
-      chosen[depth] = id;
-      self(self, depth + 1);
-    }
-  };
-  dfs(dfs, 0);
-  return visited;
-}
-
-}  // namespace
-
-std::optional<Match> find_match(Store& store, const Reaction& reaction,
-                                Rng* rng, expr::EvalMode mode) {
-  std::optional<Match> found;
-  search(store, reaction, 1, rng, mode, [&](Match& m) {
-    found = std::move(m);
-    return false;
-  });
-  return found;
-}
-
-std::optional<Match> find_match(const Store& store, const Reaction& reaction,
-                                Rng* rng, expr::EvalMode mode) {
-  std::optional<Match> found;
-  search(store, reaction, 1, rng, mode, [&](Match& m) {
-    found = std::move(m);
-    return false;
-  });
-  return found;
-}
-
-std::size_t enumerate_matches(Store& store, const Reaction& reaction,
-                              std::size_t limit,
-                              const std::function<bool(const Match&)>& fn,
-                              expr::EvalMode mode) {
-  return search(store, reaction, limit, nullptr, mode,
-                [&](Match& m) { return fn(m); });
-}
-
-void commit(Store& store, const Match& match) {
-  for (const Store::Id id : match.ids) store.remove(id);
-  for (const Element& e : match.produced) store.insert(e);
 }
 
 }  // namespace gammaflow::gamma

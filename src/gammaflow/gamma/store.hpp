@@ -1,15 +1,19 @@
 // Indexed element store: the engines' internal multiset representation.
 // Elements live in stable slots; secondary indexes map (field, value) and
 // arity to candidate slot lists so reaction matching probes a bucket instead
-// of scanning the multiset. Buckets are cleaned lazily (dead ids skipped and
-// pruned during iteration).
+// of scanning the multiset. Buckets are cleaned lazily: mutating lookups
+// prune in place, read-only lookups (shared-lock searchers) skip stale
+// entries and count the skips so needs_compact() can tell the next
+// exclusive section when the garbage is worth collecting.
 //
-// Also hosts the shared matching machinery: backtracking search for a tuple
-// of distinct elements satisfying a reaction's replace list, in three
-// flavors — first match (fast), randomized match (fair), and full
-// enumeration (Eq. (1)-literal uniform choice and match counting).
+// The matching machinery itself (backtracking candidate search, match
+// revalidation, commit) lives in runtime/match_pipeline.hpp — one
+// implementation for every engine. The find_match/enumerate_matches/commit
+// free functions declared here are thin delegates kept for source
+// compatibility.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -37,6 +41,38 @@ class Store {
     std::uint32_t gen;
   };
 
+  /// An index bucket: the candidate entries plus a count of stale entries
+  /// OBSERVED (skipped) by read-only searches since the bucket was last
+  /// pruned. The count is per observation, not per distinct entry — the same
+  /// dead entry re-skipped by every search keeps paying, and that recurring
+  /// cost is exactly the signal needs_compact() reports. mutable + atomic so
+  /// concurrent shared-lock searchers can bump it without a data race
+  /// (relaxed: it is a compaction heuristic, not an invariant).
+  struct Bucket {
+    std::vector<Entry> entries;
+    mutable std::atomic<std::uint32_t> stale_seen{0};
+
+    Bucket() = default;
+    Bucket(const Bucket& o)
+        : entries(o.entries),
+          stale_seen(o.stale_seen.load(std::memory_order_relaxed)) {}
+    Bucket(Bucket&& o) noexcept
+        : entries(std::move(o.entries)),
+          stale_seen(o.stale_seen.load(std::memory_order_relaxed)) {}
+    Bucket& operator=(const Bucket& o) {
+      entries = o.entries;
+      stale_seen.store(o.stale_seen.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+      return *this;
+    }
+    Bucket& operator=(Bucket&& o) noexcept {
+      entries = std::move(o.entries);
+      stale_seen.store(o.stale_seen.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+      return *this;
+    }
+  };
+
   Store() = default;
   explicit Store(const Multiset& m) {
     for (const Element& e : m) insert(e);
@@ -55,19 +91,44 @@ class Store {
   [[nodiscard]] const Element& element(Id id) const { return slots_[id]; }
   [[nodiscard]] std::size_t size() const noexcept { return live_count_; }
 
-  /// Entries the pattern could match: the (field,value) bucket when the
-  /// pattern carries a literal constraint, otherwise the arity bucket. May
-  /// contain stale entries; callers must check live(). The list is pruned
-  /// in place.
-  [[nodiscard]] const std::vector<Entry>& candidates(const Pattern& p);
+  /// The bucket the pattern probes: the (field,value) bucket when the
+  /// pattern carries a literal constraint, otherwise the arity bucket; null
+  /// when no such bucket exists (nothing can match). May contain stale
+  /// entries; callers must check live(). The mutating overload prunes the
+  /// bucket in place first.
+  [[nodiscard]] const Bucket* bucket(const Pattern& p);
 
-  /// Read-only candidate lookup (no pruning) — safe under a shared lock
-  /// while other threads only hold shared locks. Stale entries linger until
-  /// a mutating call or compact() cleans them.
+  /// Read-only bucket lookup (no pruning) — safe under a shared lock while
+  /// other threads only hold shared locks. Stale entries linger until a
+  /// mutating lookup or compact() cleans them; searchers report each skip
+  /// via note_stale() so needs_compact() can trigger collection.
+  [[nodiscard]] const Bucket* bucket(const Pattern& p) const;
+
+  /// Entry-list views of bucket(); kept for callers that only iterate.
+  [[nodiscard]] const std::vector<Entry>& candidates(const Pattern& p);
   [[nodiscard]] const std::vector<Entry>& candidates(const Pattern& p) const;
 
-  /// Prunes stale entries from every index bucket. The parallel engine calls
-  /// this periodically under its exclusive lock to bound bucket garbage.
+  /// Records that a read-only search skipped a stale entry of `b`. Safe from
+  /// concurrent shared-lock holders (atomic, relaxed).
+  void note_stale(const Bucket& b) const noexcept {
+    b.stale_seen.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Total stale-entry observations across all buckets since they were last
+  /// pruned — the read-only path's accumulated garbage debt.
+  [[nodiscard]] std::uint64_t garbage_seen() const noexcept;
+
+  /// True once the garbage debt crosses kGarbageCompactThreshold: the next
+  /// exclusive section should call compact(). Without this trigger, a long
+  /// shared-lock phase (concurrent searchers never prune) degrades matching
+  /// from O(live) toward O(total firings).
+  [[nodiscard]] bool needs_compact() const noexcept {
+    return garbage_seen() >= kGarbageCompactThreshold;
+  }
+  static constexpr std::uint64_t kGarbageCompactThreshold = 4096;
+
+  /// Prunes stale entries from every index bucket and resets the garbage
+  /// debt. Engines call this from an exclusive section when needs_compact().
   void compact();
 
   /// Snapshot back to the public value type.
@@ -91,7 +152,7 @@ class Store {
     }
   };
 
-  void prune(std::vector<Entry>& bucket);
+  void prune(Bucket& bucket);
 
   std::vector<Element> slots_;
   std::vector<bool> alive_;
@@ -99,8 +160,8 @@ class Store {
   std::vector<Id> free_list_;
   std::size_t live_count_ = 0;
   std::uint64_t version_ = 0;
-  std::unordered_map<FieldKey, std::vector<Entry>, FieldKeyHash> field_index_;
-  std::unordered_map<std::size_t, std::vector<Entry>> arity_index_;
+  std::unordered_map<FieldKey, Bucket, FieldKeyHash> field_index_;
+  std::unordered_map<std::size_t, Bucket> arity_index_;
   static const std::vector<Entry> kEmpty;
 };
 
@@ -118,6 +179,7 @@ struct Match {
 /// outputs are evaluated once the patterns match — the AST walker (default,
 /// reference semantics) or the reaction's compiled bytecode; both produce
 /// identical Matches, engines pass Vm when RunOptions::compile is on.
+/// Delegates to runtime::MatchPipeline::find (the one implementation).
 [[nodiscard]] std::optional<Match> find_match(
     Store& store, const Reaction& reaction, Rng* rng = nullptr,
     expr::EvalMode mode = expr::EvalMode::Ast);

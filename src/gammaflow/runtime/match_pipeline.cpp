@@ -1,0 +1,185 @@
+#include "gammaflow/runtime/match_pipeline.hpp"
+
+#include <algorithm>
+
+#include "gammaflow/gamma/program.hpp"
+#include "gammaflow/obs/telemetry.hpp"
+
+namespace gammaflow::runtime {
+namespace {
+
+using gamma::Element;
+using gamma::Match;
+using gamma::Reaction;
+using gamma::Store;
+
+// The shared backtracking core. Visits enabled matches of `reaction`; for
+// each, builds a Match and calls `fn`; stops when fn returns false or
+// `limit` is reached. `rng` randomizes the probe order inside each candidate
+// bucket (cyclic start offset — cheap fairness without shuffling).
+//
+// Stale bucket entries (dead or reused slots) are detected by generation
+// stamp and skipped; on the read-only instantiation the skip is reported via
+// note_stale() so the store's garbage debt grows and the next exclusive
+// section knows to compact (the mutating instantiation pruned the buckets in
+// bucket(), so its skips are transient within this one search).
+template <typename StoreT>  // Store (pruning) or const Store (read-only)
+std::size_t search(StoreT& store, const Reaction& reaction, std::size_t limit,
+                   Rng* rng, expr::EvalMode mode,
+                   const std::function<bool(Match&)>& fn) {
+  const auto& patterns = reaction.patterns();
+  const std::size_t k = patterns.size();
+
+  // Bucket pointers are stable across the search: bucket() never inserts
+  // map entries and prune() mutates entry vectors in place.
+  std::vector<const Store::Bucket*> buckets(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    buckets[i] = store.bucket(patterns[i]);
+    if (buckets[i] == nullptr || buckets[i]->entries.empty()) return 0;
+  }
+
+  std::vector<expr::Env> envs(k + 1);
+  std::vector<Store::Id> chosen(k);
+  std::size_t visited = 0;
+  bool stop = false;
+
+  auto dfs = [&](auto&& self, std::size_t depth) -> void {
+    if (stop) return;
+    if (depth == k) {
+      auto produced = reaction.apply(envs[k], mode);
+      if (!produced) return;  // patterns matched but no branch fires
+      Match m;
+      m.reaction = &reaction;
+      m.ids = chosen;
+      m.env = envs[k];
+      m.produced = std::move(*produced);
+      ++visited;
+      if (!fn(m) || visited >= limit) stop = true;
+      return;
+    }
+    const auto& bucket = buckets[depth]->entries;
+    const std::size_t n = bucket.size();
+    const std::size_t start = rng ? rng->bounded(n) : 0;
+    for (std::size_t t = 0; t < n && !stop; ++t) {
+      const Store::Entry entry = bucket[(start + t) % n];
+      if (!store.live(entry)) {
+        store.note_stale(*buckets[depth]);
+        continue;
+      }
+      const Store::Id id = entry.id;
+      bool dup = false;
+      for (std::size_t d = 0; d < depth; ++d) {
+        if (chosen[d] == id) {
+          dup = true;
+          break;
+        }
+      }
+      if (dup) continue;
+      envs[depth + 1] = envs[depth];
+      if (!patterns[depth].match(store.element(id), envs[depth + 1])) continue;
+      chosen[depth] = id;
+      self(self, depth + 1);
+    }
+  };
+  dfs(dfs, 0);
+  return visited;
+}
+
+template <typename StoreT>
+std::optional<Match> find_one(StoreT& store, const Reaction& reaction,
+                              Rng* rng, expr::EvalMode mode) {
+  std::optional<Match> found;
+  search(store, reaction, 1, rng, mode, [&](Match& m) {
+    found = std::move(m);
+    return false;
+  });
+  return found;
+}
+
+}  // namespace
+
+std::optional<Match> MatchPipeline::find(Store& store, const Reaction& reaction,
+                                         Rng* rng, expr::EvalMode mode) {
+  return find_one(store, reaction, rng, mode);
+}
+
+std::optional<Match> MatchPipeline::find(const Store& store,
+                                         const Reaction& reaction, Rng* rng,
+                                         expr::EvalMode mode) {
+  return find_one(store, reaction, rng, mode);
+}
+
+std::size_t MatchPipeline::enumerate(Store& store, const Reaction& reaction,
+                                     std::size_t limit,
+                                     const std::function<bool(const Match&)>& fn,
+                                     expr::EvalMode mode) {
+  return search(store, reaction, limit, nullptr, mode,
+                [&](Match& m) { return fn(m); });
+}
+
+bool MatchPipeline::validate(const Store& store, Match& match,
+                             expr::EvalMode mode) {
+  std::vector<const Element*> elems;
+  elems.reserve(match.ids.size());
+  for (const Store::Id id : match.ids) {
+    // alive() alone is not enough — a recycled slot is alive with different
+    // content — but re-running the pattern match on the current occupants
+    // catches that too, so the pair of checks is exact.
+    if (!store.alive(id)) return false;
+    elems.push_back(&store.element(id));
+  }
+  expr::Env env;
+  if (!match.reaction->match(elems, env)) return false;
+  auto produced = match.reaction->apply(env, mode);
+  if (!produced) return false;
+  match.env = std::move(env);
+  match.produced = std::move(*produced);
+  return true;
+}
+
+void MatchPipeline::commit(Store& store, const Match& match) {
+  for (const Store::Id id : match.ids) store.remove(id);
+  for (const Element& e : match.produced) store.insert(e);
+}
+
+void observe_reaction_compile(obs::Telemetry* tel,
+                              const gamma::Program& program) {
+  if (tel == nullptr) return;
+  Histogram& compile_hist = tel->stats().hist("expr.compile_ms");
+  for (const auto& stage : program.stages()) {
+    for (const Reaction& r : stage) {
+      compile_hist.observe(r.compiled().compile_ms());
+    }
+  }
+}
+
+}  // namespace gammaflow::runtime
+
+namespace gammaflow::gamma {
+
+// Legacy entry points (declared in gamma/store.hpp), kept as thin delegates
+// so existing callers and tests stay source-compatible. New code calls
+// runtime::MatchPipeline directly.
+
+std::optional<Match> find_match(Store& store, const Reaction& reaction,
+                                Rng* rng, expr::EvalMode mode) {
+  return runtime::MatchPipeline::find(store, reaction, rng, mode);
+}
+
+std::optional<Match> find_match(const Store& store, const Reaction& reaction,
+                                Rng* rng, expr::EvalMode mode) {
+  return runtime::MatchPipeline::find(store, reaction, rng, mode);
+}
+
+std::size_t enumerate_matches(Store& store, const Reaction& reaction,
+                              std::size_t limit,
+                              const std::function<bool(const Match&)>& fn,
+                              expr::EvalMode mode) {
+  return runtime::MatchPipeline::enumerate(store, reaction, limit, fn, mode);
+}
+
+void commit(Store& store, const Match& match) {
+  runtime::MatchPipeline::commit(store, match);
+}
+
+}  // namespace gammaflow::gamma

@@ -1,0 +1,66 @@
+// The run knobs every engine honors identically. Six runtimes execute the
+// paper's one semantics (the Γ fixed point of Eq. (1) / the tagged-token
+// firing rule); what used to be six hand-copied option structs drifting
+// apart is now one base the per-model option types extend:
+//
+//   gamma::RunOptions      : runtime::RunOptions  (+ seed, max_steps, ...)
+//   dataflow::DfRunOptions : runtime::RunOptions  (+ max_fires, memoize)
+//   distrib::ClusterOptions: runtime::RunOptions  (+ nodes, faults, ...)
+//
+// Inheritance rather than composition keeps every existing call site
+// (`opts.deadline = ...`, `opts.telemetry = &tel`) source-compatible.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+
+#include "gammaflow/common/cancel.hpp"
+#include "gammaflow/expr/bytecode.hpp"
+
+namespace gammaflow::obs {
+class Telemetry;
+}
+
+namespace gammaflow::runtime {
+
+struct RunOptions {
+  /// Record every firing in the result (FireEvents for Gamma, node ids for
+  /// dataflow). Ignored by the cluster (its trace is the metric set).
+  bool record_trace = false;
+  /// Cap on recorded trace entries: firings past the cap still execute but
+  /// are not recorded (`trace_dropped` counts them). Deliberately generous —
+  /// the cap turns a long `record_trace` run into a truncated trace instead
+  /// of an OOM, it does not make truncation routine.
+  std::uint64_t trace_limit = 1'000'000;
+  /// Worker count (the parallel engines; ignored by single-threaded ones
+  /// and by the cluster, whose concurrency is `nodes`).
+  unsigned workers = std::max(2u, std::thread::hardware_concurrency());
+  /// Evaluate conditions/actions/node operations via compiled bytecode
+  /// (default) instead of walking the expression AST. Results are identical
+  /// either way (enforced by the differential suites); `--no-compile` flips
+  /// this off for A/B comparison and as an escape hatch.
+  bool compile = true;
+  /// Optional telemetry sink (spans + metrics). Null (the default) disables
+  /// instrumentation entirely; every probe site is behind one pointer test.
+  obs::Telemetry* telemetry = nullptr;
+  /// Optional cooperative stop flag shared with the caller. When it fires
+  /// the engine returns the state reached so far (outcome Cancelled) with
+  /// all worker threads joined — it never throws for a cancellation.
+  const CancelToken* cancel = nullptr;
+  /// Wall-clock budget in seconds from run start; <= 0 disables. Exceeding
+  /// it returns a valid partial result with outcome DeadlineExceeded.
+  double deadline = 0.0;
+  /// What exhausting the firing budget (max_steps / max_fires / max_rounds)
+  /// does: Throw (EngineError, historical) or Partial (return the partial
+  /// state with outcome BudgetExhausted).
+  LimitPolicy limit_policy = LimitPolicy::Throw;
+
+  /// The evaluator `compile` selects; engines thread this one value instead
+  /// of re-deriving the ternary at every site.
+  [[nodiscard]] expr::EvalMode eval_mode() const noexcept {
+    return compile ? expr::EvalMode::Vm : expr::EvalMode::Ast;
+  }
+};
+
+}  // namespace gammaflow::runtime

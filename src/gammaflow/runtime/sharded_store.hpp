@@ -1,0 +1,136 @@
+// Conflict-class sharding of the multiset. PR 3's interference analysis
+// proves that reactions in different conflict classes touch disjoint element
+// populations (compete AND feed edges stay inside a class); this module
+// turns that proof into a partition of the store itself:
+//
+//   plan_shards  — decides whether a stage may run sharded, and assigns
+//                  every reaction and every label to a shard. The plan is
+//                  accepted only when it is STATICALLY sound (see below);
+//                  anything else falls back to the single-store engine path,
+//                  so semantics never depend on the plan.
+//   ShardMap     — label -> shard routing with an element-hash fallback,
+//                  shared by the ParallelEngine's ShardedStore and the
+//                  distributed cluster's placement/stirring (a cluster node
+//                  IS a shard with a network between it and its peers).
+//   ShardedStore — one gamma::Store (+ lock) per shard. A worker that holds
+//                  a shard's lock owns a complete, closed sub-chemistry:
+//                  every match it can ever make is local, so it matches and
+//                  commits with no global coordination and no revalidation.
+//
+// Soundness rules enforced by plan_shards (any failure => not sharded):
+//   1. every reaction of the stage has a conflict class;
+//   2. every pattern has >= 2 fields with a literal STRING label at field 1
+//      (the repo-wide [value, 'label', ...] convention) — so element routing
+//      by label is total over matchable elements;
+//   3. a label consumed by reactions of two different classes is a
+//      contradiction of rule-disjointness — refuse (defense against
+//      hand-written class maps; analysis-produced maps cannot do this);
+//   4. every output tuple's field-1 expression is a string literal, and a
+//      produced label that some reaction consumes must map to the producing
+//      reaction's own shard (feed edges stay in-class — analysis guarantees
+//      it, the planner re-checks it).
+// Under these rules an element either carries a mapped label (all reactions
+// that can consume it live on its one shard) or can never match any pattern
+// at all (inert: it parks on its hash shard and survives to the result).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "gammaflow/gamma/multiset.hpp"
+#include "gammaflow/gamma/reaction.hpp"
+#include "gammaflow/gamma/store.hpp"
+
+namespace gammaflow::runtime {
+
+struct ShardPlan {
+  /// False => run the stage on the classic single-store path.
+  bool sharded = false;
+  std::size_t shard_count = 1;
+  /// Shard of each reaction, indexed by stage position.
+  std::vector<std::size_t> reaction_shard;
+  /// Shard of each consumed/produced label.
+  std::unordered_map<std::string, std::size_t> label_shard;
+};
+
+/// Plans sharding for one stage from conflict classes (reaction name ->
+/// class id, normally InterferenceReport::engine_classes()). Returns an
+/// unsharded plan unless every soundness rule above holds and at least two
+/// shards result. Class ids are renumbered densely into shard ids.
+[[nodiscard]] ShardPlan plan_shards(
+    const std::vector<gamma::Reaction>& stage,
+    const std::map<std::string, std::size_t>& conflict_classes);
+
+/// Label -> shard routing with an element-hash fallback. `home()` is the
+/// hint (nullopt when the element carries no mapped label); `route()` is
+/// total. The cluster builds one from label_affinity with shards = nodes;
+/// the ParallelEngine builds one from a ShardPlan.
+class ShardMap {
+ public:
+  ShardMap(std::unordered_map<std::string, std::size_t> label_shard,
+           std::size_t shards) noexcept
+      : label_shard_(std::move(label_shard)), shards_(shards ? shards : 1) {}
+
+  [[nodiscard]] std::size_t shards() const noexcept { return shards_; }
+
+  /// The shard of the element's label: nullopt when there is no map, the
+  /// element has no string label at field 1, or the label is unmapped.
+  [[nodiscard]] std::optional<std::size_t> home(
+      const gamma::Element& e) const {
+    if (label_shard_.empty()) return std::nullopt;
+    if (e.arity() < 2 || !e.field(1).is_str()) return std::nullopt;
+    const auto it = label_shard_.find(e.field(1).as_str());
+    if (it == label_shard_.end()) return std::nullopt;
+    return it->second % shards_;
+  }
+
+  /// home() with an element-hash fallback — total routing.
+  [[nodiscard]] std::size_t route(const gamma::Element& e) const {
+    if (const auto h = home(e)) return *h;
+    return e.hash() % shards_;
+  }
+
+ private:
+  std::unordered_map<std::string, std::size_t> label_shard_;
+  std::size_t shards_;
+};
+
+/// The partitioned store: shards()[s] holds the elements routed to shard s.
+/// Each shard carries its own mutex; the sharded ParallelEngine path claims
+/// a shard by locking it for the whole local fixpoint (the lock IS the
+/// ownership — one owner per shard instead of one global lock over all
+/// workers), and aggregate reads (size/version/to_multiset) are only called
+/// after the owners released.
+class ShardedStore {
+ public:
+  struct Shard {
+    gamma::Store store;
+    std::mutex mutex;
+  };
+
+  ShardedStore(const gamma::Multiset& initial, ShardMap map);
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] Shard& shard(std::size_t s) noexcept { return *shards_[s]; }
+  [[nodiscard]] const ShardMap& map() const noexcept { return map_; }
+
+  /// Live elements across all shards. Not synchronized with live owners.
+  [[nodiscard]] std::size_t size() const noexcept;
+  /// Sum of shard version stamps (monotone across commits anywhere).
+  [[nodiscard]] std::uint64_t version() const noexcept;
+  [[nodiscard]] gamma::Multiset to_multiset() const;
+
+ private:
+  ShardMap map_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace gammaflow::runtime

@@ -1,0 +1,35 @@
+#include "gammaflow/runtime/step_loop.hpp"
+
+#include "gammaflow/obs/telemetry.hpp"
+
+namespace gammaflow::runtime {
+
+bool admit_step(LimitPolicy policy, std::uint64_t fired, std::uint64_t budget,
+                const char* engine, const char* knob) {
+  if (fired < budget) return true;
+  if (policy == LimitPolicy::Throw) {
+    throw EngineError(std::string(engine) + " exceeded " + knob + "=" +
+                      std::to_string(budget));
+  }
+  return false;
+}
+
+EngineTelemetry::EngineTelemetry(const RunOptions& options, const char* domain)
+    : tel_(options.telemetry), domain_(domain), mode_(options.eval_mode()) {
+  if (tel_ != nullptr) instrs0_ = expr::vm_instrs_executed();
+}
+
+obs::ThreadRecorder* EngineTelemetry::recorder(const std::string& name) const {
+  return tel_ != nullptr ? &tel_->register_thread(name) : nullptr;
+}
+
+void EngineTelemetry::finish(Outcome outcome, MetricsSnapshot& out) const {
+  if (tel_ == nullptr) return;
+  auto& stats = tel_->stats();
+  stats.count(std::string(domain_) + ".outcome." + to_string(outcome));
+  stats.count(std::string(domain_) + ".eval_mode." + expr::to_string(mode_));
+  stats.count("vm.instrs_executed", expr::vm_instrs_executed() - instrs0_);
+  out = tel_->metrics();
+}
+
+}  // namespace gammaflow::runtime

@@ -7,6 +7,7 @@
 #include "gammaflow/common/rng.hpp"
 #include "gammaflow/dataflow/engine.hpp"
 #include "gammaflow/gamma/store.hpp"
+#include "gammaflow/runtime/match_pipeline.hpp"
 #include "gammaflow/translate/gamma_to_df.hpp"
 
 namespace gammaflow::translate {
@@ -276,7 +277,7 @@ MappingRun map_until_fixpoint(const Reaction& reaction,
     // just be an unlucky pairing).
     {
       gamma::Store store{gamma::Multiset(current)};
-      if (!gamma::find_match(store, reaction, &rng)) break;
+      if (!runtime::MatchPipeline::find(store, reaction, &rng)) break;
     }
     if (run.rounds >= max_rounds) {
       throw EngineError("map_until_fixpoint exceeded max_rounds=" +

@@ -215,6 +215,58 @@ TEST(EnumerateMatches, HonorsLimitAndEarlyStop) {
   EXPECT_EQ(seen, 3u);
 }
 
+TEST(Store, GarbageDebtAccruesOnReadOnlyPathAndCompactSettlesIt) {
+  Store s;
+  std::vector<Store::Id> ids;
+  for (int i = 0; i < 8; ++i) ids.push_back(s.insert(Element{Value(i)}));
+  for (std::size_t i = 0; i < 4; ++i) s.remove(ids[i]);
+
+  // The read-only lookup leaves stale entries in place; a searcher reports
+  // each one it has to skip.
+  const Store& cs = s;
+  const Store::Bucket* b = cs.bucket(Pattern::var("x"));
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->entries.size(), 8u);
+  std::uint64_t skips = 0;
+  for (const auto& entry : b->entries) {
+    if (!cs.live(entry)) {
+      cs.note_stale(*b);
+      ++skips;
+    }
+  }
+  EXPECT_EQ(skips, 4u);
+  EXPECT_EQ(cs.garbage_seen(), 4u);
+  EXPECT_FALSE(cs.needs_compact());
+
+  s.compact();
+  EXPECT_EQ(s.garbage_seen(), 0u);
+  const Store::Bucket* after = cs.bucket(Pattern::var("x"));
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->entries.size(), 4u);
+}
+
+TEST(Store, NeedsCompactTripsAtTheThresholdAndMutatingLookupSettles) {
+  Store s;
+  const auto dead = s.insert(Element{Value(1)});
+  s.insert(Element{Value(2)});
+  s.remove(dead);
+
+  const Store& cs = s;
+  const Store::Bucket* b = cs.bucket(Pattern::var("x"));
+  ASSERT_NE(b, nullptr);
+  for (std::uint64_t i = 0; i + 1 < Store::kGarbageCompactThreshold; ++i) {
+    cs.note_stale(*b);
+  }
+  EXPECT_FALSE(s.needs_compact());
+  cs.note_stale(*b);
+  EXPECT_TRUE(s.needs_compact());
+
+  // A MUTATING lookup prunes the bucket in place, settling its debt.
+  (void)s.bucket(Pattern::var("x"));
+  EXPECT_EQ(s.garbage_seen(), 0u);
+  EXPECT_FALSE(s.needs_compact());
+}
+
 TEST(EnumerateMatches, OnlyEnabledMatchesVisited) {
   Store s;
   s.insert(Element{Value(5)});

@@ -69,11 +69,15 @@ void print_usage(std::ostream& out) {
       "options: --init \"[v,'L'] ...\"  --engine seq|idx|par  --seed N\n"
       "         --workers N            worker threads (par engines)\n"
       "         --deadline S           wall-clock budget in seconds (run,\n"
-      "                                rungamma); prints the partial state\n"
+      "                                rungamma, distrib); prints the\n"
+      "                                partial state\n"
       "         --no-compile           run, rungamma, distrib: evaluate\n"
       "                                conditions/actions with the AST walker\n"
       "                                instead of compiled bytecode (results\n"
       "                                are identical; this is the slow path)\n"
+      "         --no-shard             rungamma --engine par: force the\n"
+      "                                optimistic single-store path even when\n"
+      "                                conflict classes admit a sharded store\n"
       "         --werror               lint/check: warnings also fail (exit 1)\n"
       "         --json                 lint/check: machine-readable output\n"
       "         --classes              rungamma: derive conflict classes from\n"
@@ -170,6 +174,9 @@ struct Options {
   /// Bytecode escape hatch (--no-compile): evaluate conditions/actions with
   /// the AST walker instead of the register VM. Results are identical.
   bool compile = true;
+  /// Sharding escape hatch (--no-shard): keep the parallel Gamma engine on
+  /// the optimistic single-store path even when --classes admits sharding.
+  bool shard = true;
   // --- distrib ---
   std::size_t nodes = 4;
   std::string placement = "hash";
@@ -259,6 +266,8 @@ Options parse_options(int argc, char** argv, int first) {
       opts.affinity = true;
     } else if (arg == "--no-compile") {
       opts.compile = false;
+    } else if (arg == "--no-shard") {
+      opts.shard = false;
     } else if (arg == "--nodes") {
       opts.nodes = next_number();
     } else if (arg == "--placement") {
@@ -381,6 +390,7 @@ int cmd_rungamma(const std::string& path, const Options& opts) {
   gamma::RunOptions ropts;
   ropts.seed = opts.seed;
   ropts.compile = opts.compile;
+  ropts.shard = opts.shard;
   if (opts.workers) ropts.workers = *opts.workers;
   if (opts.trace_out || opts.metrics) ropts.telemetry = &tel;
   if (opts.deadline > 0.0) {
@@ -421,6 +431,10 @@ int cmd_distrib(const std::string& path, const Options& opts) {
   copts.faults = opts.faults;
   copts.compile = opts.compile;
   if (opts.metrics) copts.telemetry = &tel;
+  if (opts.deadline > 0.0) {
+    copts.deadline = opts.deadline;
+    copts.limit_policy = LimitPolicy::Partial;
+  }
   if (opts.placement == "hash") {
     copts.placement = distrib::Placement::Hash;
   } else if (opts.placement == "rr") {
