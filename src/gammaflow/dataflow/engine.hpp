@@ -161,4 +161,15 @@ struct GraphCode {
 [[nodiscard]] Firing fire_node(const Node& node, const std::vector<Value>& inputs,
                                Tag tag, const expr::Chunk* chunk, expr::Vm& vm);
 
+/// Canonical run-journal rendering of a token parked at (dst, port) with
+/// `tag`: producers (emissions onto an in-edge) and consumers (firings)
+/// render the same token identically, which is what makes journal
+/// fire-replay exact. Shared by both engines and the round-trip tests.
+[[nodiscard]] std::string journal_token_str(const Graph& graph, NodeId dst,
+                                            PortId port, Tag tag,
+                                            const Value& value);
+/// Journal rendering of a captured output (persists in the final store).
+[[nodiscard]] std::string journal_output_str(const std::string& name, Tag tag,
+                                             const Value& value);
+
 }  // namespace gammaflow::dataflow

@@ -8,10 +8,33 @@
 #include <unordered_map>
 
 #include "gammaflow/dataflow/engine.hpp"
+#include "gammaflow/obs/run_recorder.hpp"
 #include "gammaflow/obs/telemetry.hpp"
 #include "gammaflow/runtime/step_loop.hpp"
 
 namespace gammaflow::dataflow {
+
+std::string journal_token_str(const Graph& graph, NodeId dst, PortId port,
+                              Tag tag, const Value& value) {
+  const Node& n = graph.node(dst);
+  std::string s = n.name.empty() ? std::string("n") : n.name;
+  s += '#';
+  s += std::to_string(dst);
+  s += '.';
+  s += std::to_string(port);
+  s += " t";
+  s += std::to_string(tag);
+  s += " = ";
+  s += value.to_string();
+  return s;
+}
+
+std::string journal_output_str(const std::string& name, Tag tag,
+                               const Value& value) {
+  return "out " + name + " t" + std::to_string(tag) + " = " +
+         value.to_string();
+}
+
 namespace {
 
 struct ReadyInstance {
@@ -19,6 +42,11 @@ struct ReadyInstance {
   Tag tag;
   std::vector<Value> inputs;
 };
+
+// Local aliases: the journal renderings are shared with the parallel engine
+// (declared in engine.hpp); these keep the call sites short.
+constexpr auto tok_str = journal_token_str;
+constexpr auto out_str = journal_output_str;
 
 class Machine {
  public:
@@ -31,6 +59,11 @@ class Machine {
         waiting_(graph.node_count()) {
     result_.fires_by_node.assign(graph.node_count(), 0);
     if (options.compile) code_ = compile_graph(graph);
+    if ((jrec_ = options.record) != nullptr) {
+      // The dataflow "store" is the set of parked tokens plus captured
+      // outputs; it starts empty (Const roots and injections are fires).
+      jrec_->begin("interpreter", "dataflow", {});
+    }
     if ((tel_ = telemetry_.sink()) != nullptr) {
       rec_ = telemetry_.recorder("df-interpreter");
       tag_hist_ = &tel_->stats().hist("df.inctag_depth");
@@ -65,7 +98,8 @@ class Machine {
     }
   }
 
-  void emit_from(NodeId node, const Firing& firing) {
+  void emit_from(NodeId node, const Firing& firing,
+                 std::vector<std::string>* produced = nullptr) {
     if (!firing.emits) return;
     if (tel_ != nullptr) {
       const NodeKind kind = graph_.node(node).kind;
@@ -79,6 +113,10 @@ class Machine {
     // No consumer => the token is discarded (steer FALSE port in Fig. 2).
     for (const EdgeId eid : edges) {
       const Edge& e = graph_.edge(eid);
+      if (produced != nullptr) {
+        produced->push_back(
+            tok_str(graph_, e.dst, e.dst_port, firing.tag, firing.value));
+      }
       deliver(e.dst, e.dst_port, Token{firing.value, firing.tag});
     }
   }
@@ -88,12 +126,21 @@ class Machine {
       if (stopping()) break;
       const Firing f = fire_node(graph_.node(root), {}, 0);
       count_fire(root);
-      emit_from(root, f);
+      std::vector<std::string> produced;
+      emit_from(root, f, jrec_ != nullptr ? &produced : nullptr);
+      record_fire(root, nullptr, std::move(produced));
     }
     for (const auto& [label, token] : extra_tokens) {
       const auto eid = graph_.find_edge(label);
       if (!eid) throw EngineError("inject on unknown edge '" + label.str() + "'");
       const Edge& e = graph_.edge(*eid);
+      if (jrec_ != nullptr) {
+        obs::FireRecord fr;
+        fr.reaction = "inject:" + label.str();
+        fr.produced.push_back(
+            tok_str(graph_, e.dst, e.dst_port, token.tag, token.value));
+        jrec_->fire(std::move(fr));
+      }
       deliver(e.dst, e.dst_port, token);
     }
 
@@ -113,12 +160,20 @@ class Machine {
         const Node& node = graph_.node(inst.node);
         count_fire(inst.node);
         if (node.kind == NodeKind::Output) {
+          if (jrec_ != nullptr) {
+            record_fire(inst.node, &inst,
+                        {out_str(node.name, inst.tag, inst.inputs[0])});
+          }
           result_.outputs[node.name].emplace_back(inst.tag,
                                                   std::move(inst.inputs[0]));
           continue;
         }
-        emit_from(inst.node, compute(node, inst));
+        std::vector<std::string> produced;
+        const Firing f = compute(node, inst);
+        emit_from(inst.node, f, jrec_ != nullptr ? &produced : nullptr);
+        record_fire(inst.node, &inst, std::move(produced));
       }
+      if (jrec_ != nullptr) jrec_->round(snapshot());
       // Ready tokens the wavefront produced for the next one: the token
       // queue depth over time.
       if (tel_ != nullptr) {
@@ -148,6 +203,7 @@ class Machine {
     result_.trace = trace_.take();
     result_.trace_dropped = trace_.dropped();
     telemetry_.finish(result_.outcome, result_.metrics);
+    if (jrec_ != nullptr) jrec_->finish(to_string(result_.outcome), snapshot());
     result_.wall_seconds = loop_.wall_seconds();
     return std::move(result_);
   }
@@ -223,6 +279,55 @@ class Machine {
     return loop_.should_stop();
   }
 
+  /// Journals one firing: consumed operands from `inst` (null for Const
+  /// roots, which fire from nothing), produced token strings from the
+  /// emission. No-op when recording is off.
+  void record_fire(NodeId node, const ReadyInstance* inst,
+                   std::vector<std::string> produced) {
+    if (jrec_ == nullptr) return;
+    obs::FireRecord fr;
+    const Node& n = graph_.node(node);
+    fr.reaction = n.name.empty()
+                      ? std::string(to_string(n.kind)) + "#" +
+                            std::to_string(node)
+                      : n.name;
+    if (inst != nullptr) {
+      fr.consumed.reserve(inst->inputs.size());
+      for (PortId p = 0; p < inst->inputs.size(); ++p) {
+        fr.consumed.push_back(
+            tok_str(graph_, node, p, inst->tag, inst->inputs[p]));
+      }
+    }
+    fr.produced = std::move(produced);
+    jrec_->fire(std::move(fr));
+  }
+
+  /// The journal's store view: every parked token (ready or tag-matching)
+  /// plus every captured output.
+  [[nodiscard]] obs::StoreCounts snapshot() const {
+    obs::StoreCounts counts;
+    for (const ReadyInstance& inst : ready_) {
+      for (PortId p = 0; p < inst.inputs.size(); ++p) {
+        ++counts[tok_str(graph_, inst.node, p, inst.tag, inst.inputs[p])];
+      }
+    }
+    for (NodeId node = 0; node < waiting_.size(); ++node) {
+      for (const auto& [tag, slots] : waiting_[node]) {
+        for (PortId p = 0; p < slots.values.size(); ++p) {
+          if (slots.values[p].has_value()) {
+            ++counts[tok_str(graph_, node, p, tag, *slots.values[p])];
+          }
+        }
+      }
+    }
+    for (const auto& [name, tokens] : result_.outputs) {
+      for (const auto& [tag, value] : tokens) {
+        ++counts[out_str(name, tag, value)];
+      }
+    }
+    return counts;
+  }
+
   void count_fire(NodeId node) {
     ++result_.fires;
     ++result_.fires_by_node[node];
@@ -267,6 +372,7 @@ class Machine {
 
   obs::Telemetry* tel_ = nullptr;
   obs::ThreadRecorder* rec_ = nullptr;
+  obs::RunRecorder* jrec_ = nullptr;
   Histogram* tag_hist_ = nullptr;
   Histogram* wave_hist_ = nullptr;
   Histogram* ready_hist_ = nullptr;

@@ -21,6 +21,7 @@
 #include "gammaflow/common/logging.hpp"
 #include "gammaflow/common/mpsc_queue.hpp"
 #include "gammaflow/dataflow/engine.hpp"
+#include "gammaflow/obs/run_recorder.hpp"
 #include "gammaflow/obs/telemetry.hpp"
 #include "gammaflow/runtime/step_loop.hpp"
 
@@ -71,6 +72,9 @@ class ParallelRun {
         telemetry_(options, "df") {
     for (auto& w : workers_) w.fires_by_node.assign(graph.node_count(), 0);
     if (options.compile) code_ = compile_graph(graph);
+    if ((jrec_ = options.record) != nullptr) {
+      jrec_->begin("parallel", "dataflow", {});
+    }
     if ((tel_ = telemetry_.sink()) != nullptr) {
       inbox_hist_ = &tel_->stats().hist("df.inbox_depth");
       tag_hist_ = &tel_->stats().hist("df.inctag_depth");
@@ -90,12 +94,26 @@ class ParallelRun {
             graph_.node(root).kind)];
       }
       total_fires_.fetch_add(1, std::memory_order_relaxed);
-      route_emission(root, f);
+      std::vector<std::string> produced;
+      route_emission(root, f, jrec_ != nullptr ? &produced : nullptr);
+      if (jrec_ != nullptr) {
+        obs::FireRecord fr;
+        fr.reaction = node_label(root);
+        fr.produced = std::move(produced);
+        jrec_->fire(std::move(fr));
+      }
     }
     for (const auto& [label, token] : extra_tokens) {
       const auto eid = graph_.find_edge(label);
       if (!eid) throw EngineError("inject on unknown edge '" + label.str() + "'");
       const Edge& e = graph_.edge(*eid);
+      if (jrec_ != nullptr) {
+        obs::FireRecord fr;
+        fr.reaction = "inject:" + label.str();
+        fr.produced.push_back(journal_token_str(graph_, e.dst, e.dst_port,
+                                                token.tag, token.value));
+        jrec_->fire(std::move(fr));
+      }
       send(e.dst, e.dst_port, token);
     }
 
@@ -175,6 +193,20 @@ class ParallelRun {
         }
       }
     }
+    if (jrec_ != nullptr) {
+      // The final store: captured outputs plus every parked leftover token
+      // (assembled post-join, so no concurrent mutators).
+      obs::StoreCounts counts;
+      for (const auto& [name, tokens] : result.outputs) {
+        for (const auto& [tag, value] : tokens) {
+          ++counts[journal_output_str(name, tag, value)];
+        }
+      }
+      for (const PendingOperand& p : result.leftovers) {
+        ++counts[journal_token_str(graph_, p.node, p.port, p.tag, p.value)];
+      }
+      jrec_->finish(to_string(result.outcome), std::move(counts));
+    }
     result.wall_seconds = loop_.wall_seconds();
     GF_DEBUG << "dataflow parallel run done: " << result.fires << " firings, "
              << result.wall_seconds << "s";
@@ -191,12 +223,25 @@ class ParallelRun {
     workers_[owner(node)].inbox.push(Routed{node, port, std::move(token)});
   }
 
-  void route_emission(NodeId node, const Firing& firing) {
+  void route_emission(NodeId node, const Firing& firing,
+                      std::vector<std::string>* produced = nullptr) {
     if (!firing.emits) return;
     for (const EdgeId eid : graph_.out_edges(node, firing.port)) {
       const Edge& e = graph_.edge(eid);
+      if (produced != nullptr) {
+        produced->push_back(journal_token_str(graph_, e.dst, e.dst_port,
+                                              firing.tag, firing.value));
+      }
       send(e.dst, e.dst_port, Token{firing.value, firing.tag});
     }
+  }
+
+  /// Journal label for a node: its name, or "<kind>#<id>" when unnamed.
+  [[nodiscard]] std::string node_label(NodeId node) const {
+    const Node& n = graph_.node(node);
+    return n.name.empty()
+               ? std::string(to_string(n.kind)) + "#" + std::to_string(node)
+               : n.name;
   }
 
   void worker_loop(unsigned my_id) {
@@ -309,7 +354,21 @@ class ParallelRun {
     if (tel_ != nullptr) {
       ++me.fires_by_kind[static_cast<std::size_t>(node.kind)];
     }
+    obs::FireRecord fr;
+    if (jrec_ != nullptr) {
+      fr.reaction = node_label(routed.node);
+      fr.consumed.reserve(inputs.size());
+      for (PortId p = 0; p < inputs.size(); ++p) {
+        fr.consumed.push_back(journal_token_str(graph_, routed.node, p,
+                                                routed.token.tag, inputs[p]));
+      }
+    }
     if (node.kind == NodeKind::Output) {
+      if (jrec_ != nullptr) {
+        fr.produced.push_back(
+            journal_output_str(node.name, routed.token.tag, inputs[0]));
+        jrec_->fire(std::move(fr));
+      }
       me.outputs[node.name].emplace_back(routed.token.tag,
                                          std::move(inputs[0]));
       return;
@@ -324,7 +383,8 @@ class ParallelRun {
         tag_hist_->observe(static_cast<double>(firing.tag));
       }
     }
-    route_emission(routed.node, firing);
+    route_emission(routed.node, firing, jrec_ != nullptr ? &fr.produced : nullptr);
+    if (jrec_ != nullptr) jrec_->fire(std::move(fr));
   }
 
   const Graph& graph_;
@@ -342,6 +402,7 @@ class ParallelRun {
   std::exception_ptr error_;  // budget EngineError under LimitPolicy::Throw
 
   obs::Telemetry* tel_ = nullptr;
+  obs::RunRecorder* jrec_ = nullptr;
   Histogram* inbox_hist_ = nullptr;
   Histogram* tag_hist_ = nullptr;
 };

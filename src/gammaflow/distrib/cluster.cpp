@@ -110,6 +110,7 @@ class Simulation {
         options_(options),
         injector_(options.faults, options.seed),
         telemetry_(options, "distrib"),
+        recording_(options, "cluster", "distrib"),
         affinity_(std::unordered_map<std::string, std::size_t>(
                       options.label_affinity.begin(),
                       options.label_affinity.end()),
@@ -158,6 +159,8 @@ class Simulation {
       nodes_[target].shard.insert(e);
     }
 
+    recording_.begin(initial);
+
     // Seed the replicas with the placed state so a crash in the very first
     // rounds restores the initial shard.
     if (options_.faults.crashes_possible()) {
@@ -173,6 +176,9 @@ class Simulation {
   ClusterResult run() {
     runtime::StepLoop loop(options_, options_.max_rounds, "distributed run",
                            "max_rounds");
+    // The simulation is single-threaded; one recorder carries a span per
+    // round (arg = fires so far) so `--trace-out` shows the round cadence.
+    obs::ThreadRecorder* const rec = telemetry_.recorder("distrib-sim");
     // Token starts at node 0 (the initiator is also the consolidation
     // collector, so it is the natural place to decide termination).
     nodes_[0].held_token = Token{false, 0, token_gen_};
@@ -187,6 +193,7 @@ class Simulation {
         break;
       }
       ++round_;
+      obs::Span round_span(telemetry_.sink(), rec, "round");
       crash_and_recover();
       deliver();
       react();
@@ -194,6 +201,17 @@ class Simulation {
       pass_tokens();
       token_watchdog();
       checkpoint();
+      std::uint64_t fires_so_far = 0;
+      for (const Node& n : nodes_) fires_so_far += n.fires;
+      round_span.set_arg(fires_so_far);
+      // One journal round per cluster round. The snapshot is the union of
+      // live shards; elements on the wire reappear when delivered (the
+      // delta-vs-last-kept encoding keeps replay exact regardless).
+      if (recording_) {
+        Multiset all;
+        for (Node& n : nodes_) all.add(n.shard.to_multiset());
+        recording_.round(all);
+      }
     }
 
     ClusterResult result;
@@ -243,6 +261,7 @@ class Simulation {
       runtime::observe_reaction_compile(tel, program_);
     }
     telemetry_.finish(result.outcome, result.metrics);
+    recording_.finish(result.outcome, result.final_multiset);
     return result;
   }
 
@@ -443,7 +462,10 @@ class Simulation {
         for (const Reaction& r : stage) {
           if (auto match = runtime::MatchPipeline::find(
                   node.shard, r, &node.rng, options_.eval_mode())) {
-            runtime::MatchPipeline::commit(node.shard, *match);
+            const runtime::RecordCtx rctx =
+                recording_.ctx(-1, -1, static_cast<std::int64_t>(i));
+            runtime::MatchPipeline::commit(node.shard, *match,
+                                           recording_ ? &rctx : nullptr);
             ++node.fires;
             fired = true;
             node.fired_this_round = true;
@@ -693,6 +715,7 @@ class Simulation {
   ClusterOptions options_;
   FaultInjector injector_;
   runtime::EngineTelemetry telemetry_;
+  runtime::RunRecording recording_;
   // label -> home-node routing (a cluster node IS a shard).
   runtime::ShardMap affinity_;
   std::vector<Node> nodes_;

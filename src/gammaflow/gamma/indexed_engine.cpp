@@ -27,6 +27,8 @@ RunResult IndexedEngine::run(const Program& program, const Multiset& initial,
   runtime::StepLoop loop(options, options.max_steps, "indexed engine",
                          "max_steps");
   runtime::TraceSink<FireEvent> trace(options);
+  const runtime::RunRecording recording(options, "indexed", "gamma");
+  recording.begin(initial);
   const runtime::EngineTelemetry telemetry(options, "gamma");
   obs::Telemetry* const tel = telemetry.sink();
   obs::ThreadRecorder* const rec = telemetry.recorder("gamma-indexed");
@@ -86,7 +88,10 @@ RunResult IndexedEngine::run(const Program& program, const Multiset& initial,
             }
             ++result.fires_by_reaction[r.name()];
             ++result.steps;
-            runtime::MatchPipeline::commit(store, *match);
+            const runtime::RecordCtx rctx =
+                recording.ctx(static_cast<std::int64_t>(stage_idx));
+            runtime::MatchPipeline::commit(store, *match,
+                                           recording ? &rctx : nullptr);
             progressed = true;
             ++pass_fires;
             if (tel) {
@@ -96,6 +101,9 @@ RunResult IndexedEngine::run(const Program& program, const Multiset& initial,
           }
         }
         pass_span.set_arg(pass_fires);
+        // One journal round per pass: the granularity the viz scrubber
+        // steps through for this engine.
+        if (recording && pass_fires > 0) recording.round(store);
       }
     };
 
@@ -143,6 +151,7 @@ RunResult IndexedEngine::run(const Program& program, const Multiset& initial,
   result.trace_dropped = trace.dropped();
   telemetry.finish(result.outcome, result.metrics);
   result.final_multiset = store.to_multiset();
+  recording.finish(result.outcome, result.final_multiset);
   result.wall_seconds = loop.wall_seconds();
   return result;
 }

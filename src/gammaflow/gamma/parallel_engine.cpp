@@ -105,6 +105,7 @@ struct ShardTask {
   runtime::TraceSink<FireEvent> trace;
   std::map<std::string, std::uint64_t> fires;
   WorkerMetrics wm;
+  runtime::RecordCtx rctx;  // provenance coordinates (recorder null = off)
 
   ShardTask(Rng r, const RunOptions& options)
       : rng(std::move(r)), trace(options) {}
@@ -171,7 +172,8 @@ void run_shard(Store& store, const std::vector<Reaction>& stage,
         ++task.fires[r.name()];
         ++task.wm.fires;
         ++task.wm.class_fast_commits;
-        runtime::MatchPipeline::commit(store, *match);
+        runtime::MatchPipeline::commit(
+            store, *match, task.rctx.recorder != nullptr ? &task.rctx : nullptr);
         if (store.needs_compact()) store.compact();
         progressed = true;
         if (tel) {
@@ -194,7 +196,8 @@ StageResult run_sharded_stage(const std::vector<Reaction>& stage,
                               unsigned workers, std::uint64_t prior_steps,
                               const StageObs& ob,
                               runtime::TraceSink<FireEvent>& trace,
-                              WorkerMetrics& total) {
+                              WorkerMetrics& total,
+                              const runtime::RunRecording& recording) {
   runtime::ShardedStore sharded(
       current, runtime::ShardMap(plan.label_shard, plan.shard_count));
 
@@ -202,6 +205,8 @@ StageResult run_sharded_stage(const std::vector<Reaction>& stage,
   tasks.reserve(plan.shard_count);
   for (std::size_t s = 0; s < plan.shard_count; ++s) {
     tasks.emplace_back(seed_rng.split(), options);
+    tasks.back().rctx = recording.ctx(static_cast<std::int64_t>(stage_idx),
+                                      static_cast<std::int64_t>(s));
   }
   for (std::size_t i = 0; i < stage.size(); ++i) {
     tasks[plan.reaction_shard[i]].reactions.push_back(i);
@@ -266,6 +271,7 @@ struct StageShared {
   std::uint64_t steps = 0;
   std::map<std::string, std::uint64_t> fires;
   runtime::TraceSink<FireEvent> trace;
+  runtime::RecordCtx rctx;  // provenance coordinates (recorder null = off)
   std::exception_ptr error;
 
   StageShared(Store s, const RunOptions& options)
@@ -360,7 +366,9 @@ void worker_loop(StageShared& sh, const std::vector<Reaction>& stage,
         ++sh.fires[proposal->reaction->name()];
         ++sh.steps;
         ++wm.fires;
-        runtime::MatchPipeline::commit(sh.store, *proposal);
+        runtime::MatchPipeline::commit(
+            sh.store, *proposal,
+            sh.rctx.recorder != nullptr ? &sh.rctx : nullptr);
         // The read-only searches above cannot prune; they accrue garbage
         // debt on the buckets instead. Settle it here, where we hold the
         // exclusive lock anyway.
@@ -408,8 +416,10 @@ StageResult run_optimistic_stage(const std::vector<Reaction>& stage,
                                  unsigned workers, std::uint64_t prior_steps,
                                  const StageObs& ob,
                                  runtime::TraceSink<FireEvent>& trace,
-                                 WorkerMetrics& total) {
+                                 WorkerMetrics& total,
+                                 const runtime::RunRecording& recording) {
   StageShared shared{Store(current), options};
+  shared.rctx = recording.ctx(static_cast<std::int64_t>(stage_idx));
   std::vector<WorkerMetrics> wm(workers);
 
   std::vector<std::thread> threads;
@@ -447,6 +457,8 @@ RunResult ParallelEngine::run(const Program& program, const Multiset& initial,
   runtime::StepLoop loop(options, options.max_steps, "parallel engine",
                          "max_steps");
   runtime::TraceSink<FireEvent> trace(options);
+  const runtime::RunRecording recording(options, "parallel", "gamma");
+  recording.begin(initial);
   const runtime::EngineTelemetry telemetry(options, "gamma");
   obs::Telemetry* const tel = telemetry.sink();
   WorkerMetrics total;
@@ -468,16 +480,18 @@ RunResult ParallelEngine::run(const Program& program, const Multiset& initial,
                << " shard(s)";
       sr = run_sharded_stage(stage, stage_idx, plan, current, options, loop,
                              seed_rng, workers, result.steps, ob, trace,
-                             total);
+                             total, recording);
     } else {
       sr = run_optimistic_stage(stage, stage_idx, current, options, loop,
                                 seed_rng, workers, result.steps, ob, trace,
-                                total);
+                                total, recording);
     }
     if (sr.error) std::rethrow_exception(sr.error);
     result.outcome = sr.outcome;
     result.steps += sr.steps;
     for (const auto& [name, n] : sr.fires) result.fires_by_reaction[name] += n;
+    // One journal round per stage: workers joined, `current` is consistent.
+    if (recording) recording.round(current);
   }
 
   if (tel) {
@@ -495,6 +509,7 @@ RunResult ParallelEngine::run(const Program& program, const Multiset& initial,
   result.trace_dropped = trace.dropped();
   telemetry.finish(result.outcome, result.metrics);
   result.final_multiset = std::move(current);
+  recording.finish(result.outcome, result.final_multiset);
   result.wall_seconds = loop.wall_seconds();
   GF_DEBUG << "gamma parallel run done: " << result.steps << " fires, |M|="
            << result.final_multiset.size() << ", "

@@ -25,6 +25,8 @@ RunResult SequentialEngine::run(const Program& program, const Multiset& initial,
   runtime::StepLoop loop(options, options.max_steps, "sequential engine",
                          "max_steps");
   runtime::TraceSink<FireEvent> trace(options);
+  const runtime::RunRecording recording(options, "sequential", "gamma");
+  recording.begin(initial);
   const runtime::EngineTelemetry telemetry(options, "gamma");
   obs::Telemetry* const tel = telemetry.sink();
   obs::ThreadRecorder* const rec = telemetry.recorder("gamma-sequential");
@@ -71,8 +73,14 @@ RunResult SequentialEngine::run(const Program& program, const Multiset& initial,
       }
       ++result.fires_by_reaction[chosen.reaction->name()];
       ++result.steps;
-      runtime::MatchPipeline::commit(store, chosen);
+      const runtime::RecordCtx rctx =
+          recording.ctx(static_cast<std::int64_t>(stage_idx));
+      runtime::MatchPipeline::commit(store, chosen,
+                                     recording ? &rctx : nullptr);
     }
+    // One journal round per stage fixed point: the store the next stage
+    // starts from.
+    if (recording) recording.round(store);
   }
 
   if (tel) {
@@ -86,6 +94,7 @@ RunResult SequentialEngine::run(const Program& program, const Multiset& initial,
   result.trace_dropped = trace.dropped();
   telemetry.finish(result.outcome, result.metrics);
   result.final_multiset = store.to_multiset();
+  recording.finish(result.outcome, result.final_multiset);
   result.wall_seconds = loop.wall_seconds();
   return result;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "gammaflow/gamma/program.hpp"
+#include "gammaflow/obs/run_recorder.hpp"
 #include "gammaflow/obs/telemetry.hpp"
 
 namespace gammaflow::runtime {
@@ -137,7 +138,25 @@ bool MatchPipeline::validate(const Store& store, Match& match,
   return true;
 }
 
-void MatchPipeline::commit(Store& store, const Match& match) {
+void MatchPipeline::commit(Store& store, const Match& match,
+                           const RecordCtx* rec) {
+  if (rec != nullptr && rec->recorder != nullptr) {
+    // Render consumed occupants while their ids are still alive.
+    obs::FireRecord fire;
+    fire.reaction = match.reaction->name();
+    fire.stage = rec->stage;
+    fire.shard = rec->shard;
+    fire.node = rec->node;
+    fire.consumed.reserve(match.ids.size());
+    for (const Store::Id id : match.ids) {
+      fire.consumed.push_back(store.element(id).to_string());
+    }
+    fire.produced.reserve(match.produced.size());
+    for (const Element& e : match.produced) {
+      fire.produced.push_back(e.to_string());
+    }
+    rec->recorder->fire(std::move(fire));
+  }
   for (const Store::Id id : match.ids) store.remove(id);
   for (const Element& e : match.produced) store.insert(e);
 }

@@ -28,6 +28,7 @@
 #include "gammaflow/common/rng.hpp"
 #include "gammaflow/expr/bytecode.hpp"
 #include "gammaflow/gamma/store.hpp"
+#include "gammaflow/runtime/options.hpp"
 
 namespace gammaflow::obs {
 class Telemetry;
@@ -72,7 +73,13 @@ struct MatchPipeline {
   /// Applies a match: removes the consumed ids, inserts the produced
   /// elements. Precondition: all ids alive (fresh find, or validate passed,
   /// or the caller owns every reaction that could consume them).
-  static void commit(gamma::Store& store, const gamma::Match& match);
+  ///
+  /// With a RecordCtx whose recorder is set, emits the firing's provenance
+  /// (reaction, consumed elements rendered BEFORE removal, produced) to the
+  /// run journal — this being the one commit point is what makes every
+  /// Gamma path (sequential / indexed / parallel / cluster) recordable.
+  static void commit(gamma::Store& store, const gamma::Match& match,
+                     const RecordCtx* rec = nullptr);
 };
 
 /// Feeds every reaction's one-time bytecode compile cost into the

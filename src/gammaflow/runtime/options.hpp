@@ -20,7 +20,8 @@
 
 namespace gammaflow::obs {
 class Telemetry;
-}
+class RunRecorder;
+}  // namespace gammaflow::obs
 
 namespace gammaflow::runtime {
 
@@ -44,6 +45,10 @@ struct RunOptions {
   /// Optional telemetry sink (spans + metrics). Null (the default) disables
   /// instrumentation entirely; every probe site is behind one pointer test.
   obs::Telemetry* telemetry = nullptr;
+  /// Optional run recorder (per-fire provenance + per-round store deltas
+  /// for `--record-out` / `gammaflow viz`). Null (the default) disables
+  /// recording entirely; like telemetry, every probe is one pointer test.
+  obs::RunRecorder* record = nullptr;
   /// Optional cooperative stop flag shared with the caller. When it fires
   /// the engine returns the state reached so far (outcome Cancelled) with
   /// all worker threads joined — it never throws for a cancellation.
@@ -61,6 +66,17 @@ struct RunOptions {
   [[nodiscard]] expr::EvalMode eval_mode() const noexcept {
     return compile ? expr::EvalMode::Vm : expr::EvalMode::Ast;
   }
+};
+
+/// Recording context a Gamma commit site threads into
+/// MatchPipeline::commit: which recorder (null = off) plus the coordinates
+/// the engine knows and the pipeline does not. One struct instead of three
+/// loose ints so adding a coordinate never touches every engine again.
+struct RecordCtx {
+  obs::RunRecorder* recorder = nullptr;
+  std::int64_t stage = -1;  // gamma stage index
+  std::int64_t shard = -1;  // ShardedStore shard id
+  std::int64_t node = -1;   // distrib cluster node index
 };
 
 }  // namespace gammaflow::runtime

@@ -1,5 +1,8 @@
 #include "gammaflow/runtime/step_loop.hpp"
 
+#include "gammaflow/gamma/multiset.hpp"
+#include "gammaflow/gamma/store.hpp"
+#include "gammaflow/obs/run_recorder.hpp"
 #include "gammaflow/obs/telemetry.hpp"
 
 namespace gammaflow::runtime {
@@ -30,6 +33,31 @@ void EngineTelemetry::finish(Outcome outcome, MetricsSnapshot& out) const {
   stats.count(std::string(domain_) + ".eval_mode." + expr::to_string(mode_));
   stats.count("vm.instrs_executed", expr::vm_instrs_executed() - instrs0_);
   out = tel_->metrics();
+}
+
+std::map<std::string, std::int64_t> store_counts(const gamma::Multiset& ms) {
+  std::map<std::string, std::int64_t> counts;
+  for (const gamma::Element& e : ms) ++counts[e.to_string()];
+  return counts;
+}
+
+void RunRecording::begin(const gamma::Multiset& initial) const {
+  if (rec_ != nullptr) rec_->begin(engine_, kind_, store_counts(initial));
+}
+
+void RunRecording::round(const gamma::Multiset& store) const {
+  if (rec_ != nullptr) rec_->round(store_counts(store));
+}
+
+void RunRecording::round(const gamma::Store& store) const {
+  if (rec_ != nullptr) rec_->round(store_counts(store.to_multiset()));
+}
+
+void RunRecording::finish(Outcome outcome,
+                          const gamma::Multiset& final_store) const {
+  if (rec_ != nullptr) {
+    rec_->finish(to_string(outcome), store_counts(final_store));
+  }
 }
 
 }  // namespace gammaflow::runtime

@@ -25,6 +25,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
@@ -37,7 +38,13 @@
 namespace gammaflow::obs {
 class Telemetry;
 class ThreadRecorder;
+class RunRecorder;
 }  // namespace gammaflow::obs
+
+namespace gammaflow::gamma {
+class Multiset;
+class Store;
+}  // namespace gammaflow::gamma
 
 namespace gammaflow::runtime {
 
@@ -263,5 +270,43 @@ class EngineTelemetry {
   expr::EvalMode mode_;
   std::uint64_t instrs0_ = 0;
 };
+
+/// The RunOptions::record scaffolding every Gamma-family engine shares, the
+/// recorder analogue of EngineTelemetry: null-safe begin / round / finish
+/// over gamma multisets (the recorder itself speaks strings; the conversion
+/// lives here because gf_obs must not depend on gf_gamma). ctx() builds the
+/// RecordCtx a commit site hands MatchPipeline::commit.
+class RunRecording {
+ public:
+  /// `engine` is the engine name ("sequential", "cluster", ...); `kind` the
+  /// model family the viz renderer switches on ("gamma" | "distrib").
+  RunRecording(const RunOptions& options, const char* engine,
+               const char* kind) noexcept
+      : rec_(options.record), engine_(engine), kind_(kind) {}
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return rec_ != nullptr;
+  }
+  [[nodiscard]] obs::RunRecorder* sink() const noexcept { return rec_; }
+  [[nodiscard]] RecordCtx ctx(std::int64_t stage = -1,
+                              std::int64_t shard = -1,
+                              std::int64_t node = -1) const noexcept {
+    return RecordCtx{rec_, stage, shard, node};
+  }
+
+  void begin(const gamma::Multiset& initial) const;
+  void round(const gamma::Multiset& store) const;
+  void round(const gamma::Store& store) const;
+  void finish(Outcome outcome, const gamma::Multiset& final_store) const;
+
+ private:
+  obs::RunRecorder* rec_;
+  const char* engine_;
+  const char* kind_;
+};
+
+/// Canonical string->count rendering of a multiset (journal snapshots).
+[[nodiscard]] std::map<std::string, std::int64_t> store_counts(
+    const gamma::Multiset& ms);
 
 }  // namespace gammaflow::runtime

@@ -1,0 +1,198 @@
+// DOT writers for the Gamma-side graphs (the dataflow-graph writer lives in
+// dataflow/dot.cpp). All three render the SAME analysis the engines consume
+// — InterferenceReport and plan_shards — so what the picture shows is what
+// the scheduler does.
+#include <cstddef>
+#include <map>
+#include <ostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gammaflow/runtime/sharded_store.hpp"
+#include "gammaflow/viz/viz.hpp"
+
+namespace gammaflow::viz {
+namespace {
+
+std::string dot_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+// Per-class pastel fills, cycled when class_count exceeds the palette.
+constexpr const char* kClassFills[] = {"#e3f2fd", "#e8f5e9", "#fff3e0",
+                                       "#f3e5f5", "#e0f7fa", "#fbe9e7",
+                                       "#f1f8e9", "#ede7f6"};
+constexpr std::size_t kClassFillCount =
+    sizeof(kClassFills) / sizeof(kClassFills[0]);
+
+const char* class_fill(std::size_t cls) {
+  return kClassFills[cls % kClassFillCount];
+}
+
+/// Stage index of each reaction, in report order (program order, all stages).
+std::vector<std::size_t> stage_of(const gamma::Program& program) {
+  std::vector<std::size_t> out;
+  for (std::size_t s = 0; s < program.stages().size(); ++s) {
+    for (std::size_t k = 0; k < program.stages()[s].size(); ++k) {
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_interference_dot(std::ostream& os, const gamma::Program& program,
+                            const analysis::InterferenceReport& report,
+                            const std::string& title) {
+  const std::vector<std::size_t> stages = stage_of(program);
+  os << "digraph \"" << dot_escape(title) << "\" {\n"
+     << "  rankdir=LR;\n"
+     << "  node [shape=box, style=\"filled,rounded\", fontsize=11];\n";
+  for (std::size_t c = 0; c < report.class_count; ++c) {
+    os << "  subgraph cluster_class" << c << " {\n"
+       << "    label=\"class " << c << "\";\n"
+       << "    style=dashed;\n";
+    for (std::size_t i = 0; i < report.reactions.size(); ++i) {
+      if (report.class_of[i] != c) continue;
+      os << "    r" << i << " [label=\"" << dot_escape(report.reactions[i]);
+      if (i < stages.size() && program.stage_count() > 1) {
+        os << " (stage " << stages[i] << ")";
+      }
+      os << "\\n" << dot_escape(report.footprints[i].to_string())
+         << "\", fillcolor=\"" << class_fill(c) << "\"];\n";
+    }
+    os << "  }\n";
+  }
+  // report.edges carries only the (i, j) pairs; the KIND of each edge is
+  // recomputed from the footprints, exactly as analyze_interference did.
+  for (const auto& [i, j] : report.edges) {
+    const analysis::Footprint& a = report.footprints[i];
+    const analysis::Footprint& b = report.footprints[j];
+    const bool comp = analysis::compete(a, b);
+    const bool fab = analysis::feeds(a, b);
+    const bool fba = analysis::feeds(b, a);
+    if (comp) {
+      os << "  r" << i << " -> r" << j
+         << " [dir=none, color=\"#c62828\", penwidth="
+         << ((fab || fba) ? "2.0" : "1.2") << ", label=\"compete\"];\n";
+    }
+    if (fab) {
+      os << "  r" << i << " -> r" << j
+         << " [style=dashed, color=\"#1565c0\", label=\"feed\"];\n";
+    }
+    if (fba) {
+      os << "  r" << j << " -> r" << i
+         << " [style=dashed, color=\"#1565c0\", label=\"feed\"];\n";
+    }
+  }
+  os << "  label=\"verdict: " << to_string(report.verdict) << "\";\n";
+  os << "}\n";
+}
+
+void write_classes_dot(std::ostream& os, const gamma::Program& program,
+                       const analysis::InterferenceReport& report,
+                       const std::string& title) {
+  const std::vector<std::size_t> stages = stage_of(program);
+  // Labels each class routes (the cluster placement hint), inverted from
+  // label -> class.
+  std::map<std::size_t, std::set<std::string>> class_labels;
+  for (const auto& [label, cls] : report.label_affinity()) {
+    class_labels[cls].insert(label);
+  }
+  os << "digraph \"" << dot_escape(title) << "\" {\n"
+     << "  rankdir=LR;\n"
+     << "  node [shape=box, style=filled, fontsize=11];\n";
+  for (std::size_t c = 0; c < report.class_count; ++c) {
+    os << "  subgraph cluster_class" << c << " {\n"
+       << "    label=\"class " << c << "\";\n"
+       << "    style=filled;\n    fillcolor=\"" << class_fill(c) << "\";\n";
+    for (std::size_t i = 0; i < report.reactions.size(); ++i) {
+      if (report.class_of[i] != c) continue;
+      os << "    r" << i << " [label=\"" << dot_escape(report.reactions[i]);
+      if (i < stages.size() && program.stage_count() > 1) {
+        os << "\\nstage " << stages[i];
+      }
+      os << "\", fillcolor=white];\n";
+    }
+    const auto it = class_labels.find(c);
+    if (it != class_labels.end()) {
+      os << "    labels" << c << " [shape=note, fillcolor=white, label=\"";
+      bool first = true;
+      for (const std::string& l : it->second) {
+        if (!first) os << "\\n";
+        os << dot_escape(l);
+        first = false;
+      }
+      os << "\"];\n";
+    }
+    os << "  }\n";
+  }
+  os << "}\n";
+}
+
+void write_shards_dot(std::ostream& os, const gamma::Program& program,
+                      const analysis::InterferenceReport& report,
+                      const std::string& title) {
+  const std::map<std::string, std::size_t> classes = report.engine_classes();
+  os << "digraph \"" << dot_escape(title) << "\" {\n"
+     << "  rankdir=LR;\n"
+     << "  node [shape=box, style=filled, fillcolor=white, fontsize=11];\n";
+  for (std::size_t s = 0; s < program.stages().size(); ++s) {
+    const std::vector<gamma::Reaction>& stage = program.stages()[s];
+    const runtime::ShardPlan plan = runtime::plan_shards(stage, classes);
+    os << "  subgraph cluster_stage" << s << " {\n"
+       << "    label=\"stage " << s
+       << (plan.sharded ? "" : " (single store)") << "\";\n"
+       << "    style=bold;\n";
+    if (plan.sharded) {
+      for (std::size_t sh = 0; sh < plan.shard_count; ++sh) {
+        os << "    subgraph cluster_stage" << s << "_shard" << sh << " {\n"
+           << "      label=\"shard " << sh << "\";\n"
+           << "      style=filled;\n      fillcolor=\"" << class_fill(sh)
+           << "\";\n";
+        for (std::size_t k = 0; k < stage.size(); ++k) {
+          if (plan.reaction_shard[k] != sh) continue;
+          os << "      st" << s << "r" << k << " [label=\""
+             << dot_escape(stage[k].name()) << "\"];\n";
+        }
+        std::set<std::string> labels;  // sorted for stable golden output
+        for (const auto& [label, shard] : plan.label_shard) {
+          if (shard == sh) labels.insert(label);
+        }
+        if (!labels.empty()) {
+          os << "      st" << s << "sh" << sh
+             << "labels [shape=note, label=\"";
+          bool first = true;
+          for (const std::string& l : labels) {
+            if (!first) os << "\\n";
+            os << dot_escape(l);
+            first = false;
+          }
+          os << "\"];\n";
+        }
+        os << "    }\n";
+      }
+    } else {
+      for (std::size_t k = 0; k < stage.size(); ++k) {
+        os << "    st" << s << "r" << k << " [label=\""
+           << dot_escape(stage[k].name()) << "\"];\n";
+      }
+    }
+    os << "  }\n";
+  }
+  os << "}\n";
+}
+
+}  // namespace gammaflow::viz

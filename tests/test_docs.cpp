@@ -84,7 +84,8 @@ TEST(DocSync, EveryDocumentedSubcommandExistsInHelp) {
   // The command list README's CLI section shows; each must be a usage line.
   for (const char* cmd :
        {"compile", "run", "togamma", "rungamma", "fuse", "expand",
-        "reconstruct", "dot", "opt", "lint", "check", "distrib", "help"}) {
+        "reconstruct", "dot", "viz", "opt", "lint", "check", "distrib",
+        "help"}) {
     EXPECT_NE(help.find(std::string("  ") + cmd + " "), std::string::npos)
         << "subcommand '" << cmd << "' missing from --help";
   }
@@ -113,7 +114,7 @@ TEST(DocSync, ArchitectureDocCoversEveryModule) {
       read_file(std::string(GF_REPO_DIR) + "/ARCHITECTURE.md");
   for (const char* module :
        {"common", "obs", "expr", "runtime", "gamma", "dataflow", "translate",
-        "analysis", "frontend", "paper", "distrib"}) {
+        "analysis", "frontend", "paper", "distrib", "viz"}) {
     EXPECT_NE(arch.find(std::string("`") + module), std::string::npos)
         << "ARCHITECTURE.md never mentions module '" << module << "'";
   }

@@ -1,0 +1,258 @@
+// Run-recorder tests: the journal a recorded run produces must replay to the
+// engine's own final state (rounds always; fires exactly when nothing was
+// dropped), survive a serialize -> parse round trip unchanged, and account
+// for every drop under tiny budgets.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+
+#include "gammaflow/dataflow/engine.hpp"
+#include "gammaflow/distrib/cluster.hpp"
+#include "gammaflow/gamma/dsl/parser.hpp"
+#include "gammaflow/gamma/engine.hpp"
+#include "gammaflow/obs/run_recorder.hpp"
+#include "gammaflow/paper/figures.hpp"
+#include "gammaflow/runtime/step_loop.hpp"
+
+namespace gammaflow {
+namespace {
+
+using obs::Journal;
+using obs::RecorderLimits;
+using obs::RunRecorder;
+using obs::StoreCounts;
+
+gamma::Multiset ints(std::initializer_list<std::int64_t> xs) {
+  gamma::Multiset m;
+  for (const std::int64_t x : xs) m.add(gamma::Element({Value(x)}));
+  return m;
+}
+
+std::unique_ptr<gamma::Engine> make_engine(const std::string& name) {
+  if (name == "seq") return std::make_unique<gamma::SequentialEngine>();
+  if (name == "idx") return std::make_unique<gamma::IndexedEngine>();
+  return std::make_unique<gamma::ParallelEngine>();
+}
+
+const char* kMin = "Rmin = replace x, y by x where x < y";
+
+// ---------------------------------------------------------------- gamma ---
+
+class GammaRecorderSuite : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GammaRecorderSuite, JournalReplaysToEngineFinalStore) {
+  const gamma::Program program = gamma::dsl::parse_program(kMin);
+  const gamma::Multiset initial = ints({9, 4, 7, 2, 8, 5});
+  RunRecorder rec;
+  gamma::RunOptions opts;
+  opts.seed = 7;
+  opts.record = &rec;
+  const auto result = make_engine(GetParam())->run(program, initial, opts);
+  const Journal j = rec.take();
+
+  EXPECT_EQ(obs::verify_journal(j), "");
+  EXPECT_EQ(j.kind, "gamma");
+  EXPECT_EQ(j.outcome, "completed");
+  EXPECT_EQ(j.initial, runtime::store_counts(initial));
+
+  const StoreCounts final = runtime::store_counts(result.final_multiset);
+  EXPECT_EQ(j.final_store, final);
+  EXPECT_EQ(obs::replay_rounds(j, j.rounds.size()), final);
+  ASSERT_EQ(j.fires_dropped, 0u);
+  EXPECT_EQ(obs::replay_fires(j, j.fires.size()), final);
+  EXPECT_EQ(j.fires_total, result.steps);
+  for (const obs::FireRecord& f : j.fires) {
+    EXPECT_EQ(f.reaction, "Rmin");
+    EXPECT_EQ(f.consumed.size(), 2u);
+    EXPECT_EQ(f.produced.size(), 1u);
+  }
+}
+
+TEST_P(GammaRecorderSuite, SerializeParseRoundTrip) {
+  const gamma::Program program = gamma::dsl::parse_program(kMin);
+  RunRecorder rec;
+  gamma::RunOptions opts;
+  opts.record = &rec;
+  (void)make_engine(GetParam())->run(program, ints({3, 1, 4, 1, 5}), opts);
+  const Journal j = rec.take();
+
+  const std::string text = obs::journal_to_string(j);
+  const Journal parsed = obs::parse_journal_string(text);
+  EXPECT_EQ(parsed.version, obs::kJournalVersion);
+  EXPECT_EQ(parsed.engine, j.engine);
+  EXPECT_EQ(parsed.kind, j.kind);
+  EXPECT_EQ(parsed.outcome, j.outcome);
+  EXPECT_EQ(parsed.initial, j.initial);
+  EXPECT_EQ(parsed.final_store, j.final_store);
+  EXPECT_EQ(parsed.fires_total, j.fires_total);
+  EXPECT_EQ(parsed.rounds_total, j.rounds_total);
+  ASSERT_EQ(parsed.fires.size(), j.fires.size());
+  for (std::size_t i = 0; i < j.fires.size(); ++i) {
+    EXPECT_EQ(parsed.fires[i].reaction, j.fires[i].reaction);
+    EXPECT_EQ(parsed.fires[i].round, j.fires[i].round);
+    EXPECT_EQ(parsed.fires[i].consumed, j.fires[i].consumed);
+    EXPECT_EQ(parsed.fires[i].produced, j.fires[i].produced);
+  }
+  // Serializing the parsed journal reproduces the text byte-for-byte.
+  EXPECT_EQ(obs::journal_to_string(parsed), text);
+  EXPECT_EQ(obs::verify_journal(parsed), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, GammaRecorderSuite,
+                         ::testing::Values("seq", "idx", "par"));
+
+TEST(Recorder, TinyBudgetCountsDropsAndStillConverges) {
+  const gamma::Program program = gamma::dsl::parse_program(kMin);
+  gamma::Multiset initial;
+  for (std::int64_t i = 0; i < 40; ++i) {
+    initial.add(gamma::Element({Value(100 - i)}));
+  }
+  RecorderLimits limits;
+  limits.max_fires = 3;
+  limits.max_rounds = 1;
+  limits.max_round_bytes = 128;
+  RunRecorder rec(limits);
+  gamma::RunOptions opts;
+  opts.record = &rec;
+  const auto result = gamma::SequentialEngine().run(program, initial, opts);
+  const Journal j = rec.take();
+
+  EXPECT_EQ(j.fires_total, result.steps);
+  EXPECT_GT(j.fires_dropped, 0u);
+  EXPECT_LE(j.fires.size(), 3u);
+  EXPECT_GT(j.rounds_dropped, 0u);
+  // The closing round is budget-exempt: rounds-replay still reaches the
+  // engine's final store even though intermediate rounds were dropped.
+  EXPECT_EQ(obs::replay_rounds(j, j.rounds.size()),
+            runtime::store_counts(result.final_multiset));
+  EXPECT_EQ(obs::verify_journal(j), "");
+}
+
+TEST(Recorder, EscapedStringsSurviveRoundTrip) {
+  RunRecorder rec;
+  rec.begin("test", "gamma", {{"[1, 'a\"b\\c']", 2}, {"tab\there", 1}});
+  obs::FireRecord f;
+  f.reaction = "R\"quoted\"\nnewline";
+  f.consumed = {"[1, 'a\"b\\c']"};
+  f.produced = {"ctrl\x01char"};
+  rec.fire(std::move(f));
+  rec.round({{"[1, 'a\"b\\c']", 1}, {"tab\there", 1}, {"ctrl\x01char", 1}});
+  rec.finish("completed",
+             {{"[1, 'a\"b\\c']", 1}, {"tab\there", 1}, {"ctrl\x01char", 1}});
+  const Journal j = rec.take();
+  const Journal parsed = obs::parse_journal_string(obs::journal_to_string(j));
+  EXPECT_EQ(parsed.fires.at(0).reaction, "R\"quoted\"\nnewline");
+  EXPECT_EQ(parsed.final_store, j.final_store);
+  EXPECT_EQ(obs::verify_journal(parsed), "");
+}
+
+TEST(Recorder, VersionMismatchThrows) {
+  EXPECT_THROW(
+      (void)obs::parse_journal_string(
+          R"({"gf_journal":99,"engine":"x","kind":"gamma","outcome":"completed","initial":{},"rounds":[],"fires":[],"final":{},"fires_total":0,"fires_dropped":0,"rounds_total":0,"rounds_dropped":0})"),
+      std::runtime_error);
+  EXPECT_THROW((void)obs::parse_journal_string("not json"),
+               std::runtime_error);
+}
+
+// ------------------------------------------------------------- dataflow ---
+
+TEST(DataflowRecorder, InterpreterJournalReplaysToOutputs) {
+  const dataflow::Graph g = paper::fig1_graph();
+  RunRecorder rec;
+  dataflow::DfRunOptions opts;
+  opts.record = &rec;
+  const auto result = dataflow::Interpreter().run(g, opts, {});
+  const Journal j = rec.take();
+
+  EXPECT_EQ(j.engine, "interpreter");
+  EXPECT_EQ(j.kind, "dataflow");
+  EXPECT_EQ(obs::verify_journal(j), "");
+  EXPECT_TRUE(j.initial.empty());
+  EXPECT_EQ(j.fires_total, result.fires);
+  ASSERT_EQ(j.fires_dropped, 0u);
+
+  // The final "store" = captured outputs + parked leftovers, in the shared
+  // canonical renderings.
+  StoreCounts expected;
+  for (const auto& [name, tokens] : result.outputs) {
+    for (const auto& [tag, value] : tokens) {
+      ++expected[dataflow::journal_output_str(name, tag, value)];
+    }
+  }
+  for (const dataflow::PendingOperand& p : result.leftovers) {
+    ++expected[dataflow::journal_token_str(g, p.node, p.port, p.tag, p.value)];
+  }
+  EXPECT_EQ(j.final_store, expected);
+  EXPECT_EQ(obs::replay_fires(j, j.fires.size()), expected);
+  EXPECT_EQ(obs::replay_rounds(j, j.rounds.size()), expected);
+}
+
+TEST(DataflowRecorder, ParallelEngineJournalReplays) {
+  const dataflow::Graph g = paper::fig2_graph(4, 5, 100, true);
+  RunRecorder rec;
+  dataflow::DfRunOptions opts;
+  opts.workers = 3;
+  opts.record = &rec;
+  const auto result = dataflow::ParallelEngine().run(g, opts, {});
+  const Journal j = rec.take();
+
+  EXPECT_EQ(j.engine, "parallel");
+  EXPECT_EQ(j.kind, "dataflow");
+  EXPECT_EQ(j.fires_total, result.fires);
+  ASSERT_EQ(j.fires_dropped, 0u);
+  EXPECT_EQ(obs::verify_journal(j), "");
+  EXPECT_EQ(obs::replay_fires(j, j.fires.size()), j.final_store);
+  EXPECT_EQ(obs::replay_rounds(j, j.rounds.size()), j.final_store);
+}
+
+// -------------------------------------------------------------- distrib ---
+
+TEST(DistribRecorder, FaultFreeClusterJournalReplays) {
+  const gamma::Program program = gamma::dsl::parse_program(kMin);
+  const gamma::Multiset initial = ints({9, 4, 7, 2, 8, 5, 11, 3});
+  RunRecorder rec;
+  distrib::ClusterOptions opts;
+  opts.nodes = 3;
+  opts.seed = 5;
+  opts.record = &rec;
+  const auto result = distrib::run_distributed(program, initial, opts);
+  const Journal j = rec.take();
+
+  EXPECT_EQ(j.engine, "cluster");
+  EXPECT_EQ(j.kind, "distrib");
+  EXPECT_EQ(obs::verify_journal(j), "");
+  EXPECT_EQ(j.fires_total, result.fires);
+  const StoreCounts final = runtime::store_counts(result.final_multiset);
+  EXPECT_EQ(j.final_store, final);
+  EXPECT_EQ(obs::replay_rounds(j, j.rounds.size()), final);
+  ASSERT_EQ(j.fires_dropped, 0u);
+  // Fault-free: no fire is ever rolled back, so fire-replay is exact and
+  // every fire names the node that ran it.
+  EXPECT_EQ(obs::replay_fires(j, j.fires.size()), final);
+  for (const obs::FireRecord& f : j.fires) {
+    EXPECT_GE(f.node, 0);
+    EXPECT_LT(f.node, 3);
+  }
+}
+
+TEST(Recorder, OffByDefaultLeavesResultsIdentical) {
+  const gamma::Program program = gamma::dsl::parse_program(kMin);
+  const gamma::Multiset initial = ints({6, 2, 9});
+  gamma::RunOptions plain;
+  plain.seed = 3;
+  RunRecorder rec;
+  gamma::RunOptions recorded;
+  recorded.seed = 3;
+  recorded.record = &rec;
+  const auto a = gamma::IndexedEngine().run(program, initial, plain);
+  const auto b = gamma::IndexedEngine().run(program, initial, recorded);
+  EXPECT_EQ(a.final_multiset.canonical(), b.final_multiset.canonical());
+  EXPECT_EQ(a.steps, b.steps);
+}
+
+}  // namespace
+}  // namespace gammaflow

@@ -9,7 +9,9 @@
 //   gammaflow reconstruct <prog.gamma> --init "<elements>"     Gamma -> graph
 //   gammaflow distrib  <prog.gamma> --init "<elements>" [--nodes N ...]
 //                                             simulated cluster (+ faults)
-//   gammaflow dot      <prog.src|graph.df>    Graphviz output
+//   gammaflow dot      <prog.src|graph.df|prog.gamma>   Graphviz output
+//   gammaflow viz      <any input>            self-contained interactive HTML
+//                                             (or DOT via --format dot)
 //
 // Input kind is decided by extension: .src (imperative), .df (graph text),
 // .gamma (DSL). Elements for --init use the DSL tuple syntax:
@@ -36,6 +38,8 @@
 #include "gammaflow/frontend/compile.hpp"
 #include "gammaflow/gamma/dsl/parser.hpp"
 #include "gammaflow/gamma/engine.hpp"
+#include "gammaflow/obs/run_recorder.hpp"
+#include "gammaflow/viz/viz.hpp"
 #include "gammaflow/analysis/interference.hpp"
 #include "gammaflow/analysis/lint.hpp"
 #include "gammaflow/analysis/verify_df.hpp"
@@ -57,7 +61,13 @@ void print_usage(std::ostream& out) {
       "  fuse <prog.gamma> [--init \"...\"]      SIII-A3 reduction\n"
       "  expand <prog.gamma>                   inverse reduction\n"
       "  reconstruct <prog.gamma> --init \"...\" Gamma -> dataflow graph\n"
-      "  dot <prog.src|graph.df>               Graphviz\n"
+      "  dot <prog.src|graph.df|prog.gamma>    Graphviz (.gamma renders the\n"
+      "                                        interference graph; pick with\n"
+      "                                        --graph)\n"
+      "  viz <any input> [--out f.html]        self-contained interactive HTML\n"
+      "                                        (graph + store scrubber +\n"
+      "                                        provenance); runs the input\n"
+      "                                        with recording unless --journal\n"
       "  opt <prog.src|graph.df>               optimize (fold/bypass/DCE)\n"
       "  lint <prog.gamma> [--init \"...\"]     static Gamma checks\n"
       "  check <any input> [--init \"...\"]     ALL static passes: lint +\n"
@@ -94,9 +104,21 @@ void print_usage(std::ostream& out) {
       "         --crash R:N:D          crash node N at round R for D rounds\n"
       "         --partition S:D:C      rounds [S,S+D): cut {0..C-1}|{C..}\n"
       "         --token-timeout N      Safra token regeneration timeout\n"
-      "observability (run, rungamma):\n"
+      "viz:     --out <file>           output path (default: <input>.html, or\n"
+      "                                stdout for --format dot)\n"
+      "         --format html|dot      output kind (default html)\n"
+      "         --graph dataflow|interference|classes|shards\n"
+      "                                which graph a DOT render shows (also\n"
+      "                                honored by `dot` on .gamma input)\n"
+      "         --journal <file.json>  embed an existing run journal instead\n"
+      "                                of running the input\n"
+      "observability (run, rungamma, distrib):\n"
       "  --trace-out <file.json>  Chrome trace-event dump (chrome://tracing)\n"
       "  --metrics                print engine-internal metrics after the run\n"
+      "  --record-out <file.json> record the run (per-fire provenance +\n"
+      "                           per-round store deltas) to a journal; also\n"
+      "                           accepted by viz to keep the journal it\n"
+      "                           recorded for the HTML\n"
       "  --log-level <level>      trace|debug|info|warn|error (or GF_LOG_LEVEL)\n";
 }
 
@@ -162,7 +184,13 @@ struct Options {
   std::uint64_t seed = 1;
   std::optional<unsigned> workers;
   std::optional<std::string> trace_out;
+  std::optional<std::string> record_out;
   bool metrics = false;
+  // --- viz ---
+  std::string out;         // --out: output path ("" = default)
+  std::string format = "html";
+  std::string graph_kind;  // --graph: "" = pick by input kind
+  std::optional<std::string> journal_path;
   /// Wall-clock budget in seconds for run/rungamma; <= 0 = none. The run
   /// returns its partial state with outcome=deadline_exceeded when it hits.
   double deadline = 0.0;
@@ -252,6 +280,16 @@ Options parse_options(int argc, char** argv, int first) {
       opts.workers = static_cast<unsigned>(next_number());
     } else if (arg == "--trace-out") {
       opts.trace_out = next();
+    } else if (arg == "--record-out") {
+      opts.record_out = next();
+    } else if (arg == "--out") {
+      opts.out = next();
+    } else if (arg == "--format") {
+      opts.format = next();
+    } else if (arg == "--graph") {
+      opts.graph_kind = next();
+    } else if (arg == "--journal") {
+      opts.journal_path = next();
     } else if (arg == "--metrics") {
       opts.metrics = true;
     } else if (arg == "--deadline") {
@@ -316,6 +354,16 @@ void dump_trace(const obs::Telemetry& tel, const std::string& path) {
             << " (load in chrome://tracing or https://ui.perfetto.dev)\n";
 }
 
+/// Writes a run journal to `path` (stderr note, like dump_trace).
+void dump_journal(const obs::Journal& journal, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot write journal to '" + path + "'");
+  obs::write_journal(out, journal);
+  std::cerr << "# journal written to " << path << " ("
+            << journal.fires.size() << " fires, " << journal.rounds.size()
+            << " rounds)\n";
+}
+
 std::unique_ptr<gamma::Engine> make_engine(const std::string& name) {
   if (name == "seq") return std::make_unique<gamma::SequentialEngine>();
   if (name == "idx") return std::make_unique<gamma::IndexedEngine>();
@@ -331,9 +379,11 @@ int cmd_compile(const std::string& path) {
 int cmd_run(const std::string& path, const Options& opts) {
   const dataflow::Graph g = load_graph(path);
   obs::Telemetry tel;
+  obs::RunRecorder rec;
   dataflow::DfRunOptions ropts;
   ropts.compile = opts.compile;
   if (opts.trace_out || opts.metrics) ropts.telemetry = &tel;
+  if (opts.record_out) ropts.record = &rec;
   if (opts.workers) ropts.workers = *opts.workers;
   if (opts.deadline > 0.0) {
     ropts.deadline = opts.deadline;
@@ -359,6 +409,7 @@ int cmd_run(const std::string& path, const Options& opts) {
     std::cout << "# " << result.leftovers.size() << " unmatched operand(s)\n";
   }
   if (opts.trace_out) dump_trace(tel, *opts.trace_out);
+  if (opts.record_out) dump_journal(rec.take(), *opts.record_out);
   if (opts.metrics) obs::write_report(std::cout, tel);
   return 0;
 }
@@ -387,12 +438,14 @@ int cmd_rungamma(const std::string& path, const Options& opts) {
   const gamma::Program program = gamma::dsl::parse_program(read_file(path));
   const gamma::Multiset initial = parse_elements(*opts.init);
   obs::Telemetry tel;
+  obs::RunRecorder rec;
   gamma::RunOptions ropts;
   ropts.seed = opts.seed;
   ropts.compile = opts.compile;
   ropts.shard = opts.shard;
   if (opts.workers) ropts.workers = *opts.workers;
   if (opts.trace_out || opts.metrics) ropts.telemetry = &tel;
+  if (opts.record_out) ropts.record = &rec;
   if (opts.deadline > 0.0) {
     ropts.deadline = opts.deadline;
     ropts.limit_policy = LimitPolicy::Partial;
@@ -414,6 +467,7 @@ int cmd_rungamma(const std::string& path, const Options& opts) {
               << " (partial multiset above)\n";
   }
   if (opts.trace_out) dump_trace(tel, *opts.trace_out);
+  if (opts.record_out) dump_journal(rec.take(), *opts.record_out);
   if (opts.metrics) obs::write_report(std::cout, tel);
   return 0;
 }
@@ -423,6 +477,7 @@ int cmd_distrib(const std::string& path, const Options& opts) {
   const gamma::Program program = gamma::dsl::parse_program(read_file(path));
   const gamma::Multiset initial = parse_elements(*opts.init);
   obs::Telemetry tel;
+  obs::RunRecorder rec;
   distrib::ClusterOptions copts;
   copts.nodes = opts.nodes;
   copts.seed = opts.seed;
@@ -430,7 +485,8 @@ int cmd_distrib(const std::string& path, const Options& opts) {
   copts.fires_per_round = opts.fires_per_round;
   copts.faults = opts.faults;
   copts.compile = opts.compile;
-  if (opts.metrics) copts.telemetry = &tel;
+  if (opts.trace_out || opts.metrics) copts.telemetry = &tel;
+  if (opts.record_out) copts.record = &rec;
   if (opts.deadline > 0.0) {
     copts.deadline = opts.deadline;
     copts.limit_policy = LimitPolicy::Partial;
@@ -472,6 +528,8 @@ int cmd_distrib(const std::string& path, const Options& opts) {
               << " restarts, " << result.token_regenerations
               << " token regenerations\n";
   }
+  if (opts.trace_out) dump_trace(tel, *opts.trace_out);
+  if (opts.record_out) dump_journal(rec.take(), *opts.record_out);
   if (opts.metrics) obs::write_report(std::cout, tel);
   return 0;
 }
@@ -576,8 +634,139 @@ int cmd_check(const std::string& path, const Options& opts) {
   return report_exit(lint, opts.werror);
 }
 
-int cmd_dot(const std::string& path) {
+/// Renders one Gamma-side DOT graph (`dot` on .gamma, `viz --format dot`).
+void write_gamma_dot(std::ostream& os, const std::string& kind,
+                     const gamma::Program& program,
+                     const analysis::InterferenceReport& report,
+                     const std::string& title) {
+  if (kind == "interference") {
+    viz::write_interference_dot(os, program, report, title);
+  } else if (kind == "classes") {
+    viz::write_classes_dot(os, program, report, title);
+  } else if (kind == "shards") {
+    viz::write_shards_dot(os, program, report, title);
+  } else {
+    throw Error("unknown --graph '" + kind +
+                "' for a .gamma input (want interference|classes|shards)");
+  }
+}
+
+int cmd_dot(const std::string& path, const Options& opts) {
+  if (ends_with(path, ".gamma")) {
+    const gamma::Program program = gamma::dsl::parse_program(read_file(path));
+    const gamma::Multiset initial =
+        opts.init ? parse_elements(*opts.init) : gamma::Multiset{};
+    analysis::InterferenceOptions iopts;
+    iopts.seed = opts.seed;
+    const auto report = analysis::analyze_interference(program, initial, iopts);
+    const std::string kind =
+        opts.graph_kind.empty() ? "interference" : opts.graph_kind;
+    write_gamma_dot(std::cout, kind, program, report, path);
+    return 0;
+  }
   dataflow::write_dot(std::cout, load_graph(path), path);
+  return 0;
+}
+
+/// `gammaflow viz`: renders the input (plus an optional or freshly recorded
+/// run journal) as one self-contained HTML file, or as DOT via --format dot.
+int cmd_viz(const std::string& path, const Options& opts) {
+  const bool is_gamma = ends_with(path, ".gamma");
+  std::optional<dataflow::Graph> graph;
+  std::optional<gamma::Program> program;
+  std::optional<analysis::InterferenceReport> report;
+  if (is_gamma) {
+    program = gamma::dsl::parse_program(read_file(path));
+    const gamma::Multiset initial =
+        opts.init ? parse_elements(*opts.init) : gamma::Multiset{};
+    analysis::InterferenceOptions iopts;
+    iopts.seed = opts.seed;
+    report = analysis::analyze_interference(*program, initial, iopts);
+  } else {
+    graph = load_graph(path);
+  }
+
+  if (opts.format == "dot") {
+    const std::string kind = opts.graph_kind.empty()
+                                 ? (is_gamma ? "interference" : "dataflow")
+                                 : opts.graph_kind;
+    std::ofstream file;
+    if (!opts.out.empty()) {
+      file.open(opts.out);
+      if (!file) throw Error("cannot write '" + opts.out + "'");
+    }
+    std::ostream& os = opts.out.empty() ? std::cout : file;
+    if (kind == "dataflow") {
+      if (!graph) throw Error("--graph dataflow needs a .src or .df input");
+      dataflow::write_dot(os, *graph, path);
+    } else {
+      if (!program) {
+        throw Error("--graph " + kind + " needs a .gamma input");
+      }
+      write_gamma_dot(os, kind, *program, *report, path);
+    }
+    return 0;
+  }
+  if (opts.format != "html") {
+    throw Error("unknown --format '" + opts.format + "' (want html|dot)");
+  }
+
+  // Journal: load one, or run the input with recording on. A .gamma run
+  // needs --init; without it the fixpoint is immediate and the journal is
+  // omitted rather than misleading.
+  obs::Journal journal;
+  bool have_journal = false;
+  if (opts.journal_path) {
+    std::ifstream in(*opts.journal_path);
+    if (!in) throw Error("cannot open journal '" + *opts.journal_path + "'");
+    journal = obs::parse_journal(in);
+    have_journal = true;
+  } else if (is_gamma && opts.init) {
+    obs::RunRecorder rec;
+    gamma::RunOptions ropts;
+    ropts.seed = opts.seed;
+    ropts.compile = opts.compile;
+    ropts.record = &rec;
+    (void)make_engine(opts.engine)->run(*program, parse_elements(*opts.init),
+                                        ropts);
+    journal = rec.take();
+    have_journal = true;
+  } else if (!is_gamma) {
+    obs::RunRecorder rec;
+    dataflow::DfRunOptions ropts;
+    ropts.compile = opts.compile;
+    ropts.record = &rec;
+    if (opts.engine == "par") {
+      (void)dataflow::ParallelEngine().run(*graph, ropts, {});
+    } else {
+      (void)dataflow::Interpreter().run(*graph, ropts, {});
+    }
+    journal = rec.take();
+    have_journal = true;
+  }
+  if (have_journal && opts.record_out) dump_journal(journal, *opts.record_out);
+
+  viz::HtmlInputs inputs;
+  inputs.title = path;
+  inputs.graph = graph ? &*graph : nullptr;
+  inputs.program = program ? &*program : nullptr;
+  inputs.interference = report ? &*report : nullptr;
+  inputs.journal = have_journal ? &journal : nullptr;
+
+  std::string out_path = opts.out;
+  if (out_path.empty()) {
+    const std::size_t dot_pos = path.find_last_of('.');
+    const std::size_t slash = path.find_last_of('/');
+    out_path = (dot_pos != std::string::npos &&
+                (slash == std::string::npos || dot_pos > slash))
+                   ? path.substr(0, dot_pos) + ".html"
+                   : path + ".html";
+  }
+  std::ofstream out(out_path);
+  if (!out) throw Error("cannot write '" + out_path + "'");
+  viz::write_html(out, inputs);
+  std::cerr << "# html written to " << out_path
+            << (have_journal ? "" : " (no journal embedded)") << '\n';
   return 0;
 }
 
@@ -603,7 +792,8 @@ int main(int argc, char** argv) try {
   if (cmd == "fuse") return cmd_fuse(file, opts);
   if (cmd == "expand") return cmd_expand(file);
   if (cmd == "reconstruct") return cmd_reconstruct(file, opts);
-  if (cmd == "dot") return cmd_dot(file);
+  if (cmd == "dot") return cmd_dot(file, opts);
+  if (cmd == "viz") return cmd_viz(file, opts);
   if (cmd == "opt") return cmd_opt(file);
   if (cmd == "lint") return cmd_lint(file, opts);
   if (cmd == "check") return cmd_check(file, opts);
