@@ -20,6 +20,83 @@
 
 namespace gammaflow {
 
+/// Seed-deterministic membership churn for the elastic cluster: scheduled
+/// joins/leaves pinned to exact rounds, plus an optional random churn rate.
+/// Leaves are GRACEFUL (the node drains before deactivating) — crashes stay
+/// in FaultPlan proper. Node 0 never leaves: it is the Safra initiator and
+/// the consolidation collector.
+struct MembershipPlan {
+  /// A membership event pinned to an exact (round, node). For a join the
+  /// node must be a spare index >= the initial cluster size (capacity =
+  /// nodes + joins); for a leave it must be a node that is a member at that
+  /// round (initial or previously joined) other than node 0.
+  struct Event {
+    std::size_t round = 0;
+    std::size_t node = 0;
+  };
+  std::vector<Event> joins;
+  std::vector<Event> leaves;
+
+  /// P(a random membership event this round): a leave of a random non-zero
+  /// member, or a rejoin of a node that previously completed a leave.
+  double churn_rate = 0.0;
+  /// Total random events are capped so a churny run still quiesces.
+  std::size_t max_churn = 8;
+
+  [[nodiscard]] bool any() const noexcept {
+    return !joins.empty() || !leaves.empty() || churn_rate > 0.0;
+  }
+
+  /// Throws ProgramError on malformed schedules. Needs the cluster size to
+  /// check join spares; events at round 0 would race initial placement.
+  void validate(std::size_t nodes) const {
+    if (churn_rate < 0.0 || churn_rate > 1.0) {
+      throw ProgramError("MembershipPlan::churn_rate must be a probability "
+                         "in [0,1], got " + std::to_string(churn_rate));
+    }
+    for (const Event& e : joins) {
+      if (e.round == 0) {
+        throw ProgramError("MembershipPlan join rounds start at 1 (round 0 "
+                           "is initial placement)");
+      }
+      if (e.node < nodes) {
+        throw ProgramError("MembershipPlan joins node " +
+                           std::to_string(e.node) +
+                           " but joining nodes must be spare indices >= the "
+                           "initial cluster size " + std::to_string(nodes));
+      }
+      std::size_t uses = 0;
+      for (const Event& other : joins) {
+        if (other.node == e.node) ++uses;
+      }
+      if (uses > 1) {
+        throw ProgramError("MembershipPlan schedules node " +
+                           std::to_string(e.node) + " to join twice");
+      }
+    }
+    for (const Event& e : leaves) {
+      if (e.round == 0) {
+        throw ProgramError("MembershipPlan leave rounds start at 1");
+      }
+      if (e.node == 0) {
+        throw ProgramError("node 0 cannot leave: it is the Safra initiator "
+                           "and the consolidation collector");
+      }
+      if (e.node >= nodes) {
+        bool joins_first = false;
+        for (const Event& j : joins) {
+          joins_first = joins_first || (j.node == e.node && j.round < e.round);
+        }
+        if (!joins_first) {
+          throw ProgramError("MembershipPlan schedules node " +
+                             std::to_string(e.node) +
+                             " to leave but it never joins before that");
+        }
+      }
+    }
+  }
+};
+
 /// Declarative failure schedule for a simulated cluster run. Probabilities
 /// are per PHYSICAL message; crash_rate is per node per round.
 struct FaultPlan {
@@ -63,6 +140,13 @@ struct FaultPlan {
   /// size and latency (see distrib/cluster.cpp).
   std::size_t token_timeout = 0;
 
+  /// Membership churn schedule (graceful joins/leaves). Not a fault in the
+  /// crash sense — leaves drain instead of losing state — but it rides in
+  /// the FaultPlan because it perturbs the same protocol machinery (Safra
+  /// generations, the ring, the retry loop) and must replay from the same
+  /// seed. Does NOT count toward any()/crashes_possible().
+  MembershipPlan membership;
+
   [[nodiscard]] bool any() const noexcept {
     return loss > 0.0 || duplication > 0.0 || reorder > 0.0 ||
            crash_rate > 0.0 || !crashes.empty() || !partitions.empty();
@@ -92,6 +176,7 @@ struct FaultPlan {
       throw ProgramError("FaultPlan::crash_downtime must be >= 1 when "
                          "crashes are enabled");
     }
+    // Membership is validated by the cluster (it knows the node count).
   }
 };
 
@@ -127,6 +212,19 @@ class FaultInjector {
     ++spontaneous_;
     return true;
   }
+  /// Does a random membership event happen this round? (Scheduled joins and
+  /// leaves are the caller's job; this only rolls the churn_rate dice,
+  /// capped by max_churn.)
+  [[nodiscard]] bool spontaneous_churn() noexcept {
+    if (plan_.membership.churn_rate <= 0.0 ||
+        churned_ >= plan_.membership.max_churn) {
+      return false;
+    }
+    if (!rng_.coin(plan_.membership.churn_rate)) return false;
+    ++churned_;
+    return true;
+  }
+
   /// Is the link a <-> b cut by a scheduled partition during `round`?
   [[nodiscard]] bool severed(std::size_t a, std::size_t b,
                              std::size_t round) const noexcept {
@@ -142,6 +240,7 @@ class FaultInjector {
   FaultPlan plan_;
   Rng rng_;
   std::size_t spontaneous_ = 0;
+  std::size_t churned_ = 0;
 };
 
 }  // namespace gammaflow

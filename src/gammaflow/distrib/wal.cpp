@@ -1,0 +1,460 @@
+#include "gammaflow/distrib/wal.hpp"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+
+#include "gammaflow/common/error.hpp"
+
+namespace gammaflow::distrib {
+
+using gamma::Element;
+using gamma::Multiset;
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1U) != 0 ? 0xEDB88320U ^ (c >> 1U) : c >> 1U;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+std::string hex8(std::uint32_t v) {
+  char buf[9];
+  std::snprintf(buf, sizeof buf, "%08x", v);
+  return buf;
+}
+
+std::string hex_bytes(const std::string& s) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(s.size() * 2);
+  for (const char c : s) {
+    const auto b = static_cast<unsigned char>(c);
+    out.push_back(digits[b >> 4U]);
+    out.push_back(digits[b & 0xFU]);
+  }
+  return out;
+}
+
+int hex_val(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::string unhex_bytes(const std::string& s) {
+  if (s.size() % 2 != 0) throw ProgramError("WAL: odd-length hex string");
+  std::string out;
+  out.reserve(s.size() / 2);
+  for (std::size_t i = 0; i < s.size(); i += 2) {
+    const int hi = hex_val(s[i]);
+    const int lo = hex_val(s[i + 1]);
+    if (hi < 0 || lo < 0) throw ProgramError("WAL: bad hex byte");
+    out.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return out;
+}
+
+std::vector<std::string> split_tokens(const std::string& line) {
+  std::vector<std::string> toks;
+  std::istringstream in(line);
+  std::string t;
+  while (in >> t) toks.push_back(std::move(t));
+  return toks;
+}
+
+std::uint64_t to_u64(const std::string& s) {
+  return std::stoull(s);
+}
+
+std::string frame(const std::string& payload) {
+  return "R " + hex8(crc32(payload)) + ' ' + payload + '\n';
+}
+
+/// Parses one framed line; returns the payload or nullopt on a bad frame.
+bool unframe(const std::string& line, std::string* payload) {
+  // "R <8 hex> <payload>" — minimum 11 chars before the payload.
+  if (line.size() < 11 || line[0] != 'R' || line[1] != ' ' ||
+      line[10] != ' ') {
+    return false;
+  }
+  std::uint32_t want = 0;
+  for (std::size_t i = 2; i < 10; ++i) {
+    const int v = hex_val(line[i]);
+    if (v < 0) return false;
+    want = (want << 4U) | static_cast<std::uint32_t>(v);
+  }
+  *payload = line.substr(11);
+  return crc32(*payload) == want;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::string& data) noexcept {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFU;
+  for (const char ch : data) {
+    c = table[(c ^ static_cast<unsigned char>(ch)) & 0xFFU] ^ (c >> 8U);
+  }
+  return c ^ 0xFFFFFFFFU;
+}
+
+std::string encode_element(const Element& e) {
+  std::string out = "(";
+  for (std::size_t i = 0; i < e.arity(); ++i) {
+    const Value& v = e.field(i);
+    out += ' ';
+    switch (v.kind()) {
+      case ValueKind::Nil: out += 'n'; break;
+      case ValueKind::Int: out += 'i' + std::to_string(v.as_int()); break;
+      case ValueKind::Real: {
+        // IEEE bit pattern, not decimal: the one encoding that is exact.
+        std::uint64_t bits = 0;
+        const double d = v.as_real();
+        static_assert(sizeof bits == sizeof d);
+        std::memcpy(&bits, &d, sizeof bits);
+        char buf[17];
+        std::snprintf(buf, sizeof buf, "%016llx",
+                      static_cast<unsigned long long>(bits));
+        out += 'r';
+        out += buf;
+        break;
+      }
+      case ValueKind::Bool: out += v.as_bool() ? "b1" : "b0"; break;
+      case ValueKind::Str: out += 's' + hex_bytes(v.as_str()); break;
+    }
+  }
+  out += " )";
+  return out;
+}
+
+std::vector<Element> decode_elements(const std::vector<std::string>& tokens,
+                                     std::size_t& pos) {
+  std::vector<Element> out;
+  while (pos < tokens.size() && tokens[pos] == "(") {
+    ++pos;
+    std::vector<Value> fields;
+    while (pos < tokens.size() && tokens[pos] != ")") {
+      const std::string& t = tokens[pos++];
+      switch (t[0]) {
+        case 'n': fields.emplace_back(); break;
+        case 'i':
+          fields.emplace_back(
+              static_cast<std::int64_t>(std::stoll(t.substr(1))));
+          break;
+        case 'r': {
+          const std::uint64_t bits = std::stoull(t.substr(1), nullptr, 16);
+          double d = 0.0;
+          std::memcpy(&d, &bits, sizeof d);
+          fields.emplace_back(d);
+          break;
+        }
+        case 'b': fields.emplace_back(t == "b1"); break;
+        case 's': fields.emplace_back(unhex_bytes(t.substr(1))); break;
+        default: throw ProgramError("WAL: unknown value token '" + t + "'");
+      }
+    }
+    if (pos >= tokens.size()) {
+      throw ProgramError("WAL: unterminated element");
+    }
+    ++pos;  // consume ')'
+    out.emplace_back(std::move(fields));
+  }
+  return out;
+}
+
+void WalWriter::open(const std::string& path, std::size_t node, bool fresh) {
+  path_ = path;
+  node_ = node;
+  out_.open(path, fresh ? std::ios::trunc : std::ios::app);
+  if (!out_) throw ProgramError("WAL: cannot open " + path);
+  if (fresh) {
+    append("gfwal " + std::to_string(kWalVersion) + ' ' +
+           std::to_string(node));
+  }
+}
+
+void WalWriter::append(const std::string& payload) {
+  const std::string line = frame(payload);
+  out_ << line;
+  bytes_ += line.size();
+  ++records_;
+}
+
+void WalWriter::log_fire(const std::vector<Element>& consumed,
+                         const std::vector<Element>& produced) {
+  std::string p = "fire";
+  for (const Element& e : consumed) p += ' ' + encode_element(e);
+  p += " ;";
+  for (const Element& e : produced) p += ' ' + encode_element(e);
+  append(p);
+}
+
+void WalWriter::log_recv(std::size_t from, std::uint64_t seq,
+                         const std::vector<Element>& elements) {
+  std::string p =
+      "recv " + std::to_string(from) + ' ' + std::to_string(seq);
+  for (const Element& e : elements) p += ' ' + encode_element(e);
+  append(p);
+}
+
+void WalWriter::log_pull(std::size_t from, std::uint64_t seq) {
+  append("pull " + std::to_string(from) + ' ' + std::to_string(seq));
+}
+
+void WalWriter::log_pull_answered() { append("pulla"); }
+
+void WalWriter::log_send(std::size_t to, std::uint64_t seq, int kind,
+                         const std::vector<Element>& elements) {
+  std::string p = "send " + std::to_string(to) + ' ' + std::to_string(seq) +
+                  ' ' + std::to_string(kind);
+  for (const Element& e : elements) p += ' ' + encode_element(e);
+  append(p);
+}
+
+void WalWriter::log_ackd(std::uint64_t seq) {
+  append("ackd " + std::to_string(seq));
+}
+
+void WalWriter::log_round(std::uint64_t round) {
+  append("round " + std::to_string(round));
+  out_.flush();
+}
+
+void WalWriter::snapshot_records(const WalNodeState& state) {
+  append("snap " + std::to_string(state.round) + ' ' +
+         std::to_string(state.epoch) + ' ' +
+         std::to_string(state.message_count) + ' ' +
+         std::to_string(state.next_seq) + ' ' +
+         (state.pull_pending ? "1" : "0"));
+  for (const Element& e : state.shard) append("selem " + encode_element(e));
+  for (const auto& [from, seqs] : state.seen) {
+    std::string p = "sseen " + std::to_string(from);
+    for (const std::uint64_t s : seqs) p += ' ' + std::to_string(s);
+    append(p);
+  }
+  for (const WalPendingSend& s : state.pending) {
+    std::string p = "sout " + std::to_string(s.to) + ' ' +
+                    std::to_string(s.seq) + ' ' + std::to_string(s.kind);
+    for (const Element& e : s.elements) p += ' ' + encode_element(e);
+    append(p);
+  }
+}
+
+void WalWriter::snapshot(const WalNodeState& state) {
+  snapshot_records(state);
+  out_.flush();
+}
+
+void WalWriter::compact(const WalNodeState& state) {
+  out_.close();
+  out_.open(path_, std::ios::trunc);
+  if (!out_) throw ProgramError("WAL: cannot rewrite " + path_);
+  append("gfwal " + std::to_string(kWalVersion) + ' ' +
+         std::to_string(node_));
+  snapshot_records(state);
+  append("round " + std::to_string(state.round));
+  out_.flush();
+  ++compactions_;
+}
+
+WalNodeState replay_node_wal(const std::string& path) {
+  WalNodeState st;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return st;
+
+  // Working state AHEAD of the last round marker; the returned state is the
+  // checkpointed copy at the marker, so a torn mid-round suffix (records
+  // whose effects were never acknowledged to anyone) is discarded wholesale.
+  WalNodeState work;
+  WalNodeState at_marker;
+  bool have_marker = false;
+  bool have_header = false;
+
+  std::uint64_t good_bytes = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    const bool complete = !in.eof();  // last line without '\n' is torn
+    std::string payload;
+    if (!complete || !unframe(line, &payload)) break;
+    const std::vector<std::string> toks = split_tokens(payload);
+    if (toks.empty()) break;
+    try {
+      const std::string& kind = toks.at(0);
+      if (kind == "gfwal") {
+        if (toks.size() < 3 || to_u64(toks.at(1)) != kWalVersion) break;
+        work.node = to_u64(toks.at(2));
+        work.valid = true;
+        have_header = true;
+      } else if (!have_header) {
+        break;
+      } else if (kind == "snap") {
+        work.round = to_u64(toks.at(1));
+        work.epoch = to_u64(toks.at(2));
+        work.message_count = std::stoll(toks.at(3));
+        work.next_seq = to_u64(toks.at(4));
+        work.pull_pending = toks.at(5) == "1";
+        work.shard = Multiset{};
+        work.seen.clear();
+        work.pending.clear();
+      } else if (kind == "selem") {
+        std::size_t pos = 1;
+        for (Element& e : decode_elements(toks, pos)) {
+          work.shard.add(std::move(e));
+        }
+      } else if (kind == "sseen") {
+        auto& set = work.seen[to_u64(toks.at(1))];
+        for (std::size_t i = 2; i < toks.size(); ++i) {
+          set.insert(to_u64(toks[i]));
+        }
+      } else if (kind == "sout") {
+        WalPendingSend s;
+        s.to = to_u64(toks.at(1));
+        s.seq = to_u64(toks.at(2));
+        s.kind = static_cast<int>(to_u64(toks.at(3)));
+        std::size_t pos = 4;
+        s.elements = decode_elements(toks, pos);
+        work.pending.push_back(std::move(s));
+      } else if (kind == "fire") {
+        std::size_t pos = 1;
+        std::vector<Element> consumed = decode_elements(toks, pos);
+        if (pos >= toks.size() || toks[pos] != ";") {
+          throw ProgramError("WAL: fire without separator");
+        }
+        ++pos;
+        std::vector<Element> produced = decode_elements(toks, pos);
+        for (const Element& e : consumed) {
+          if (!work.shard.remove_one(e)) {
+            throw ProgramError("WAL: fire consumes absent element");
+          }
+        }
+        for (Element& e : produced) work.shard.add(std::move(e));
+      } else if (kind == "recv") {
+        const std::size_t from = to_u64(toks.at(1));
+        const std::uint64_t seq = to_u64(toks.at(2));
+        if (work.seen[from].insert(seq).second) {
+          std::size_t pos = 3;
+          for (Element& e : decode_elements(toks, pos)) {
+            work.shard.add(std::move(e));
+          }
+          --work.message_count;
+        }
+      } else if (kind == "pull") {
+        const std::size_t from = to_u64(toks.at(1));
+        const std::uint64_t seq = to_u64(toks.at(2));
+        if (work.seen[from].insert(seq).second) {
+          --work.message_count;
+          work.pull_pending = true;
+        }
+      } else if (kind == "pulla") {
+        work.pull_pending = false;
+      } else if (kind == "send") {
+        WalPendingSend s;
+        s.to = to_u64(toks.at(1));
+        s.seq = to_u64(toks.at(2));
+        s.kind = static_cast<int>(to_u64(toks.at(3)));
+        std::size_t pos = 4;
+        s.elements = decode_elements(toks, pos);
+        // The live path removes the payload from the shard BEFORE logging
+        // the send (stirring's take_random, a pull answer, a rebalance all
+        // extract first) — so `send` doubles as the shard-removal record.
+        if (s.kind == 0) {
+          for (const Element& e : s.elements) {
+            if (!work.shard.remove_one(e)) {
+              throw ProgramError("WAL: send ships absent element");
+            }
+          }
+        }
+        ++work.message_count;
+        if (s.seq >= work.next_seq) work.next_seq = s.seq + 1;
+        work.pending.push_back(std::move(s));
+      } else if (kind == "ackd") {
+        const std::uint64_t seq = to_u64(toks.at(1));
+        std::erase_if(work.pending, [&](const WalPendingSend& s) {
+          return s.seq == seq;
+        });
+      } else if (kind == "round") {
+        work.round = to_u64(toks.at(1));
+        at_marker = work;
+        have_marker = true;
+      } else {
+        break;  // unknown record: treat as a tear, keep the intact prefix
+      }
+    } catch (const std::exception&) {
+      break;  // malformed payload despite a good CRC: stop at the tear
+    }
+    good_bytes += line.size() + 1;
+  }
+
+  const auto file_size =
+      static_cast<std::uint64_t>(std::filesystem::file_size(path));
+  WalNodeState result = have_marker ? std::move(at_marker) : std::move(work);
+  result.torn_bytes = file_size > good_bytes ? file_size - good_bytes : 0;
+  if (result.torn_bytes > 0) {
+    // Truncate on disk too, so appends after a crash-restart extend the
+    // intact prefix instead of interleaving with garbage.
+    in.close();
+    std::error_code ec;
+    std::filesystem::resize_file(path, good_bytes, ec);
+  }
+  return result;
+}
+
+std::string wal_node_path(const std::string& dir, std::size_t node) {
+  return dir + "/node-" + std::to_string(node) + ".wal";
+}
+
+std::string wal_manifest_path(const std::string& dir) {
+  return dir + "/MANIFEST";
+}
+
+void write_manifest(const std::string& dir, const WalManifest& m) {
+  const std::string payload =
+      "manifest " + std::to_string(kWalVersion) + ' ' +
+      std::to_string(m.round) + ' ' + std::to_string(m.epoch) + ' ' +
+      std::to_string(m.token_gen) + ' ' + std::to_string(m.initial_nodes) +
+      ' ' + m.states;
+  // Write-to-temp + rename: the manifest is tiny and must never be torn.
+  const std::string path = wal_manifest_path(dir);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) throw ProgramError("WAL: cannot write " + tmp);
+    out << frame(payload);
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+WalManifest read_manifest(const std::string& dir) {
+  WalManifest m;
+  std::ifstream in(wal_manifest_path(dir));
+  if (!in) return m;
+  std::string line;
+  if (!std::getline(in, line)) return m;
+  std::string payload;
+  if (!unframe(line, &payload)) return m;
+  const std::vector<std::string> toks = split_tokens(payload);
+  if (toks.size() < 7 || toks[0] != "manifest" ||
+      to_u64(toks[1]) != kWalVersion) {
+    return m;
+  }
+  m.round = to_u64(toks[2]);
+  m.epoch = to_u64(toks[3]);
+  m.token_gen = to_u64(toks[4]);
+  m.initial_nodes = to_u64(toks[5]);
+  m.states = toks[6];
+  m.valid = true;
+  return m;
+}
+
+}  // namespace gammaflow::distrib

@@ -1,0 +1,158 @@
+// Per-node write-ahead log + cluster manifest for the durable cluster
+// (distrib/cluster). The journal (obs/run_recorder) answers "what happened";
+// the WAL answers "what must survive": it is the durability story behind
+// `ClusterOptions::wal_dir` and `distrib --resume`.
+//
+// Format (versioned, line-oriented like the PR 6 journal, but CRC-guarded):
+// each record is one line `R <crc32-hex8> <payload>` where the CRC covers
+// exactly the payload bytes. A reader verifies every line; the first
+// mismatch or incomplete line marks a TORN TAIL (the process died mid-write)
+// and replay truncates there — everything before the tear is intact because
+// records are appended and flushed in commit order (write-ahead: the record
+// is on disk before the ack that makes it irrevocable goes out).
+//
+// Record payloads (space-separated tokens; elements use the exact
+// round-trip encoding below, never the human printer):
+//
+//   gfwal <version> <node>            file header
+//   snap <round> <epoch> <count> <next_seq> <pull>
+//                                     begin compacting snapshot: resets the
+//                                     replayed shard/seen/outbox, then...
+//   selem <element>                   ...one shard element per line,
+//   sseen <from> <seq...>             ...one dedup set per sender,
+//   sout <to> <seq> <kind> <element...>   ...one unacked transfer per line.
+//   fire <element...> ; <element...>  committed fire: consumed ; produced
+//   recv <from> <seq> <element...>    delivered transfer (already deduped)
+//   pull <from> <seq>                 delivered pull request
+//   pulla                             pull answered (pending flag cleared)
+//   send <to> <seq> <kind> <element...>   transfer started (outbox +)
+//   ackd <seq>                        transfer acked (outbox -)
+//   round <round>                     end-of-round marker (flush point)
+//
+// Element encoding is exact round-trip (unlike Element::to_string, which
+// loses Real precision and string escaping): an element is `(` tok* `)`
+// with one token per field — i<dec> | r<hex64 of the IEEE bits> | b0 | b1 |
+// s<hex bytes> | n.
+//
+// Compaction rewrites the file as one fresh snapshot (shard + protocol
+// state), bounding replay cost and disk growth; the cluster runs it every
+// `wal_snapshot_every` rounds. The per-cluster `MANIFEST` file (same CRC
+// framing, rewritten atomically each round) pins the round/epoch/Safra
+// generation and per-node membership states a `--resume` restarts from.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gammaflow/gamma/multiset.hpp"
+
+namespace gammaflow::distrib {
+
+inline constexpr std::uint64_t kWalVersion = 1;
+
+/// CRC-32 (IEEE, reflected) over a byte string — the per-record guard.
+[[nodiscard]] std::uint32_t crc32(const std::string& data) noexcept;
+
+/// Exact round-trip element codec (see the grammar above). decode_elements
+/// consumes tokens from `pos`; throws ProgramError on malformed input.
+[[nodiscard]] std::string encode_element(const gamma::Element& e);
+[[nodiscard]] std::vector<gamma::Element> decode_elements(
+    const std::vector<std::string>& tokens, std::size_t& pos);
+
+/// An unacked transfer restored from the WAL: the sender must still retry
+/// it (or resume settles it directly against the receiver's seen-set).
+struct WalPendingSend {
+  std::size_t to = 0;
+  std::uint64_t seq = 0;
+  int kind = 0;  // 0 = Elements, 1 = Pull (mirrors the cluster's MsgKind)
+  std::vector<gamma::Element> elements;
+};
+
+/// Everything a node restart needs, reconstructed by replaying one WAL.
+struct WalNodeState {
+  bool valid = false;  // false: no file / no intact header
+  std::size_t node = 0;
+  std::uint64_t round = 0;  // last intact end-of-round marker
+  std::uint64_t epoch = 0;
+  std::int64_t message_count = 0;  // Safra: sends - receives, replayed
+  std::uint64_t next_seq = 0;
+  bool pull_pending = false;
+  gamma::Multiset shard;
+  std::map<std::size_t, std::set<std::uint64_t>> seen;
+  std::vector<WalPendingSend> pending;
+  std::uint64_t torn_bytes = 0;  // tail dropped by CRC/framing truncation
+};
+
+/// Append-only CRC-framed record writer for one node's WAL.
+class WalWriter {
+ public:
+  /// Opens (truncating when `fresh`) and writes/expects the header line.
+  void open(const std::string& path, std::size_t node, bool fresh);
+  [[nodiscard]] bool is_open() const noexcept { return out_.is_open(); }
+
+  void log_fire(const std::vector<gamma::Element>& consumed,
+                const std::vector<gamma::Element>& produced);
+  void log_recv(std::size_t from, std::uint64_t seq,
+                const std::vector<gamma::Element>& elements);
+  void log_pull(std::size_t from, std::uint64_t seq);
+  void log_pull_answered();
+  void log_send(std::size_t to, std::uint64_t seq, int kind,
+                const std::vector<gamma::Element>& elements);
+  void log_ackd(std::uint64_t seq);
+  /// End-of-round marker + flush: everything up to here survives a kill.
+  void log_round(std::uint64_t round);
+  /// Rewrites the whole file as header + one snapshot of `state` (+ round
+  /// marker), dropping the replay prefix — the compaction step.
+  void compact(const WalNodeState& state);
+  /// Appends a snapshot WITHOUT truncating history (used for the initial
+  /// placement snapshot right after open).
+  void snapshot(const WalNodeState& state);
+
+  [[nodiscard]] std::uint64_t bytes() const noexcept { return bytes_; }
+  [[nodiscard]] std::uint64_t records() const noexcept { return records_; }
+  [[nodiscard]] std::uint64_t compactions() const noexcept {
+    return compactions_;
+  }
+
+ private:
+  void append(const std::string& payload);
+  void snapshot_records(const WalNodeState& state);
+
+  std::ofstream out_;
+  std::string path_;
+  std::size_t node_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t records_ = 0;
+  std::uint64_t compactions_ = 0;
+};
+
+/// Replays one node's WAL: verifies every CRC, truncates the torn tail (in
+/// memory AND on disk, so a subsequent append starts from the last intact
+/// record), and folds the surviving records into the state at the last
+/// intact round marker. Missing file => valid == false.
+[[nodiscard]] WalNodeState replay_node_wal(const std::string& path);
+
+/// The cluster-wide restart point, rewritten atomically each round.
+struct WalManifest {
+  bool valid = false;
+  std::uint64_t round = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t token_gen = 0;
+  std::size_t initial_nodes = 0;
+  /// One char per node slot: 'M' member, 'D' draining, 'I' inactive.
+  std::string states;
+};
+
+void write_manifest(const std::string& dir, const WalManifest& m);
+[[nodiscard]] WalManifest read_manifest(const std::string& dir);
+
+/// Path helpers shared by the cluster and the tests.
+[[nodiscard]] std::string wal_node_path(const std::string& dir,
+                                        std::size_t node);
+[[nodiscard]] std::string wal_manifest_path(const std::string& dir);
+
+}  // namespace gammaflow::distrib

@@ -104,6 +104,19 @@ void print_usage(std::ostream& out) {
       "         --crash R:N:D          crash node N at round R for D rounds\n"
       "         --partition S:D:C      rounds [S,S+D): cut {0..C-1}|{C..}\n"
       "         --token-timeout N      Safra token regeneration timeout\n"
+      "  elasticity & durability:\n"
+      "         --join R:N             spare node N joins the ring at round R\n"
+      "         --leave R:N            node N drains and leaves at round R\n"
+      "         --churn-rate P         random leave/rejoin per round (capped)\n"
+      "         --replication N        checkpoint holders per node (ring\n"
+      "                                successors; default 1)\n"
+      "         --checkpoint-every N   rounds between replica checkpoints\n"
+      "         --wal-dir <dir>        per-node write-ahead logs + manifest\n"
+      "                                (durability; enables --resume)\n"
+      "         --wal-snapshot-every N rounds between WAL compactions\n"
+      "                                (snapshot rewrite; default 64)\n"
+      "         --resume               restart the whole cluster from the\n"
+      "                                WALs in --wal-dir (no --init needed)\n"
       "viz:     --out <file>           output path (default: <input>.html, or\n"
       "                                stdout for --format dot)\n"
       "         --format html|dot      output kind (default html)\n"
@@ -211,6 +224,11 @@ struct Options {
   std::size_t latency = 1;
   std::size_t fires_per_round = 4;
   FaultPlan faults;
+  std::size_t replication = 1;
+  std::size_t checkpoint_every = 1;
+  std::string wal_dir;
+  std::size_t wal_snapshot_every = 64;
+  bool resume = false;
 };
 
 /// Parses "a:b" / "a:b:c" small-integer tuples (--crash, --partition).
@@ -332,6 +350,24 @@ Options parse_options(int argc, char** argv, int first) {
       opts.faults.partitions.push_back({t[0], t[1], t[2]});
     } else if (arg == "--token-timeout") {
       opts.faults.token_timeout = next_number();
+    } else if (arg == "--join") {
+      const auto t = parse_tuple(next(), arg, 2);
+      opts.faults.membership.joins.push_back({t[0], t[1]});
+    } else if (arg == "--leave") {
+      const auto t = parse_tuple(next(), arg, 2);
+      opts.faults.membership.leaves.push_back({t[0], t[1]});
+    } else if (arg == "--churn-rate") {
+      opts.faults.membership.churn_rate = next_real();
+    } else if (arg == "--replication") {
+      opts.replication = next_number();
+    } else if (arg == "--checkpoint-every") {
+      opts.checkpoint_every = next_number();
+    } else if (arg == "--wal-dir") {
+      opts.wal_dir = next();
+    } else if (arg == "--wal-snapshot-every") {
+      opts.wal_snapshot_every = next_number();
+    } else if (arg == "--resume") {
+      opts.resume = true;
     } else if (arg == "--log-level") {
       const std::string name = next();
       const auto level = parse_log_level(name.c_str());
@@ -473,9 +509,12 @@ int cmd_rungamma(const std::string& path, const Options& opts) {
 }
 
 int cmd_distrib(const std::string& path, const Options& opts) {
-  if (!opts.init) throw Error("distrib needs --init \"<elements>\"");
+  if (!opts.init && !opts.resume) {
+    throw Error("distrib needs --init \"<elements>\" (or --resume)");
+  }
   const gamma::Program program = gamma::dsl::parse_program(read_file(path));
-  const gamma::Multiset initial = parse_elements(*opts.init);
+  const gamma::Multiset initial =
+      opts.init ? parse_elements(*opts.init) : gamma::Multiset{};
   obs::Telemetry tel;
   obs::RunRecorder rec;
   distrib::ClusterOptions copts;
@@ -485,6 +524,11 @@ int cmd_distrib(const std::string& path, const Options& opts) {
   copts.fires_per_round = opts.fires_per_round;
   copts.faults = opts.faults;
   copts.compile = opts.compile;
+  copts.replication_factor = opts.replication;
+  copts.checkpoint_every = opts.checkpoint_every;
+  copts.wal_dir = opts.wal_dir;
+  copts.wal_snapshot_every = opts.wal_snapshot_every;
+  copts.resume = opts.resume;
   if (opts.trace_out || opts.metrics) copts.telemetry = &tel;
   if (opts.record_out) copts.record = &rec;
   if (opts.deadline > 0.0) {
@@ -527,6 +571,17 @@ int cmd_distrib(const std::string& path, const Options& opts) {
               << " duplicates suppressed, " << result.recoveries
               << " restarts, " << result.token_regenerations
               << " token regenerations\n";
+  }
+  if (copts.faults.membership.any() || result.epochs > 0) {
+    std::cout << "# elasticity: " << result.epochs << " epoch change(s), "
+              << result.joins << " join(s), " << result.leaves
+              << " leave(s), " << result.rebalances << " rebalance(s), "
+              << result.labels_moved << " label(s) moved\n";
+  }
+  if (!copts.wal_dir.empty()) {
+    std::cout << "# wal: " << result.wal_bytes << " bytes, "
+              << result.wal_records << " records, " << result.wal_compactions
+              << " compaction(s), " << result.wal_replays << " replay(s)\n";
   }
   if (opts.trace_out) dump_trace(tel, *opts.trace_out);
   if (opts.record_out) dump_journal(rec.take(), *opts.record_out);
