@@ -67,6 +67,8 @@ std::optional<std::set<std::string>> bound_labels(const ExprPtr& cond,
   return std::nullopt;
 }
 
+}  // namespace
+
 /// Reaction-level bound for a label binder: the union of per-branch bounds.
 /// An unconditional or else branch fires regardless of the label, so the
 /// binder admits anything.
@@ -81,6 +83,8 @@ std::optional<std::set<std::string>> admitted_labels(const Reaction& r,
   }
   return all;
 }
+
+namespace {
 
 bool sets_intersect(const std::set<std::string>& a,
                     const std::set<std::string>& b) {
@@ -471,6 +475,30 @@ void write_json(std::ostream& os, const InterferenceReport& report) {
        << report.class_of[i] << ",\"footprint\":\""
        << escape(report.footprints[i].to_string()) << "\"}";
   }
+  // Edge lists by kind, as [from, to] name pairs — feed edges are directed
+  // produce->consume, compete edges undirected (emitted r1,r2). The optimizer
+  // report and external tools consume this same schema.
+  os << "],\"feed_edges\":[";
+  bool first_edge = true;
+  for (const auto& e : report.typed_edges) {
+    for (const auto& [from, to] :
+         {std::pair{e.r1, e.r2}, std::pair{e.r2, e.r1}}) {
+      if (!(from == e.r1 ? e.feeds_12 : e.feeds_21)) continue;
+      if (!first_edge) os << ',';
+      first_edge = false;
+      os << "[\"" << escape(report.reactions[from]) << "\",\""
+         << escape(report.reactions[to]) << "\"]";
+    }
+  }
+  os << "],\"compete_edges\":[";
+  first_edge = true;
+  for (const auto& e : report.typed_edges) {
+    if (!e.compete) continue;
+    if (!first_edge) os << ',';
+    first_edge = false;
+    os << "[\"" << escape(report.reactions[e.r1]) << "\",\""
+       << escape(report.reactions[e.r2]) << "\"]";
+  }
   os << "],\"pairs\":[";
   for (std::size_t k = 0; k < report.pairs.size(); ++k) {
     const PairFinding& p = report.pairs[k];
@@ -531,6 +559,10 @@ InterferenceReport analyze_interference(const Program& program,
       if (stage_of[i] != stage_of[j]) continue;
       if (interferes(report.footprints[i], report.footprints[j])) {
         report.edges.emplace_back(i, j);
+        report.typed_edges.push_back(
+            {i, j, compete(report.footprints[i], report.footprints[j]),
+             feeds(report.footprints[i], report.footprints[j]),
+             feeds(report.footprints[j], report.footprints[i])});
         dsu.unite(i, j);
       }
     }

@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -60,6 +61,14 @@ struct Footprint {
 };
 
 [[nodiscard]] Footprint reaction_footprint(const gamma::Reaction& reaction);
+
+/// Labels a binder in the label position can take, derived from the pure
+/// positive structure of branch conditions (`var == 'lit'` disjunctions; And
+/// intersects, Or unions). nullopt when the binder may admit any label.
+/// Exposed for the optimizer's private-intermediate proofs, which need the
+/// bound per pattern rather than folded into the whole-reaction footprint.
+[[nodiscard]] std::optional<std::set<std::string>> admitted_labels(
+    const gamma::Reaction& reaction, const std::string& var);
 
 /// True when the two reactions can never consume a common element (no
 /// consume/consume overlap) — the pair commutes on disjoint matches and a
@@ -129,6 +138,19 @@ struct InterferenceReport {
   /// Interference edges (i < j, same stage only — reactions in different
   /// sequential stages are never concurrent).
   std::vector<std::pair<std::size_t, std::size_t>> edges;
+  /// The same edges with their kinds broken out: `compete` when the two may
+  /// consume a common element population, `feeds_12`/`feeds_21` when one may
+  /// produce what the other consumes. Parallel to `edges` (same order); the
+  /// optimizer walks feeds_* to enumerate fusable chains, and check --json
+  /// serializes them as feed/compete edge lists.
+  struct TypedEdge {
+    std::size_t r1 = 0;
+    std::size_t r2 = 0;
+    bool compete = false;
+    bool feeds_12 = false;
+    bool feeds_21 = false;
+  };
+  std::vector<TypedEdge> typed_edges;
   /// Conflict class per reaction: connected components of the interference
   /// graph, offset so classes never span stages.
   std::vector<std::size_t> class_of;

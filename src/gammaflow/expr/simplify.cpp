@@ -82,6 +82,16 @@ ExprPtr simplify(const ExprPtr& e) {
   return e;
 }
 
+std::optional<bool> constant_truth(const ExprPtr& e) {
+  const ExprPtr folded = simplify(e);
+  if (folded->kind() != Expr::Kind::Literal) return std::nullopt;
+  try {
+    return folded->literal().truthy();
+  } catch (const TypeError&) {
+    return std::nullopt;  // would throw at runtime; not a usable constant
+  }
+}
+
 ExprPtr substitute(const ExprPtr& e,
                    const std::vector<std::pair<std::string, ExprPtr>>& subst) {
   switch (e->kind()) {

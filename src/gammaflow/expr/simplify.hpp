@@ -3,6 +3,8 @@
 // into consumer bodies, and simplify() keeps the fused trees small.
 #pragma once
 
+#include <optional>
+
 #include "gammaflow/expr/ast.hpp"
 #include "gammaflow/expr/env.hpp"
 
@@ -18,5 +20,12 @@ namespace gammaflow::expr {
 [[nodiscard]] ExprPtr substitute(
     const ExprPtr& e,
     const std::vector<std::pair<std::string, ExprPtr>>& subst);
+
+/// Truth value of `e` when it provably folds to a constant under simplify():
+/// true/false for a literal with defined truthiness, nullopt otherwise
+/// (free variables, or a literal whose truthiness would throw at runtime).
+/// The optimizer's dead-reaction check and the constant-condition lint both
+/// key off this.
+[[nodiscard]] std::optional<bool> constant_truth(const ExprPtr& e);
 
 }  // namespace gammaflow::expr

@@ -21,6 +21,15 @@ Program operator|(Program a, Program b) {
   return a;
 }
 
+Program Program::from_stages(std::vector<std::vector<Reaction>> stages) {
+  Program out;
+  for (auto& stage : stages) {
+    if (stage.empty()) continue;
+    out.stages_.push_back(std::move(stage));
+  }
+  return out;
+}
+
 Program Program::then(Program next) const {
   Program out = *this;
   for (auto& stage : next.stages_) {

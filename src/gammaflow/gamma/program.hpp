@@ -25,6 +25,13 @@ class Program {
     if (stages_.back().empty()) stages_.clear();
   }
 
+  /// Builds a program directly from a stage list, dropping empty stages
+  /// (an empty stage is a no-op fixpoint). This is the shape rewrite passes
+  /// produce when they edit stages in place — fuse_reactions, expand_program,
+  /// and the optimizer all reassemble through here.
+  [[nodiscard]] static Program from_stages(
+      std::vector<std::vector<Reaction>> stages);
+
   /// `a | b`: merges two programs into one combined-fixpoint stage.
   /// Requires both to be single-stage (composing `;` under `|` has no
   /// agreed-upon semantics in the Gamma calculus and is rejected).

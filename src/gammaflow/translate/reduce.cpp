@@ -255,14 +255,12 @@ gamma::Program fuse_reactions(const gamma::Program& program,
     }
   }
 
-  gamma::Program out;
-  bool first = true;
+  std::vector<std::vector<Reaction>> stages;
+  stages.reserve(program.stage_count());
   for (const auto& stage : program.stages()) {
-    gamma::Program stage_program(fuse_stage(stage, forbidden, options));
-    out = first ? std::move(stage_program) : out.then(stage_program);
-    first = false;
+    stages.push_back(fuse_stage(stage, forbidden, options));
   }
-  return out;
+  return gamma::Program::from_stages(std::move(stages));
 }
 
 namespace {
@@ -373,18 +371,32 @@ struct Expander {
 
 std::vector<Reaction> expand_reaction(
     const Reaction& reaction,
-    const std::function<std::string(std::size_t)>& fresh) {
+    const std::function<std::string(std::size_t)>& fresh,
+    std::string* skip_reason) {
+  const auto skip = [&](const std::string& why) -> std::vector<Reaction> {
+    if (skip_reason != nullptr) *skip_reason = why;
+    return {reaction};
+  };
+  if (skip_reason != nullptr) skip_reason->clear();
+
   if (reaction.branches().size() != 1 || reaction.branches()[0].condition ||
       reaction.branches()[0].outputs.size() != 1) {
-    return {reaction};  // not an expression reaction; unchanged
+    return skip(
+        "not a single-unconditional-output expression reaction (conditions "
+        "and multi-output branches cannot be split)");
   }
   const auto& tuple = reaction.branches()[0].outputs[0];
   const std::size_t nfields = reaction.patterns().front().fields().size();
-  if (nfields < 2 || tuple.size() != nfields ||
-      tuple[1]->kind() != Expr::Kind::Literal || !tuple[1]->literal().is_str()) {
-    return {reaction};
+  if (nfields < 2) {
+    return skip("elements are unlabeled; intermediates cannot be routed");
   }
-  if (tuple[0]->kind() != Expr::Kind::Binary) return {reaction};
+  if (tuple.size() != nfields || tuple[1]->kind() != Expr::Kind::Literal ||
+      !tuple[1]->literal().is_str()) {
+    return skip("output label is not a string literal of the input arity");
+  }
+  if (tuple[0]->kind() != Expr::Kind::Binary) {
+    return skip("output value has no binary operator to split on");
+  }
 
   // A single-operator body is already in expanded form; keep the reaction
   // verbatim (including its variable names).
@@ -396,7 +408,9 @@ std::vector<Reaction> expand_reaction(
         default: return 0;
       }
     };
-    if (ops(*tuple[0]) <= 1) return {reaction};
+    if (ops(*tuple[0]) <= 1) {
+      return skip("already in expanded form (single-operator body)");
+    }
   }
 
   // Every value binder must occur exactly once in the body: splitting a
@@ -417,7 +431,12 @@ std::vector<Reaction> expand_reaction(
     std::map<std::string, int> uses;
     count(tuple[0], uses);
     for (const auto& [var, n] : uses) {
-      if (n > 1) return {reaction};
+      if (n > 1) {
+        return skip("binder '" + var +
+                    "' occurs " + std::to_string(n) +
+                    " times in the body; split reactions would race for one "
+                    "element");
+      }
     }
   }
 
@@ -427,11 +446,14 @@ std::vector<Reaction> expand_reaction(
   for (const Pattern& p : reaction.patterns()) {
     if (p.fields().size() != nfields || !p.fields()[0].is_binder() ||
         p.fields()[1].is_binder()) {
-      return {reaction};
+      return skip(
+          "patterns are not uniform [binder, literal-label, ...] shapes");
     }
     var_labels[p.fields()[0].name()] = p.fields()[1].value().as_str();
     if (nfields == 3) {
-      if (!p.fields()[2].is_binder()) return {reaction};
+      if (!p.fields()[2].is_binder()) {
+        return skip("tag field is not a binder");
+      }
       tag_var = p.fields()[2].name();
     }
   }
@@ -440,23 +462,29 @@ std::vector<Reaction> expand_reaction(
   ex.final_label_ = tuple[1]->literal().as_str();
   const Expander::Lowered top =
       ex.lower(tuple[0], var_labels, ex.final_label_);
-  if (!top.operand) return {reaction};  // folded to a literal; keep original
+  if (!top.operand) {
+    return skip("body folded to a literal; nothing to split");
+  }
   return std::move(ex.result);
 }
 
-gamma::Program expand_program(const gamma::Program& program) {
-  gamma::Program out;
-  bool first = true;
+gamma::Program expand_program(const gamma::Program& program,
+                              std::vector<ExpandSkip>* skips) {
+  std::vector<std::vector<Reaction>> stages;
+  stages.reserve(program.stage_count());
   for (const auto& stage : program.stages()) {
     std::vector<Reaction> expanded;
     for (const Reaction& r : stage) {
-      for (Reaction& e : expand_reaction(r)) expanded.push_back(std::move(e));
+      std::string reason;
+      std::vector<Reaction> es = expand_reaction(r, nullptr, &reason);
+      if (skips != nullptr && !reason.empty()) {
+        skips->push_back({r.name(), reason});
+      }
+      for (Reaction& e : es) expanded.push_back(std::move(e));
     }
-    gamma::Program stage_program(std::move(expanded));
-    out = first ? std::move(stage_program) : out.then(stage_program);
-    first = false;
+    stages.push_back(std::move(expanded));
   }
-  return out;
+  return gamma::Program::from_stages(std::move(stages));
 }
 
 }  // namespace gammaflow::translate

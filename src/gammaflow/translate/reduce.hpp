@@ -6,6 +6,7 @@
 #pragma once
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "gammaflow/gamma/multiset.hpp"
@@ -35,12 +36,26 @@ struct FuseOptions {
 /// Inverse reduction: splits one k-ary unconditional expression reaction
 /// into binary-operator reactions with fresh intermediate labels (Rd1 ->
 /// R1,R2,R3 shape). `fresh` generates intermediate label names; defaults to
-/// "<name>_t<k>".
+/// "<name>_t<k>". A reaction that does not fit the expandable shape is
+/// returned unchanged; pass `skip_reason` to learn why (set to a one-line
+/// explanation on skip, cleared on success).
 [[nodiscard]] std::vector<gamma::Reaction> expand_reaction(
     const gamma::Reaction& reaction,
-    const std::function<std::string(std::size_t)>& fresh = nullptr);
+    const std::function<std::string(std::size_t)>& fresh = nullptr,
+    std::string* skip_reason = nullptr);
 
-/// Expands every eligible reaction of a single-stage program.
-[[nodiscard]] gamma::Program expand_program(const gamma::Program& program);
+/// One reaction expand_program left untouched, and why. Historically these
+/// skips were invisible — a program could come back verbatim with no hint
+/// which shape requirement failed.
+struct ExpandSkip {
+  std::string reaction;
+  std::string reason;
+};
+
+/// Expands every eligible reaction, stage by stage (stage boundaries are
+/// preserved; reactions never move across a `;`). Reactions left unchanged
+/// are appended to `skips` with the reason, when provided.
+[[nodiscard]] gamma::Program expand_program(
+    const gamma::Program& program, std::vector<ExpandSkip>* skips = nullptr);
 
 }  // namespace gammaflow::translate

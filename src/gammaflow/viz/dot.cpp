@@ -75,25 +75,19 @@ void write_interference_dot(std::ostream& os, const gamma::Program& program,
     }
     os << "  }\n";
   }
-  // report.edges carries only the (i, j) pairs; the KIND of each edge is
-  // recomputed from the footprints, exactly as analyze_interference did.
-  for (const auto& [i, j] : report.edges) {
-    const analysis::Footprint& a = report.footprints[i];
-    const analysis::Footprint& b = report.footprints[j];
-    const bool comp = analysis::compete(a, b);
-    const bool fab = analysis::feeds(a, b);
-    const bool fba = analysis::feeds(b, a);
-    if (comp) {
-      os << "  r" << i << " -> r" << j
+  for (const auto& e : report.typed_edges) {
+    if (e.compete) {
+      os << "  r" << e.r1 << " -> r" << e.r2
          << " [dir=none, color=\"#c62828\", penwidth="
-         << ((fab || fba) ? "2.0" : "1.2") << ", label=\"compete\"];\n";
+         << ((e.feeds_12 || e.feeds_21) ? "2.0" : "1.2")
+         << ", label=\"compete\"];\n";
     }
-    if (fab) {
-      os << "  r" << i << " -> r" << j
+    if (e.feeds_12) {
+      os << "  r" << e.r1 << " -> r" << e.r2
          << " [style=dashed, color=\"#1565c0\", label=\"feed\"];\n";
     }
-    if (fba) {
-      os << "  r" << j << " -> r" << i
+    if (e.feeds_21) {
+      os << "  r" << e.r2 << " -> r" << e.r1
          << " [style=dashed, color=\"#1565c0\", label=\"feed\"];\n";
     }
   }

@@ -84,8 +84,8 @@ TEST(DocSync, EveryDocumentedSubcommandExistsInHelp) {
   // The command list README's CLI section shows; each must be a usage line.
   for (const char* cmd :
        {"compile", "run", "togamma", "rungamma", "fuse", "expand",
-        "reconstruct", "dot", "viz", "opt", "lint", "check", "distrib",
-        "help"}) {
+        "optimize", "reconstruct", "dot", "viz", "opt", "lint", "check",
+        "distrib", "help"}) {
     EXPECT_NE(help.find(std::string("  ") + cmd + " "), std::string::npos)
         << "subcommand '" << cmd << "' missing from --help";
   }

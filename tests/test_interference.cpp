@@ -337,6 +337,43 @@ TEST(Report, TextAndJsonRender) {
   EXPECT_NE(js.find("\"class_count\""), std::string::npos);
 }
 
+TEST(Report, TypedEdgesSeparateFeedFromCompetition) {
+  // Fig. 1: R1 and R2 compete for nothing and feed R3 ('B2', 'C2'); the
+  // typed edge list must carry the direction the DSU-edge list flattens.
+  const auto report =
+      analyze_interference(paper::fig1_gamma(), paper::fig1_initial());
+  ASSERT_EQ(report.typed_edges.size(), report.edges.size());
+  bool r1_feeds_r3 = false, any_compete = false;
+  for (const auto& e : report.typed_edges) {
+    const std::string& a = report.reactions[e.r1];
+    const std::string& b = report.reactions[e.r2];
+    if (a == "R1" && b == "R3") r1_feeds_r3 = e.feeds_12 && !e.feeds_21;
+    if (e.compete) any_compete = true;
+  }
+  EXPECT_TRUE(r1_feeds_r3);
+  EXPECT_FALSE(any_compete);
+}
+
+TEST(Report, JsonCarriesFeedAndCompeteEdgeLists) {
+  // A program with both relations: P feeds C through 'Mid', and the two
+  // consumers C and D compete for it.
+  const Program p = parse(
+      "P = replace [x, 'A'] by [x, 'Mid']\n"
+      "C = replace [v, 'Mid'] by [v, 'Out']\n"
+      "D = replace [v, 'Mid'] by [v + 1, 'Out']");
+  Multiset m;
+  m.add(Element{Value(1), Value(std::string("A"))});
+  const auto report = analyze_interference(p, m);
+  std::ostringstream os;
+  write_json(os, report);
+  const std::string js = os.str();
+  EXPECT_NE(js.find("\"feed_edges\""), std::string::npos);
+  EXPECT_NE(js.find("\"compete_edges\""), std::string::npos);
+  EXPECT_NE(js.find("[\"P\",\"C\"]"), std::string::npos);
+  EXPECT_NE(js.find("[\"P\",\"D\"]"), std::string::npos);
+  EXPECT_NE(js.find("[\"C\",\"D\"]"), std::string::npos);
+}
+
 // --- 500-seed commutation property ---------------------------------------
 
 // Statically independent reactions must commute on EVERY state: committing

@@ -226,6 +226,44 @@ TEST(Expand, FuseInvertsExpand) {
           .final_multiset.with_label("m"));
 }
 
+TEST(Expand, SkipReasonsExplainIneligibleReactions) {
+  // Each ineligible shape gets a distinct, human-readable reason instead of
+  // a silent pass-through.
+  auto reason_for = [](const char* text) {
+    const Program p = gamma::dsl::parse_program(text);
+    std::vector<ExpandSkip> skips;
+    (void)expand_program(p, &skips);
+    return skips.size() == 1 ? skips[0].reason : std::string{};
+  };
+  EXPECT_NE(reason_for("R = replace [x, 'A'] by [x * 2, 'Out'] if x > 0")
+                .find("single-unconditional-output"),
+            std::string::npos);
+  EXPECT_NE(reason_for("R = replace x, y by x + y").find("unlabeled"),
+            std::string::npos);
+  EXPECT_NE(reason_for("R = replace [x, 'A'], [y, 'B'] by [x + x * y, 'Out']")
+                .find("occurs"),
+            std::string::npos);
+  EXPECT_NE(
+      reason_for("R = replace [x, 'A'], [y, 'B'] by [x + y, 'Out']")
+          .find("single-operator"),
+      std::string::npos);
+}
+
+TEST(Expand, SkipListNamesEveryUntouchedReaction) {
+  // Fig. 1's program is fully binary already: all three reactions skip, and
+  // the program text survives unchanged.
+  std::vector<ExpandSkip> skips;
+  const Program expanded = expand_program(paper::fig1_gamma(), &skips);
+  ASSERT_EQ(skips.size(), 3u);
+  EXPECT_EQ(skips[0].reaction, "R1");
+  EXPECT_EQ(skips[2].reaction, "R3");
+  EXPECT_EQ(expanded.to_string(), paper::fig1_gamma().to_string());
+  // Rd1 by contrast expands with no skips.
+  skips.clear();
+  (void)expand_program(paper::fig1_reduced_gamma(), &skips);
+  EXPECT_TRUE(skips.empty());
+}
+
 TEST(Expand, CustomLabelGenerator) {
   const auto rd1 = *paper::fig1_reduced_gamma().all_reactions()[0];
   const auto expanded = expand_reaction(

@@ -6,6 +6,8 @@
 //   gammaflow rungamma <prog.gamma> --init "<elements>" [--engine seq|idx|par]
 //   gammaflow fuse     <prog.gamma> [--init "<elements>"]      SIII-A3 reduction
 //   gammaflow expand   <prog.gamma>                            inverse reduction
+//   gammaflow optimize <prog.gamma> [--init "<elements>"]      analysis-driven
+//                                             auto-reduction (cost-gated)
 //   gammaflow reconstruct <prog.gamma> --init "<elements>"     Gamma -> graph
 //   gammaflow distrib  <prog.gamma> --init "<elements>" [--nodes N ...]
 //                                             simulated cluster (+ faults)
@@ -42,6 +44,7 @@
 #include "gammaflow/viz/viz.hpp"
 #include "gammaflow/analysis/interference.hpp"
 #include "gammaflow/analysis/lint.hpp"
+#include "gammaflow/analysis/optimize.hpp"
 #include "gammaflow/analysis/verify_df.hpp"
 #include "gammaflow/translate/df_to_gamma.hpp"
 #include "gammaflow/translate/gamma_to_df.hpp"
@@ -60,6 +63,11 @@ void print_usage(std::ostream& out) {
       "  rungamma <prog.gamma> --init \"...\"    execute by rewriting\n"
       "  fuse <prog.gamma> [--init \"...\"]      SIII-A3 reduction\n"
       "  expand <prog.gamma>                   inverse reduction\n"
+      "  optimize <prog.gamma> [--init \"...\"]  analysis-driven auto-reduction:\n"
+      "                                        fuse feed chains, drop dead\n"
+      "                                        reactions, gated by the cost\n"
+      "                                        model; prints the rewritten\n"
+      "                                        program (see --report/--json)\n"
       "  reconstruct <prog.gamma> --init \"...\" Gamma -> dataflow graph\n"
       "  dot <prog.src|graph.df|prog.gamma>    Graphviz (.gamma renders the\n"
       "                                        interference graph; pick with\n"
@@ -89,13 +97,25 @@ void print_usage(std::ostream& out) {
       "                                optimistic single-store path even when\n"
       "                                conflict classes admit a sharded store\n"
       "         --werror               lint/check: warnings also fail (exit 1)\n"
-      "         --json                 lint/check: machine-readable output\n"
+      "         --json                 lint/check/optimize: machine-readable\n"
+      "                                output\n"
       "         --classes              rungamma: derive conflict classes from\n"
       "                                interference analysis and hand them to\n"
       "                                the engine (par: no-revalidation\n"
       "                                commits; idx: class scheduling)\n"
       "         --affinity             distrib: place elements by conflict-\n"
       "                                class label affinity\n"
+      "optimize: --out <file>          write the rewritten program to a file\n"
+      "         --report               optimize: full report on stdout (cost,\n"
+      "                                bounds, per-rewrite decisions)\n"
+      "         --max-steps N          optimize: cap applied fusion steps\n"
+      "                                (0 = run to fixpoint)\n"
+      "         --no-cost-model        optimize: apply every safe fusion even\n"
+      "                                when the cost model votes no\n"
+      "         --optimize             run, rungamma, distrib: run the\n"
+      "                                optimizer on the program first (not\n"
+      "                                with --resume); run (.src/.df) uses\n"
+      "                                the dataflow optimizer instead\n"
       "distrib: --nodes N --placement hash|rr|single --latency N\n"
       "         --fires-per-round N    local matches per node per round\n"
       "  fault injection (deterministic from --seed):\n"
@@ -209,7 +229,12 @@ struct Options {
   double deadline = 0.0;
   // --- static analysis ---
   bool werror = false;    // lint/check: warnings fail the exit code
-  bool json = false;      // lint/check: machine-readable output
+  bool json = false;      // lint/check/optimize: machine-readable output
+  // --- optimizer ---
+  bool optimize = false;      // run/rungamma/distrib: optimize first
+  bool opt_report = false;    // optimize: full report on stdout
+  bool cost_model = true;     // optimize: gate rewrites on the cost model
+  std::size_t max_steps = 0;  // optimize: fusion step cap (0 = fixpoint)
   bool classes = false;   // rungamma: feed conflict classes to the engine
   bool affinity = false;  // distrib: label-affinity placement hint
   /// Bytecode escape hatch (--no-compile): evaluate conditions/actions with
@@ -314,6 +339,14 @@ Options parse_options(int argc, char** argv, int first) {
       opts.deadline = next_real();
     } else if (arg == "--werror") {
       opts.werror = true;
+    } else if (arg == "--optimize") {
+      opts.optimize = true;
+    } else if (arg == "--report") {
+      opts.opt_report = true;
+    } else if (arg == "--no-cost-model") {
+      opts.cost_model = false;
+    } else if (arg == "--max-steps") {
+      opts.max_steps = next_number();
     } else if (arg == "--json") {
       opts.json = true;
     } else if (arg == "--classes") {
@@ -412,8 +445,41 @@ int cmd_compile(const std::string& path) {
   return 0;
 }
 
+analysis::OptimizeOptions make_optimize_options(const Options& opts,
+                                                obs::Telemetry* tel) {
+  analysis::OptimizeOptions oopts;
+  oopts.seed = opts.seed;
+  oopts.max_steps = opts.max_steps;
+  oopts.use_cost_model = opts.cost_model;
+  if (opts.workers) oopts.cost.workers = *opts.workers;
+  oopts.telemetry = tel;
+  return oopts;
+}
+
+/// `--optimize` pre-pass for rungamma/distrib: rewrites the program, leaves
+/// a one-line summary on stderr so stdout stays the run's own output.
+gamma::Program optimize_for_run(const gamma::Program& program,
+                                const gamma::Multiset& initial,
+                                const Options& opts, obs::Telemetry* tel) {
+  const auto r = analysis::optimize_program(program, initial,
+                                            make_optimize_options(opts, tel));
+  std::cerr << "# optimize: " << r.report.fused << " fused, "
+            << r.report.dead_removed << " dead removed, cost "
+            << r.report.cost_before << " -> " << r.report.cost_after << '\n';
+  if (!r.report.class_check_ok) {
+    throw Error("optimizer invariant violated: conflict classes coarsened");
+  }
+  return r.program;
+}
+
 int cmd_run(const std::string& path, const Options& opts) {
-  const dataflow::Graph g = load_graph(path);
+  dataflow::Graph g = load_graph(path);
+  if (opts.optimize) {
+    const auto r = dataflow::optimize(std::move(g));
+    std::cerr << "# optimize: folded " << r.folded << ", bypassed "
+              << r.bypassed << ", removed " << r.removed << '\n';
+    g = r.graph;
+  }
   obs::Telemetry tel;
   obs::RunRecorder rec;
   dataflow::DfRunOptions ropts;
@@ -471,10 +537,15 @@ int cmd_togamma(const std::string& path) {
 
 int cmd_rungamma(const std::string& path, const Options& opts) {
   if (!opts.init) throw Error("rungamma needs --init \"<elements>\"");
-  const gamma::Program program = gamma::dsl::parse_program(read_file(path));
+  gamma::Program program = gamma::dsl::parse_program(read_file(path));
   const gamma::Multiset initial = parse_elements(*opts.init);
   obs::Telemetry tel;
   obs::RunRecorder rec;
+  if (opts.optimize) {
+    program = optimize_for_run(
+        program, initial, opts,
+        opts.trace_out || opts.metrics ? &tel : nullptr);
+  }
   gamma::RunOptions ropts;
   ropts.seed = opts.seed;
   ropts.compile = opts.compile;
@@ -512,11 +583,19 @@ int cmd_distrib(const std::string& path, const Options& opts) {
   if (!opts.init && !opts.resume) {
     throw Error("distrib needs --init \"<elements>\" (or --resume)");
   }
-  const gamma::Program program = gamma::dsl::parse_program(read_file(path));
+  gamma::Program program = gamma::dsl::parse_program(read_file(path));
   const gamma::Multiset initial =
       opts.init ? parse_elements(*opts.init) : gamma::Multiset{};
   obs::Telemetry tel;
   obs::RunRecorder rec;
+  if (opts.optimize) {
+    // A resumed cluster replays WALs written against the original program's
+    // reaction names; rewriting here would orphan them.
+    if (opts.resume) throw Error("--optimize cannot be combined with --resume");
+    program = optimize_for_run(
+        program, initial, opts,
+        opts.trace_out || opts.metrics ? &tel : nullptr);
+  }
   distrib::ClusterOptions copts;
   copts.nodes = opts.nodes;
   copts.seed = opts.seed;
@@ -589,6 +668,37 @@ int cmd_distrib(const std::string& path, const Options& opts) {
   return 0;
 }
 
+int cmd_optimize(const std::string& path, const Options& opts) {
+  const gamma::Program program = gamma::dsl::parse_program(read_file(path));
+  const gamma::Multiset initial =
+      opts.init ? parse_elements(*opts.init) : gamma::Multiset{};
+  const auto r = analysis::optimize_program(
+      program, initial, make_optimize_options(opts, nullptr));
+
+  if (!opts.out.empty()) {
+    std::ofstream file(opts.out);
+    if (!file) throw Error("cannot write '" + opts.out + "'");
+    file << r.program << '\n';
+    std::cerr << "# optimized program written to " << opts.out << '\n';
+  }
+  if (opts.json) {
+    analysis::write_json(std::cout, r.report);
+    std::cout << '\n';
+  } else if (opts.opt_report) {
+    std::cout << r.report;
+    if (opts.out.empty()) std::cout << "\n" << r.program << '\n';
+  } else {
+    // Program on stdout, summary on stderr (pipeline-friendly, like fuse).
+    if (opts.out.empty()) std::cout << r.program << '\n';
+    std::cerr << "# optimize: " << r.report.fused << " fused ("
+              << r.report.chains_found << " chain(s) found), "
+              << r.report.rejected_by_cost << " rejected by cost, "
+              << r.report.dead_removed << " dead removed, cost "
+              << r.report.cost_before << " -> " << r.report.cost_after << '\n';
+  }
+  return r.report.class_check_ok ? 0 : 1;
+}
+
 int cmd_fuse(const std::string& path, const Options& opts) {
   const gamma::Program program = gamma::dsl::parse_program(read_file(path));
   const gamma::Multiset initial =
@@ -599,7 +709,12 @@ int cmd_fuse(const std::string& path, const Options& opts) {
 
 int cmd_expand(const std::string& path) {
   const gamma::Program program = gamma::dsl::parse_program(read_file(path));
-  std::cout << translate::expand_program(program) << '\n';
+  std::vector<translate::ExpandSkip> skips;
+  std::cout << translate::expand_program(program, &skips) << '\n';
+  for (const auto& s : skips) {
+    std::cerr << "# warning: '" << s.reaction << "' kept as-is: " << s.reason
+              << '\n';
+  }
   return 0;
 }
 
@@ -669,7 +784,13 @@ int cmd_check(const std::string& path, const Options& opts) {
   const gamma::Program program = gamma::dsl::parse_program(read_file(path));
   const gamma::Multiset initial =
       opts.init ? parse_elements(*opts.init) : gamma::Multiset{};
-  const auto lint = analysis::lint_program(program, initial);
+  auto lint = analysis::lint_program(program, initial);
+  // Optimizer-side lints: boundedness (divergence risk) and dead reactions
+  // the label-flow pass cannot see (unsatisfiable conditions, zero-bound
+  // labels). Same report, so --werror and --json pick them up unchanged.
+  const auto opt_lints = analysis::optimizer_lints(program, initial);
+  lint.findings.insert(lint.findings.end(), opt_lints.findings.begin(),
+                       opt_lints.findings.end());
   analysis::InterferenceOptions iopts;
   iopts.seed = opts.seed;
   const auto interference =
@@ -846,6 +967,7 @@ int main(int argc, char** argv) try {
   if (cmd == "rungamma") return cmd_rungamma(file, opts);
   if (cmd == "fuse") return cmd_fuse(file, opts);
   if (cmd == "expand") return cmd_expand(file);
+  if (cmd == "optimize") return cmd_optimize(file, opts);
   if (cmd == "reconstruct") return cmd_reconstruct(file, opts);
   if (cmd == "dot") return cmd_dot(file, opts);
   if (cmd == "viz") return cmd_viz(file, opts);
