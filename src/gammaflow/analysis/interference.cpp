@@ -357,6 +357,19 @@ Footprint reaction_footprint(const Reaction& reaction) {
   return f;
 }
 
+std::vector<runtime::WakeKeys> wakeup_keys(const gamma::Program& program) {
+  std::vector<runtime::WakeKeys> keys;
+  for (const gamma::Reaction* r : program.all_reactions()) {
+    const Footprint f = reaction_footprint(*r);
+    runtime::WakeKeys k;
+    k.labels = f.consume_labels;
+    k.arities = f.consume_arities;
+    k.any = f.consume_any;
+    keys.push_back(std::move(k));
+  }
+  return keys;
+}
+
 bool compete(const Footprint& a, const Footprint& b) {
   if ((a.consume_any && consumes_anything(b)) ||
       (b.consume_any && consumes_anything(a))) {

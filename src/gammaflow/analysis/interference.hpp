@@ -41,6 +41,7 @@
 
 #include "gammaflow/gamma/multiset.hpp"
 #include "gammaflow/gamma/program.hpp"
+#include "gammaflow/runtime/worklist.hpp"
 
 namespace gammaflow::analysis {
 
@@ -69,6 +70,14 @@ struct Footprint {
 /// bound per pattern rather than folded into the whole-reaction footprint.
 [[nodiscard]] std::optional<std::set<std::string>> admitted_labels(
     const gamma::Reaction& reaction, const std::string& var);
+
+/// Per-reaction consume-side wakeup keys for the worklist-driven
+/// incremental fixpoint (runtime/worklist.hpp): one WakeKeys per reaction of
+/// the (single-stage) program, in stage order, each the runtime-consumable
+/// projection of that reaction's Footprint consume side. The admitted-labels
+/// derivation stays here so the runtime never re-implements it.
+[[nodiscard]] std::vector<runtime::WakeKeys> wakeup_keys(
+    const gamma::Program& program);
 
 /// True when the two reactions can never consume a common element (no
 /// consume/consume overlap) — the pair commutes on disjoint matches and a

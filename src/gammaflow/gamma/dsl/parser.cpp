@@ -2,7 +2,9 @@
 
 #include <set>
 
+#include "gammaflow/common/error.hpp"
 #include "gammaflow/expr/parser.hpp"
+#include "gammaflow/expr/simplify.hpp"
 
 namespace gammaflow::gamma::dsl {
 
@@ -155,6 +157,34 @@ Reaction parse_reaction(std::string_view source) {
                      t.column);
   }
   return r;
+}
+
+Multiset parse_elements(std::string_view source) {
+  Multiset m;
+  TokenStream ts(expr::tokenize(source));
+  const auto literal_field = [&]() -> Value {
+    const expr::ExprPtr e = expr::parse_expression(ts);
+    const expr::ExprPtr folded = expr::simplify(e);
+    if (folded->kind() != expr::Expr::Kind::Literal) {
+      throw Error("multiset element fields must be literals, got '" +
+                  e->to_string() + "'");
+    }
+    return folded->literal();
+  };
+  while (!ts.done()) {
+    ts.accept(TokenKind::Comma);
+    if (ts.done()) break;
+    std::vector<Value> fields;
+    if (ts.accept(TokenKind::LBracket)) {
+      fields.push_back(literal_field());
+      while (ts.accept(TokenKind::Comma)) fields.push_back(literal_field());
+      ts.expect(TokenKind::RBracket);
+    } else {
+      fields.push_back(literal_field());
+    }
+    m.add(Element(std::move(fields)));
+  }
+  return m;
 }
 
 std::string print(const Program& program) { return program.to_string(); }

@@ -20,6 +20,7 @@
 #include <string>
 #include <string_view>
 
+#include "gammaflow/gamma/multiset.hpp"
 #include "gammaflow/gamma/program.hpp"
 #include "gammaflow/gamma/reaction.hpp"
 
@@ -32,6 +33,12 @@ namespace gammaflow::gamma::dsl {
 
 /// Parses exactly one reaction definition.
 [[nodiscard]] Reaction parse_reaction(std::string_view source);
+
+/// Parses a comma-separated multiset literal — the CLI `--init` syntax and
+/// the serve protocol's `elements`/`init` fields: tuples in brackets
+/// ("[3,'a'], [1,'b',0]") or bare literals as 1-tuples ("7, 9"). Fields must
+/// fold to literals (constant expressions allowed); throws Error otherwise.
+[[nodiscard]] Multiset parse_elements(std::string_view source);
 
 /// Renders a program in the surface syntax; parse_program(print(p)) yields a
 /// structurally identical program (round-trip property, tested).

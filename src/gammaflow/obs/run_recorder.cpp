@@ -114,6 +114,8 @@ class Parser {
         j.engine = parse_string();
       } else if (key == "kind") {
         j.kind = parse_string();
+      } else if (key == "session") {
+        j.session = parse_string();
       } else if (key == "outcome") {
         j.outcome = parse_string();
       } else if (key == "initial") {
@@ -373,6 +375,11 @@ void RunRecorder::begin(std::string engine, std::string kind,
   fires_in_round_ = 0;
 }
 
+void RunRecorder::set_session(std::string session) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  journal_.session = std::move(session);
+}
+
 void RunRecorder::fire(FireRecord record) {
   const std::lock_guard<std::mutex> lock(mu_);
   ++journal_.fires_total;
@@ -456,6 +463,10 @@ void write_journal(std::ostream& out, const Journal& journal) {
   write_json_string(out, journal.engine);
   out << ",\"kind\":";
   write_json_string(out, journal.kind);
+  if (!journal.session.empty()) {
+    out << ",\"session\":";
+    write_json_string(out, journal.session);
+  }
   out << ",\"outcome\":";
   write_json_string(out, journal.outcome);
   out << ",\"initial\":";

@@ -67,6 +67,10 @@ struct Journal {
   std::string engine;   // "sequential", "interpreter", "cluster", ...
   std::string kind;     // "gamma" | "dataflow" | "distrib"
   std::string outcome;  // runtime Outcome name, e.g. "completed"
+  /// Serve-session id when the journal comes from a `gammaflow serve`
+  /// session ("" for batch runs; the key is omitted from the serialized
+  /// form then, so pre-session journals round-trip byte-identically).
+  std::string session;
   StoreCounts initial;
   std::vector<RoundDelta> rounds;
   std::vector<FireRecord> fires;
@@ -87,6 +91,10 @@ class RunRecorder {
   /// Starts a run: names the engine/kind and snapshots the initial store.
   /// Resets any previous journal (a recorder records one run at a time).
   void begin(std::string engine, std::string kind, StoreCounts initial);
+
+  /// Tags the journal with a serve-session id (Journal::session). Call
+  /// after begin() — begin resets the journal, tag included.
+  void set_session(std::string session);
 
   /// Records one firing (budgeted; drops count toward fires_dropped).
   void fire(FireRecord record);

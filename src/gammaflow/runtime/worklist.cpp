@@ -1,0 +1,158 @@
+// See worklist.hpp for the model. The drain policy mirrors the
+// IndexedEngine's inner loop (fire a reaction while it stays enabled before
+// moving on — cheaper than re-queueing after every commit) but replaces its
+// shuffled full passes with the dirty queue: a reaction is probed only when
+// an insertion its footprint admits has happened since it last proved itself
+// exhausted.
+#include "gammaflow/runtime/worklist.hpp"
+
+#include <utility>
+
+#include "gammaflow/common/error.hpp"
+#include "gammaflow/obs/telemetry.hpp"
+#include "gammaflow/runtime/match_pipeline.hpp"
+
+namespace gammaflow::runtime {
+
+WakeupIndex::WakeupIndex(std::vector<WakeKeys> keys) : keys_(std::move(keys)) {
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    const WakeKeys& k = keys_[i];
+    if (k.any) {
+      always_.push_back(i);
+      continue;  // the always list subsumes the per-key buckets
+    }
+    for (const std::string& label : k.labels) by_label_[label].push_back(i);
+    for (const std::size_t arity : k.arities) by_arity_[arity].push_back(i);
+  }
+}
+
+void WakeupIndex::wake(const gamma::Element& e,
+                       std::vector<std::size_t>& out) const {
+  out.insert(out.end(), always_.begin(), always_.end());
+  if (e.arity() >= 2 && e.field(1).is_str()) {
+    const auto it = by_label_.find(e.field(1).as_str());
+    if (it != by_label_.end()) {
+      out.insert(out.end(), it->second.begin(), it->second.end());
+    }
+  }
+  const auto it = by_arity_.find(e.arity());
+  if (it != by_arity_.end()) {
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+}
+
+IncrementalFixpoint::IncrementalFixpoint(gamma::Program program,
+                                         std::vector<WakeKeys> keys,
+                                         const WorklistOptions& options)
+    : program_(std::move(program)),
+      index_(std::move(keys)),
+      options_(options),
+      mode_(options.eval_mode()),
+      rng_(options.seed),
+      recording_(options, "worklist", "gamma") {
+  if (program_.stage_count() > 1) {
+    throw EngineError(
+        "worklist fixpoint requires a single-stage program; `;` sequencing "
+        "has no incremental meaning under streaming injection (got " +
+        std::to_string(program_.stage_count()) + " stages)");
+  }
+  static const std::vector<gamma::Reaction> kNoReactions;
+  reactions_ = program_.empty() ? &kNoReactions : &program_.stages().front();
+  if (index_.reaction_count() != reactions_->size()) {
+    throw EngineError("worklist wakeup keys cover " +
+                      std::to_string(index_.reaction_count()) +
+                      " reactions but the program has " +
+                      std::to_string(reactions_->size()));
+  }
+  dirty_.assign(reactions_->size(), 0);
+  // The journal opens on the empty store; every injection's quiescent state
+  // is one round (DESIGN §11), so replaying the rounds reproduces `final`.
+  recording_.begin(gamma::Multiset{});
+}
+
+void IncrementalFixpoint::wake_element(const gamma::Element& e) {
+  wake_scratch_.clear();
+  if (options_.rescan) {
+    for (std::size_t i = 0; i < reactions_->size(); ++i) {
+      wake_scratch_.push_back(i);
+    }
+  } else {
+    index_.wake(e, wake_scratch_);
+  }
+  for (const std::size_t idx : wake_scratch_) {
+    if (dirty_[idx] != 0) continue;
+    dirty_[idx] = 1;
+    queue_.push_back(idx);
+    ++stats_.wakeups;
+  }
+}
+
+Outcome IncrementalFixpoint::saturate(StepLoop& loop) {
+  while (!queue_.empty() && loop.running()) {
+    const std::size_t idx = queue_.front();
+    queue_.pop_front();
+    dirty_[idx] = 0;
+    const gamma::Reaction& r = (*reactions_)[idx];
+    bool exhausted = false;
+    while (!loop.should_stop()) {
+      ++stats_.rematches;
+      auto match = MatchPipeline::find(store_, r, &rng_, mode_);
+      if (!match) {
+        // Exhaustive index search failed: r has NO enabled match in the
+        // current store, so clearing its dirty flag preserves the
+        // "enabled => dirty" invariant until a later insertion re-wakes it.
+        exhausted = true;
+        break;
+      }
+      if (!loop.admit(stats_.fires)) break;
+      ++stats_.fires;
+      ++last_fires_;
+      const RecordCtx rctx = recording_.ctx(0);
+      MatchPipeline::commit(store_, *match, recording_ ? &rctx : nullptr);
+      for (const gamma::Element& produced : match->produced) {
+        wake_element(produced);
+      }
+    }
+    if (!exhausted && dirty_[idx] == 0) {
+      // Stopped mid-drain (deadline/budget/cancel) with r possibly still
+      // enabled: keep it dirty so the next inject() resumes the drain from
+      // a state that satisfies the invariant.
+      dirty_[idx] = 1;
+      queue_.push_front(idx);
+    }
+  }
+  return loop.outcome();
+}
+
+Outcome IncrementalFixpoint::inject(const std::vector<gamma::Element>& elements) {
+  last_fires_ = 0;
+  ++stats_.injects;
+  StepLoop loop(options_, options_.max_steps, "worklist", "max_steps");
+  for (const gamma::Element& e : elements) {
+    store_.insert(e);
+    ++stats_.injected;
+    wake_element(e);
+  }
+  last_outcome_ = saturate(loop);
+  if (recording_) recording_.round(store_);
+  if (obs::Telemetry* tel = options_.telemetry) {
+    auto& stats = tel->stats();
+    stats.count("serve.injected", elements.size());
+    stats.count("serve.fires", last_fires_);
+    stats.hist("serve.inject_us").observe(loop.wall_seconds() * 1e6);
+  }
+  return last_outcome_;
+}
+
+Outcome IncrementalFixpoint::inject(const gamma::Multiset& elements) {
+  std::vector<gamma::Element> flat;
+  flat.reserve(elements.size());
+  for (const gamma::Element& e : elements) flat.push_back(e);
+  return inject(flat);
+}
+
+void IncrementalFixpoint::finish_recording() {
+  recording_.finish(last_outcome_, snapshot());
+}
+
+}  // namespace gammaflow::runtime

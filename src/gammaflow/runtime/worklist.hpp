@@ -1,0 +1,166 @@
+// Worklist-driven incremental fixpoint — the serving-side refinement of the
+// engines' scan-to-quiescence loop. A batch engine proves the fixed point by
+// an exhaustive pass over every reaction; a long-lived store cannot afford
+// that after every injected element. This module keeps the store AT fixpoint
+// and, when elements arrive, re-matches only the reactions whose PR 3
+// interference footprint (analysis/interference.hpp) can consume one of the
+// new elements:
+//
+//   WakeKeys      — one reaction's consume-side footprint keys (labels,
+//                   arities, or the any-wildcard), the analysis result in
+//                   runtime-consumable form (analysis::wakeup_keys builds
+//                   them so the admitted-labels logic stays in gf_analysis).
+//   WakeupIndex   — label→reactions and arity→reactions maps inverted from
+//                   the WakeKeys; wake(e) returns exactly the reactions whose
+//                   footprint admits element e.
+//   IncrementalFixpoint — the driver: inject() inserts elements, wakes their
+//                   footprint-matching reactions onto a dirty queue, and
+//                   drains the queue to quiescence (each drained reaction is
+//                   fired while enabled; its productions wake downstream
+//                   consumers). An empty queue is a fixpoint PROOF, not a
+//                   heuristic — see the invariant below.
+//
+// Equivalence obligation (DESIGN §14): the drain maintains the invariant
+// "every reaction with an enabled match is dirty". Insertions wake every
+// reaction whose footprint admits the element (the footprint is an
+// over-approximation, so no enabling insert is missed); removals of consumed
+// elements can only DISABLE matches (patterns are positive, conditions see
+// only bound fields). Hence queue empty ⟹ no reaction has an enabled match
+// ⟹ global fixpoint, and for confluent programs that fixpoint is the one
+// the batch engines reach from the union of all injections — byte-identical,
+// which test_serve checks on a randomized injection corpus.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "gammaflow/common/cancel.hpp"
+#include "gammaflow/common/rng.hpp"
+#include "gammaflow/gamma/program.hpp"
+#include "gammaflow/gamma/store.hpp"
+#include "gammaflow/runtime/options.hpp"
+#include "gammaflow/runtime/step_loop.hpp"
+
+namespace gammaflow::runtime {
+
+/// One reaction's consume-side wakeup keys: an inserted element can enable
+/// the reaction only if `any`, or its label (string field 1) is in `labels`,
+/// or its arity is in `arities`. Mirrors analysis::Footprint's consume side;
+/// over-approximate by construction (a key the analysis cannot bound becomes
+/// `any`, never a missed wake).
+struct WakeKeys {
+  std::set<std::string> labels;
+  std::set<std::size_t> arities;
+  bool any = false;
+};
+
+/// Inverted index from element keys to the reactions they can wake. Built
+/// once per program; wake() is O(woken reactions), not O(all reactions).
+class WakeupIndex {
+ public:
+  explicit WakeupIndex(std::vector<WakeKeys> keys);
+
+  [[nodiscard]] std::size_t reaction_count() const noexcept {
+    return keys_.size();
+  }
+  [[nodiscard]] const WakeKeys& keys(std::size_t reaction) const {
+    return keys_.at(reaction);
+  }
+
+  /// Appends every reaction index whose keys admit `e`: the always-wake
+  /// list, the label bucket for e's string field 1 (when present), and the
+  /// arity bucket for e's arity. A reaction keyed on both the label and the
+  /// arity appears twice; callers dedup via their dirty flags.
+  void wake(const gamma::Element& e, std::vector<std::size_t>& out) const;
+
+ private:
+  std::vector<WakeKeys> keys_;
+  std::unordered_map<std::string, std::vector<std::size_t>> by_label_;
+  std::unordered_map<std::size_t, std::vector<std::size_t>> by_arity_;
+  std::vector<std::size_t> always_;
+};
+
+/// Knobs for the incremental driver, extending the shared runtime base the
+/// same way gamma::RunOptions does. `deadline` (inherited) bounds each
+/// inject() call; `max_steps` is a LIFETIME firing budget across all
+/// injections (the serve daemon's per-session budget).
+struct WorklistOptions : RunOptions {
+  std::uint64_t seed = 1;
+  std::uint64_t max_steps = 50'000'000;
+  /// A/B baseline: ignore footprints and mark EVERY reaction dirty on every
+  /// insert — the "full rescan" strawman bench_serve compares against. The
+  /// fixpoints are identical either way; only the re-match work differs.
+  bool rescan = false;
+};
+
+/// Counters the daemon's stats verb and bench_serve report. `rematches` is
+/// the number of MatchPipeline::find probes — the work the wakeup index
+/// saves versus rescan mode.
+struct WorklistStats {
+  std::uint64_t injected = 0;   // elements inserted via inject()
+  std::uint64_t fires = 0;      // lifetime firings (vs. max_steps budget)
+  std::uint64_t wakeups = 0;    // reactions enqueued onto the dirty queue
+  std::uint64_t rematches = 0;  // MatchPipeline::find probes
+  std::uint64_t injects = 0;    // inject() calls
+};
+
+/// Long-lived single-stage fixpoint driver over one Store. Construction
+/// leaves the store empty and at (trivial) fixpoint; each inject() restores
+/// the fixpoint incrementally and returns the outcome (Completed, or the
+/// deadline/budget/cancel outcome under LimitPolicy::Partial — the store is
+/// then a valid intermediate state and the next inject() resumes the drain).
+///
+/// Multi-stage programs are rejected (EngineError): `;` sequencing means
+/// "run stage k to fixpoint, THEN stage k+1" — under streaming injection
+/// stage k never finally quiesces, so the composition has no incremental
+/// meaning. Serve sessions therefore host single-stage programs only.
+class IncrementalFixpoint {
+ public:
+  IncrementalFixpoint(gamma::Program program, std::vector<WakeKeys> keys,
+                      const WorklistOptions& options);
+
+  /// Inserts the elements, wakes their footprint consumers, drains to
+  /// quiescence. Deterministic for a given (program, seed, schedule).
+  Outcome inject(const std::vector<gamma::Element>& elements);
+  Outcome inject(const gamma::Multiset& elements);
+
+  [[nodiscard]] const gamma::Store& store() const noexcept { return store_; }
+  [[nodiscard]] gamma::Multiset snapshot() const { return store_.to_multiset(); }
+  [[nodiscard]] const WorklistStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] Outcome last_outcome() const noexcept { return last_outcome_; }
+  /// Firings performed by the most recent inject() call.
+  [[nodiscard]] std::uint64_t last_fires() const noexcept { return last_fires_; }
+  [[nodiscard]] const gamma::Program& program() const noexcept {
+    return program_;
+  }
+
+  /// Closes the run journal (no-op without RunOptions::record): outcome of
+  /// the last inject, final store snapshot. The serve session calls this on
+  /// close; idempotence is the caller's concern (close is called once).
+  void finish_recording();
+
+ private:
+  void wake_element(const gamma::Element& e);
+  Outcome saturate(StepLoop& loop);
+
+  gamma::Program program_;
+  const std::vector<gamma::Reaction>* reactions_;  // into program_ stage 0
+  WakeupIndex index_;
+  WorklistOptions options_;
+  expr::EvalMode mode_;
+  gamma::Store store_;
+  Rng rng_;
+  std::deque<std::size_t> queue_;
+  std::vector<char> dirty_;  // reaction index -> currently queued
+  std::vector<std::size_t> wake_scratch_;
+  WorklistStats stats_;
+  Outcome last_outcome_ = Outcome::Completed;
+  std::uint64_t last_fires_ = 0;
+  RunRecording recording_;
+};
+
+}  // namespace gammaflow::runtime

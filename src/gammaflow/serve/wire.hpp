@@ -1,0 +1,97 @@
+// Wire-format JSON for the serve protocol (DESIGN §14): a minimal value
+// type + parser/writer for the line-delimited request/reply objects the
+// daemon speaks. The run recorder's journal parser is deliberately
+// journal-shaped (fixed schema, skip-unknown); the protocol needs general
+// values (arbitrary request fields, nested reply objects), so this small
+// general-purpose JSON lives here and gf_obs stays untouched.
+//
+// Scope matches the protocol: objects, arrays, strings, bools, null, and
+// numbers (int64 when the literal is integral, double otherwise). No
+// unicode \uXXXX escapes beyond pass-through of the common control escapes —
+// protocol strings are DSL text and identifiers, not arbitrary user prose.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "gammaflow/common/error.hpp"
+
+namespace gammaflow::serve {
+
+/// Malformed wire input (parse errors, type mismatches on access). The
+/// server maps it to an {"ok":false,"error":"bad_request"} reply.
+class WireError : public Error {
+ public:
+  explicit WireError(const std::string& what) : Error("WireError: " + what) {}
+};
+
+class Json;
+using JsonArr = std::vector<Json>;
+using JsonObj = std::map<std::string, Json>;
+
+class Json {
+ public:
+  Json() noexcept : v_(nullptr) {}
+  Json(std::nullptr_t) noexcept : v_(nullptr) {}          // NOLINT
+  Json(bool b) noexcept : v_(b) {}                        // NOLINT
+  Json(std::int64_t n) noexcept : v_(n) {}                // NOLINT
+  Json(int n) noexcept : v_(std::int64_t{n}) {}           // NOLINT
+  Json(std::uint64_t n) noexcept                          // NOLINT
+      : v_(static_cast<std::int64_t>(n)) {}
+  Json(double d) noexcept : v_(d) {}                      // NOLINT
+  Json(std::string s) : v_(std::move(s)) {}               // NOLINT
+  Json(const char* s) : v_(std::string(s)) {}             // NOLINT
+  Json(JsonArr a) : v_(std::move(a)) {}                   // NOLINT
+  Json(JsonObj o) : v_(std::move(o)) {}                   // NOLINT
+
+  [[nodiscard]] bool is_null() const noexcept { return v_.index() == 0; }
+  [[nodiscard]] bool is_bool() const noexcept { return v_.index() == 1; }
+  [[nodiscard]] bool is_int() const noexcept { return v_.index() == 2; }
+  [[nodiscard]] bool is_real() const noexcept { return v_.index() == 3; }
+  [[nodiscard]] bool is_num() const noexcept { return is_int() || is_real(); }
+  [[nodiscard]] bool is_str() const noexcept { return v_.index() == 4; }
+  [[nodiscard]] bool is_arr() const noexcept { return v_.index() == 5; }
+  [[nodiscard]] bool is_obj() const noexcept { return v_.index() == 6; }
+
+  /// Checked accessors; WireError on kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  /// Int or real, widened to double.
+  [[nodiscard]] double as_num() const;
+  [[nodiscard]] const std::string& as_str() const;
+  [[nodiscard]] const JsonArr& as_arr() const;
+  [[nodiscard]] const JsonObj& as_obj() const;
+
+  /// Object field lookup; nullptr when absent (or this is not an object).
+  [[nodiscard]] const Json* get(const std::string& key) const noexcept;
+  /// Typed field lookups with defaults; WireError when the field exists but
+  /// has the wrong kind (a silently ignored typo'd value is worse than an
+  /// error reply).
+  [[nodiscard]] std::string str_or(const std::string& key,
+                                   std::string fallback) const;
+  [[nodiscard]] std::int64_t int_or(const std::string& key,
+                                    std::int64_t fallback) const;
+  [[nodiscard]] double num_or(const std::string& key, double fallback) const;
+  [[nodiscard]] bool bool_or(const std::string& key, bool fallback) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string,
+               JsonArr, JsonObj>
+      v_;
+};
+
+/// Parses one JSON value (the whole string; trailing garbage is an error).
+[[nodiscard]] Json parse_json(const std::string& text);
+
+void write_json(std::ostream& out, const Json& value);
+
+/// Escapes + quotes `s` for embedding in hand-built reply strings.
+[[nodiscard]] std::string json_quote(const std::string& s);
+
+}  // namespace gammaflow::serve

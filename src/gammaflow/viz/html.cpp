@@ -311,6 +311,7 @@ function esc(s) { return String(s).replace(/&/g, '&amp;').replace(/</g, '&lt;');
   const bits = [data.kind + ' view', data.nodes.length + ' nodes'];
   if (data.verdict) bits.push('verdict: ' + data.verdict);
   if (J) {
+    if (J.session) bits.push('session: ' + J.session);
     bits.push(J.engine + '/' + J.kind, 'outcome: ' + J.outcome,
               J.fires_total + ' fires' +
               (J.fires_dropped ? ' (' + J.fires_dropped + ' dropped)' : ''),

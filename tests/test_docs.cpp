@@ -85,7 +85,7 @@ TEST(DocSync, EveryDocumentedSubcommandExistsInHelp) {
   for (const char* cmd :
        {"compile", "run", "togamma", "rungamma", "fuse", "expand",
         "optimize", "reconstruct", "dot", "viz", "opt", "lint", "check",
-        "distrib", "help"}) {
+        "distrib", "serve", "help"}) {
     EXPECT_NE(help.find(std::string("  ") + cmd + " "), std::string::npos)
         << "subcommand '" << cmd << "' missing from --help";
   }
@@ -114,7 +114,7 @@ TEST(DocSync, ArchitectureDocCoversEveryModule) {
       read_file(std::string(GF_REPO_DIR) + "/ARCHITECTURE.md");
   for (const char* module :
        {"common", "obs", "expr", "runtime", "gamma", "dataflow", "translate",
-        "analysis", "frontend", "paper", "distrib", "viz"}) {
+        "analysis", "frontend", "paper", "distrib", "viz", "serve"}) {
     EXPECT_NE(arch.find(std::string("`") + module), std::string::npos)
         << "ARCHITECTURE.md never mentions module '" << module << "'";
   }

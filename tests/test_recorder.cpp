@@ -9,6 +9,7 @@
 #include <memory>
 #include <string>
 
+#include "gammaflow/analysis/interference.hpp"
 #include "gammaflow/dataflow/engine.hpp"
 #include "gammaflow/distrib/cluster.hpp"
 #include "gammaflow/gamma/dsl/parser.hpp"
@@ -147,6 +148,62 @@ TEST(Recorder, EscapedStringsSurviveRoundTrip) {
   EXPECT_EQ(parsed.fires.at(0).reaction, "R\"quoted\"\nnewline");
   EXPECT_EQ(parsed.final_store, j.final_store);
   EXPECT_EQ(obs::verify_journal(parsed), "");
+}
+
+TEST(Recorder, SessionTagRoundTripsAndIsOmittedWhenEmpty) {
+  RunRecorder rec;
+  rec.begin("worklist", "gamma", {{"[1]", 1}});
+  rec.round({{"[1]", 1}});
+  rec.finish("completed", {{"[1]", 1}});
+  Journal j = rec.take();
+
+  // Pre-serve journals carry no session; the serialized form must not grow
+  // a "session" key so old journals stay byte-identical.
+  EXPECT_EQ(j.session, "");
+  const std::string untagged = obs::journal_to_string(j);
+  EXPECT_EQ(untagged.find("\"session\""), std::string::npos);
+  EXPECT_EQ(obs::parse_journal_string(untagged).session, "");
+
+  j.session = "s42";
+  const std::string tagged = obs::journal_to_string(j);
+  EXPECT_NE(tagged.find("\"session\":\"s42\""), std::string::npos);
+  const Journal parsed = obs::parse_journal_string(tagged);
+  EXPECT_EQ(parsed.session, "s42");
+  EXPECT_EQ(obs::journal_to_string(parsed), tagged);
+  EXPECT_EQ(obs::verify_journal(parsed), "");
+}
+
+TEST(Recorder, WorklistJournalReplaysAcrossInjections) {
+  // A serve session's journal spans many injections: one round per
+  // quiescent state. Replaying the rounds must land on the live store.
+  const gamma::Program program = gamma::dsl::parse_program(kMin);
+  RunRecorder rec;
+  runtime::WorklistOptions wopts;
+  wopts.seed = 11;
+  wopts.record = &rec;
+  runtime::IncrementalFixpoint fix(program, analysis::wakeup_keys(program),
+                                   wopts);
+  rec.set_session("s1");
+  ASSERT_EQ(fix.inject(ints({9, 4, 7})), Outcome::Completed);
+  ASSERT_EQ(fix.inject(ints({2, 8})), Outcome::Completed);
+  ASSERT_EQ(fix.inject(ints({5})), Outcome::Completed);
+  fix.finish_recording();
+  const Journal j = rec.take();
+
+  EXPECT_EQ(j.session, "s1");
+  EXPECT_EQ(j.engine, "worklist");
+  EXPECT_EQ(j.outcome, "completed");
+  EXPECT_EQ(obs::verify_journal(j), "");
+  EXPECT_EQ(j.rounds_total, 3u);
+  const StoreCounts final = runtime::store_counts(fix.snapshot());
+  EXPECT_EQ(j.final_store, final);
+  EXPECT_EQ(obs::replay_rounds(j, j.rounds.size()), final);
+  ASSERT_EQ(j.fires_dropped, 0u);
+  EXPECT_EQ(obs::replay_fires(j, j.fires.size()), final);
+
+  const Journal parsed = obs::parse_journal_string(obs::journal_to_string(j));
+  EXPECT_EQ(parsed.session, "s1");
+  EXPECT_EQ(parsed.final_store, final);
 }
 
 TEST(Recorder, VersionMismatchThrows) {

@@ -41,6 +41,8 @@
 #include "gammaflow/gamma/dsl/parser.hpp"
 #include "gammaflow/gamma/engine.hpp"
 #include "gammaflow/obs/run_recorder.hpp"
+#include "gammaflow/runtime/worklist.hpp"
+#include "gammaflow/serve/server.hpp"
 #include "gammaflow/viz/viz.hpp"
 #include "gammaflow/analysis/interference.hpp"
 #include "gammaflow/analysis/lint.hpp"
@@ -83,6 +85,11 @@ void print_usage(std::ostream& out) {
       "                                        .gamma, graph verifier on\n"
       "                                        .src/.df\n"
       "  distrib <prog.gamma> --init \"...\"     simulated cluster run\n"
+      "  serve <prog.gamma> --socket <path>    long-lived daemon: multi-tenant\n"
+      "                                        sessions kept at fixpoint by\n"
+      "                                        the incremental worklist; line-\n"
+      "                                        delimited JSON protocol over a\n"
+      "                                        Unix socket (or --stdio)\n"
       "  help                                  print this message (--help, -h)\n"
       "options: --init \"[v,'L'] ...\"  --engine seq|idx|par  --seed N\n"
       "         --workers N            worker threads (par engines)\n"
@@ -116,6 +123,24 @@ void print_usage(std::ostream& out) {
       "                                optimizer on the program first (not\n"
       "                                with --resume); run (.src/.df) uses\n"
       "                                the dataflow optimizer instead\n"
+      "rungamma: --worklist           run through the incremental worklist\n"
+      "                                fixpoint (single-stage programs; the\n"
+      "                                whole --init multiset arrives as one\n"
+      "                                injection — same fixpoint, stats on\n"
+      "                                stderr)\n"
+      "serve:   --socket <path>        Unix-domain socket to listen on\n"
+      "         --stdio                speak the protocol on stdin/stdout\n"
+      "                                (also the default without --socket)\n"
+      "         --max-sessions N       concurrent session cap (default 64)\n"
+      "         --rescan               worklist/serve: wake EVERY reaction on\n"
+      "                                each insert instead of footprint\n"
+      "                                wakeups (A/B baseline; identical\n"
+      "                                fixpoints, more rematch work)\n"
+      "         --deadline S           serve: default per-inject deadline\n"
+      "         --max-steps N          serve: default per-session firing\n"
+      "                                budget\n"
+      "         --record-out <stem>    serve: write each closed session's\n"
+      "                                journal to <stem>.<session>.json\n"
       "distrib: --nodes N --placement hash|rr|single --latency N\n"
       "         --fires-per-round N    local matches per node per round\n"
       "  fault injection (deterministic from --seed):\n"
@@ -184,31 +209,7 @@ dataflow::Graph load_graph(const std::string& path) {
 /// Parses "--init" elements: a sequence of [expr, expr, ...] tuples (fields
 /// must be literals) or bare literals.
 gamma::Multiset parse_elements(const std::string& text) {
-  gamma::Multiset m;
-  expr::TokenStream ts(expr::tokenize(text));
-  auto literal_field = [&]() -> Value {
-    const expr::ExprPtr e = expr::parse_expression(ts);
-    const expr::ExprPtr folded = expr::simplify(e);
-    if (folded->kind() != expr::Expr::Kind::Literal) {
-      throw Error("multiset element fields must be literals, got '" +
-                  e->to_string() + "'");
-    }
-    return folded->literal();
-  };
-  while (!ts.done()) {
-    ts.accept(expr::TokenKind::Comma);
-    if (ts.done()) break;
-    std::vector<Value> fields;
-    if (ts.accept(expr::TokenKind::LBracket)) {
-      fields.push_back(literal_field());
-      while (ts.accept(expr::TokenKind::Comma)) fields.push_back(literal_field());
-      ts.expect(expr::TokenKind::RBracket);
-    } else {
-      fields.push_back(literal_field());
-    }
-    m.add(gamma::Element(std::move(fields)));
-  }
-  return m;
+  return gamma::dsl::parse_elements(text);
 }
 
 struct Options {
@@ -254,6 +255,12 @@ struct Options {
   std::string wal_dir;
   std::size_t wal_snapshot_every = 64;
   bool resume = false;
+  // --- serve / worklist ---
+  std::string socket;             // serve: unix socket path
+  bool stdio = false;             // serve: speak the protocol on stdin/stdout
+  std::size_t max_sessions = 64;  // serve: concurrent session cap
+  bool rescan = false;            // serve/worklist: full-rescan wake policy
+  bool worklist = false;          // rungamma: incremental worklist path
 };
 
 /// Parses "a:b" / "a:b:c" small-integer tuples (--crash, --partition).
@@ -401,6 +408,16 @@ Options parse_options(int argc, char** argv, int first) {
       opts.wal_snapshot_every = next_number();
     } else if (arg == "--resume") {
       opts.resume = true;
+    } else if (arg == "--socket") {
+      opts.socket = next();
+    } else if (arg == "--stdio") {
+      opts.stdio = true;
+    } else if (arg == "--max-sessions") {
+      opts.max_sessions = next_number();
+    } else if (arg == "--rescan") {
+      opts.rescan = true;
+    } else if (arg == "--worklist") {
+      opts.worklist = true;
     } else if (arg == "--log-level") {
       const std::string name = next();
       const auto level = parse_log_level(name.c_str());
@@ -535,10 +552,47 @@ int cmd_togamma(const std::string& path) {
   return 0;
 }
 
+/// `rungamma --worklist`: the batch A/B face of the incremental fixpoint.
+/// The whole initial multiset arrives as ONE injection, so for confluent
+/// programs the printed fixpoint is byte-identical to the batch engines' —
+/// the equivalence obligation DESIGN §14 states and test_serve checks.
+int run_worklist(const gamma::Program& program, const gamma::Multiset& initial,
+                 const Options& opts) {
+  runtime::WorklistOptions wopts;
+  wopts.seed = opts.seed;
+  wopts.compile = opts.compile;
+  wopts.rescan = opts.rescan;
+  obs::RunRecorder rec;
+  if (opts.record_out) wopts.record = &rec;
+  if (opts.deadline > 0.0) {
+    wopts.deadline = opts.deadline;
+    wopts.limit_policy = LimitPolicy::Partial;
+  }
+  runtime::IncrementalFixpoint fix(program, analysis::wakeup_keys(program),
+                                   wopts);
+  const Outcome outcome = fix.inject(initial);
+  std::cout << fix.snapshot() << '\n'
+            << "# " << fix.stats().fires << " reactions fired\n";
+  if (outcome != Outcome::Completed) {
+    std::cout << "# stopped early: " << to_string(outcome)
+              << " (partial multiset above)\n";
+  }
+  const runtime::WorklistStats& stats = fix.stats();
+  std::cerr << "# worklist: " << stats.wakeups << " wakeup(s), "
+            << stats.rematches << " rematch probe(s)"
+            << (opts.rescan ? " [rescan baseline]" : "") << '\n';
+  if (opts.record_out) {
+    fix.finish_recording();
+    dump_journal(rec.take(), *opts.record_out);
+  }
+  return 0;
+}
+
 int cmd_rungamma(const std::string& path, const Options& opts) {
   if (!opts.init) throw Error("rungamma needs --init \"<elements>\"");
   gamma::Program program = gamma::dsl::parse_program(read_file(path));
   const gamma::Multiset initial = parse_elements(*opts.init);
+  if (opts.worklist) return run_worklist(program, initial, opts);
   obs::Telemetry tel;
   obs::RunRecorder rec;
   if (opts.optimize) {
@@ -666,6 +720,40 @@ int cmd_distrib(const std::string& path, const Options& opts) {
   if (opts.record_out) dump_journal(rec.take(), *opts.record_out);
   if (opts.metrics) obs::write_report(std::cout, tel);
   return 0;
+}
+
+/// `gammaflow serve`: the long-lived daemon. The .gamma file is the default
+/// program new sessions host (a create request may override it). Socket
+/// mode accepts clients on a Unix socket; --stdio speaks the same protocol
+/// on stdin/stdout (one JSON object per line each way, DESIGN §14).
+int cmd_serve(const std::string& path, const Options& opts) {
+  serve::ServeOptions sopts;
+  sopts.socket_path = opts.socket;
+  sopts.max_sessions = opts.max_sessions;
+  sopts.deadline = opts.deadline;
+  if (opts.max_steps > 0) sopts.max_steps = opts.max_steps;
+  sopts.seed = opts.seed;
+  sopts.compile = opts.compile;
+  sopts.rescan = opts.rescan;
+  if (opts.record_out) sopts.record_out = *opts.record_out;
+  sopts.default_program = read_file(path);
+  // Validate the default program up front: a daemon that rejects every
+  // create with bad_program is better caught at startup.
+  const gamma::Program program = gamma::dsl::parse_program(sopts.default_program);
+  if (program.stage_count() > 1) {
+    throw Error("serve hosts single-stage programs; '" + path + "' has " +
+                std::to_string(program.stage_count()) + " stages");
+  }
+  serve::Server server(std::move(sopts));
+  if (opts.stdio || opts.socket.empty()) {
+    if (!opts.stdio) {
+      std::cerr << "# no --socket given; speaking the protocol on stdio\n";
+    }
+    server.serve_stream(std::cin, std::cout);
+    return 0;
+  }
+  std::cerr << "# serving '" << path << "' on " << opts.socket << '\n';
+  return server.serve_socket();
 }
 
 int cmd_optimize(const std::string& path, const Options& opts) {
@@ -975,6 +1063,7 @@ int main(int argc, char** argv) try {
   if (cmd == "lint") return cmd_lint(file, opts);
   if (cmd == "check") return cmd_check(file, opts);
   if (cmd == "distrib") return cmd_distrib(file, opts);
+  if (cmd == "serve") return cmd_serve(file, opts);
   return usage();
 } catch (const std::exception& e) {
   std::cerr << "gammaflow: " << e.what() << '\n';
