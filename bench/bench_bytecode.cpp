@@ -4,8 +4,14 @@
 // latency and an engine-level rungamma workload are compared. The headline
 // number is the geometric-mean VM speedup over condition-heavy expressions,
 // emitted as `bytecode.geomean_speedup_milli` in the "# metrics" line.
+// The batch-backend section (E18) re-runs the same conditions as 4096-lane
+// column batches (compile_batch + BatchVm), bitmap checked lane-for-lane
+// against the scalar VM, reporting per-lane latency and
+// `bytecode.batch_geomean_speedup_milli`.
+#include <array>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <sstream>
 
@@ -138,6 +144,109 @@ void verify() {
   metrics.counters["bytecode.geomean_speedup_milli"] =
       static_cast<std::uint64_t>(geomean * 1000.0);
 
+  // Batch backend (E18): the same conditions over a 4096-lane column — slot
+  // x varies per lane, y/z broadcast, exactly the shape the match pipeline
+  // feeds it (innermost binder = column, outer binders = scalars). The
+  // bitmap must agree with the scalar VM on every lane; the timed loop then
+  // compares amortized per-lane latency against scalar per-eval latency.
+  {
+    std::cout << "\nbatch backend: x as a 4096-lane column, y/z broadcast\n";
+    bench::Table btable(
+        {"workload", "vm_ns", "batch_ns_lane", "speedup", "fused", "agree"});
+    constexpr std::size_t kLanes = 4096;
+    constexpr std::array<std::uint8_t, 3> kVec = {1, 0, 0};
+    std::vector<std::int64_t> col(kLanes);
+    for (std::size_t i = 0; i < kLanes; ++i) {
+      col[i] = static_cast<std::int64_t>(i % 97) - 11;
+    }
+    const std::int64_t yv = 8, zv = 12;
+    double blog_sum = 0.0;
+    std::size_t bmeasured = 0;
+    for (const Workload& w : kWorkloads) {
+      const expr::Chunk chunk = expr::compile(parse_expr(w.source), kSlots);
+      const auto bchunk = expr::compile_batch(chunk, kVec);
+      if (!bchunk) {
+        std::cerr << "FATAL: int-only workload " << w.name
+                  << " refused by compile_batch\n";
+        std::exit(1);
+      }
+      std::array<expr::BatchVm::SlotInput, 3> slots{};
+      slots[0].column = col.data();
+      slots[1].scalar = yv;
+      slots[2].scalar = zv;
+      expr::BatchVm bvm;
+      std::vector<std::uint8_t> bits;
+      if (!bvm.run(*bchunk, slots, kLanes, bits)) {
+        std::cerr << "FATAL: batch run aborted on " << w.name << '\n';
+        std::exit(1);
+      }
+      bool agree = true;
+      expr::Vm check_vm;
+      const Value y{yv}, z{zv};
+      for (std::size_t i = 0; i < kLanes; ++i) {
+        const Value x{col[i]};
+        const Value* sv[3] = {&x, &y, &z};
+        if (check_vm.run(chunk, sv).truthy() != (bits[i] != 0)) {
+          agree = false;
+        }
+      }
+
+      expr::Vm vm;
+      const double vm_ns = [&] {
+        const auto t0 = std::chrono::steady_clock::now();
+        constexpr int kReps = 16;
+        for (int rep = 0; rep < kReps; ++rep) {
+          for (std::size_t i = 0; i < kLanes; ++i) {
+            const Value x{col[i]};
+            const Value* sv[3] = {&x, &y, &z};
+            benchmark::DoNotOptimize(vm.run(chunk, sv));
+          }
+        }
+        const auto dt = std::chrono::steady_clock::now() - t0;
+        return std::chrono::duration<double, std::nano>(dt).count() / kReps /
+               static_cast<double>(kLanes);
+      }();
+      const double batch_ns = [&] {
+        const auto t0 = std::chrono::steady_clock::now();
+        constexpr int kReps = 64;
+        for (int rep = 0; rep < kReps; ++rep) {
+          benchmark::DoNotOptimize(bvm.run(*bchunk, slots, kLanes, bits));
+        }
+        const auto dt = std::chrono::steady_clock::now() - t0;
+        return std::chrono::duration<double, std::nano>(dt).count() / kReps /
+               static_cast<double>(kLanes);
+      }();
+      const double speedup = vm_ns / batch_ns;
+      blog_sum += std::log(speedup);
+      ++bmeasured;
+
+      std::ostringstream sp, bn;
+      sp.precision(3);
+      sp << speedup << 'x';
+      bn.precision(3);
+      bn << batch_ns;
+      btable.row(w.name, static_cast<std::int64_t>(vm_ns), bn.str(), sp.str(),
+                 bchunk->fused_loads, agree ? "yes" : "NO");
+      metrics.counters["bytecode.batch_lane_ps." + std::string(w.name)] =
+          static_cast<std::uint64_t>(batch_ns * 1000.0);
+      metrics.counters["bytecode.batch_speedup_milli." + std::string(w.name)] =
+          static_cast<std::uint64_t>(speedup * 1000.0);
+      if (!agree) {
+        std::cerr << "FATAL: batch bitmap disagrees with scalar VM on "
+                  << w.name << '\n';
+        std::exit(1);
+      }
+    }
+    const double bgeomean =
+        std::exp(blog_sum / static_cast<double>(bmeasured));
+    std::ostringstream bgm;
+    bgm.precision(3);
+    bgm << bgeomean << 'x';
+    btable.row("geomean", "", "", bgm.str(), "", "");
+    metrics.counters["bytecode.batch_geomean_speedup_milli"] =
+        static_cast<std::uint64_t>(bgeomean * 1000.0);
+  }
+
   // Engine-level: a condition-heavy single-reaction program (minimum by
   // pairwise elimination — every candidate pair evaluates the condition)
   // under the indexed engine, compile on vs off, same seed.
@@ -197,6 +306,34 @@ void BM_Cond_Vm(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(vm.run(chunk, slots));
 }
 BENCHMARK(BM_Cond_Vm)->Unit(benchmark::kNanosecond);
+
+/// Whole-batch bitmap evaluation: items/s counts LANES, so this is directly
+/// comparable with BM_Cond_Vm's per-eval rate.
+void BM_Cond_Batch(benchmark::State& state) {
+  static const std::vector<std::string> kSlots = {"x", "y", "z"};
+  const expr::Chunk chunk = expr::compile(parse_expr(kWorkloads[1].source),
+                                          kSlots);
+  constexpr std::array<std::uint8_t, 3> kVec = {1, 0, 0};
+  const auto bchunk = expr::compile_batch(chunk, kVec);
+  std::vector<std::int64_t> col(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < col.size(); ++i) {
+    col[i] = static_cast<std::int64_t>(i % 97) - 11;
+  }
+  std::array<expr::BatchVm::SlotInput, 3> slots{};
+  slots[0].column = col.data();
+  slots[1].scalar = 8;
+  slots[2].scalar = 12;
+  expr::BatchVm vm;
+  std::vector<std::uint8_t> bits;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vm.run(*bchunk, slots, col.size(), bits));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Cond_Batch)
+    ->RangeMultiplier(8)
+    ->Range(8, 4096)
+    ->Unit(benchmark::kNanosecond);
 
 void BM_Rungamma_Min(benchmark::State& state) {
   const gamma::Program program =

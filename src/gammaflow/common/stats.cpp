@@ -44,6 +44,19 @@ void Histogram::observe(double x) noexcept {
          !max_.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {}
 }
 
+void Histogram::observe_n(double x, std::uint64_t n) noexcept {
+  if (n == 0) return;
+  buckets_[bucket_of(x)].fetch_add(n, std::memory_order_relaxed);
+  count_.fetch_add(n, std::memory_order_relaxed);
+  sum_.fetch_add(x * static_cast<double>(n), std::memory_order_relaxed);
+  double cur = min_.load(std::memory_order_relaxed);
+  while (x < cur &&
+         !min_.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {}
+  cur = max_.load(std::memory_order_relaxed);
+  while (x > cur &&
+         !max_.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {}
+}
+
 HistogramSnapshot Histogram::snapshot() const noexcept {
   HistogramSnapshot s;
   for (std::size_t i = 0; i < s.buckets.size(); ++i) {

@@ -88,6 +88,10 @@ struct HistogramSnapshot {
 class Histogram {
  public:
   void observe(double x) noexcept;
+  /// Bulk form: records `n` observations of value x in O(1) — the shape
+  /// engines use to replay a per-process bucket tally (e.g. batch widths)
+  /// into a run-scoped histogram without n individual observes.
+  void observe_n(double x, std::uint64_t n) noexcept;
   [[nodiscard]] HistogramSnapshot snapshot() const noexcept;
   /// Bucket index for value x (shared with HistogramSnapshot::quantile).
   [[nodiscard]] static std::size_t bucket_of(double x) noexcept;

@@ -1,6 +1,8 @@
 #include "gammaflow/expr/bytecode.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cstddef>
 #include <limits>
 #include <optional>
@@ -196,7 +198,12 @@ inline bool fast_truthy(const Value& v) {
 }  // namespace
 
 const char* to_string(EvalMode mode) noexcept {
-  return mode == EvalMode::Vm ? "vm" : "ast";
+  switch (mode) {
+    case EvalMode::Ast: return "ast";
+    case EvalMode::Vm: return "vm";
+    case EvalMode::Batch: return "batch";
+  }
+  return "?";
 }
 
 const char* to_string(OpCode op) noexcept {
@@ -468,6 +475,427 @@ Value Vm::run(const Chunk& chunk, std::span<const Value* const> slots) {
 
 std::uint64_t vm_instrs_executed() noexcept {
   return g_vm_instrs.load(std::memory_order_relaxed);
+}
+
+// ---- Batch backend --------------------------------------------------------
+
+namespace {
+
+std::atomic<std::uint64_t> g_batch_evals{0};
+std::atomic<std::uint64_t> g_batch_lanes{0};
+std::array<std::atomic<std::uint64_t>, kBatchWidthBuckets> g_batch_width{};
+
+/// One-pass translator from scalar chunks to batch lane code. Walks the
+/// scalar instruction stream keeping, per register, what it currently holds:
+/// a PENDING load (a slot/constant not yet materialized — the fusion source:
+/// the consuming instruction takes it as an operand instead), or a computed
+/// value with a static kind (Int or Bool lanes). The and/or jumps become
+/// eager joins: at the jump we snapshot truthy(lhs) into a fresh temp
+/// register and push a fixup; when translation reaches the jump target the
+/// rhs value is sitting in the same register, and we emit AndBool/OrBool
+/// over temp and register — exactly the Bool the scalar Vm leaves there on
+/// either path. Anything outside the Int/Bool lane model refuses.
+class BatchCompiler {
+ public:
+  BatchCompiler(const Chunk& chunk, std::span<const std::uint8_t> slot_is_vector)
+      : chunk_(chunk), slot_vec_(slot_is_vector) {}
+
+  std::optional<BatchChunk> translate() {
+    regs_.assign(chunk_.register_count, RegState{});
+    next_reg_ = chunk_.register_count;
+    out_.slot_used.assign(slot_vec_.size(), 0);
+    for (std::size_t pc = 0; pc < chunk_.code.size() && !done_; ++pc) {
+      while (!joins_.empty() && joins_.back().target == pc) {
+        const Join j = joins_.back();
+        joins_.pop_back();
+        const BatchOperand lhs = reg_operand(j.temp);
+        const BatchOperand rhs = operand(j.reg);
+        emit(j.is_and ? BatchOp::AndBool : BatchOp::OrBool, j.reg, lhs, rhs);
+        set(j.reg, RegState::Kind::Bool, lhs.vec || rhs.vec);
+      }
+      if (!step(chunk_.code[pc])) return std::nullopt;
+    }
+    if (!done_ || !joins_.empty()) return std::nullopt;  // malformed chunk
+    out_.register_count = next_reg_;
+    return std::move(out_);
+  }
+
+ private:
+  struct RegState {
+    enum class Kind : std::uint8_t { None, Int, Bool };
+    Kind kind = Kind::None;
+    bool vec = false;
+    bool pending = false;  // value is exactly `load`; nothing emitted yet
+    BatchOperand load{};
+  };
+  struct Join {
+    std::size_t target;
+    std::uint16_t reg;
+    std::uint16_t temp;
+    bool is_and;
+  };
+  using Kind = RegState::Kind;
+
+  bool step(const Instr& in) {
+    switch (in.op) {
+      case OpCode::LoadConst: {
+        const Value& v = chunk_.consts[in.a];
+        if (const std::int64_t* i = v.if_int()) {
+          set_pending(in.dst, Kind::Int,
+                      BatchOperand{BatchOperand::Kind::Imm, false, 0, *i});
+          return true;
+        }
+        if (const bool* b = v.if_bool()) {
+          set_pending(in.dst, Kind::Bool,
+                      BatchOperand{BatchOperand::Kind::Imm, false, 0,
+                                   *b ? std::int64_t{1} : std::int64_t{0}});
+          return true;
+        }
+        return false;  // Real/Str/Nil constants: lanes are int64 only
+      }
+      case OpCode::LoadSlot: {
+        if (in.a >= slot_vec_.size()) return false;
+        out_.slot_used[in.a] = 1;
+        set_pending(in.dst, Kind::Int,
+                    BatchOperand{BatchOperand::Kind::Slot,
+                                 slot_vec_[in.a] != 0, in.a, 0});
+        return true;
+      }
+      case OpCode::Add:
+      case OpCode::Sub:
+      case OpCode::Mul: {
+        if (kind(in.a) != Kind::Int || kind(in.b) != Kind::Int) return false;
+        return binary(arith_op(in.op), in, Kind::Int);
+      }
+      case OpCode::Div:
+      case OpCode::Mod: {
+        if (kind(in.a) != Kind::Int || kind(in.b) != Kind::Int) return false;
+        const BatchOperand b = operand(in.b);
+        // A literal zero divisor is a guaranteed TypeError on the evaluated
+        // path — only the scalar evaluators raise it with the right text.
+        if (b.kind == BatchOperand::Kind::Imm && b.imm == 0) return false;
+        const BatchOperand a = operand(in.a);
+        emit(in.op == OpCode::Div ? BatchOp::Div : BatchOp::Mod, in.dst, a, b);
+        set(in.dst, Kind::Int, a.vec || b.vec);
+        return true;
+      }
+      case OpCode::Lt:
+      case OpCode::Le:
+      case OpCode::Gt:
+      case OpCode::Ge:
+      case OpCode::Eq:
+      case OpCode::Ne: {
+        if (kind(in.a) != Kind::Int || kind(in.b) != Kind::Int) return false;
+        return binary(cmp_op(in.op), in, Kind::Bool);
+      }
+      case OpCode::Neg: {
+        if (kind(in.a) != Kind::Int) return false;
+        const BatchOperand a = operand(in.a);
+        emit(BatchOp::Neg, in.dst, a, BatchOperand{});
+        set(in.dst, Kind::Int, a.vec);
+        return true;
+      }
+      case OpCode::Not:
+      case OpCode::Truthy:
+      case OpCode::BoolToInt: {
+        if (kind(in.a) == Kind::None) return false;
+        const BatchOperand a = operand(in.a);
+        emit(in.op == OpCode::Not ? BatchOp::Not : BatchOp::Truthy, in.dst, a,
+             BatchOperand{});
+        set(in.dst, in.op == OpCode::BoolToInt ? Kind::Int : Kind::Bool,
+            a.vec);
+        return true;
+      }
+      case OpCode::JumpIfFalsy:
+      case OpCode::JumpIfTruthy: {
+        if (in.dst != in.a) return false;  // compiler invariant; be safe
+        if (kind(in.a) == Kind::None) return false;
+        if (next_reg_ == kOperandLimit) return false;
+        const std::uint16_t temp = next_reg_++;
+        regs_.push_back(RegState{});
+        const BatchOperand a = operand(in.a);
+        emit(BatchOp::Truthy, temp, a, BatchOperand{});
+        set(temp, Kind::Bool, a.vec);
+        joins_.push_back(
+            Join{in.b, in.a, temp, in.op == OpCode::JumpIfFalsy});
+        return true;
+      }
+      case OpCode::Ret: {
+        if (kind(in.a) == Kind::None) return false;
+        emit(BatchOp::Ret, 0, operand(in.a), BatchOperand{});
+        done_ = true;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool binary(BatchOp op, const Instr& in, Kind result) {
+    const BatchOperand a = operand(in.a);
+    const BatchOperand b = operand(in.b);
+    emit(op, in.dst, a, b);
+    set(in.dst, result, a.vec || b.vec);
+    return true;
+  }
+
+  static BatchOp arith_op(OpCode op) {
+    switch (op) {
+      case OpCode::Add: return BatchOp::Add;
+      case OpCode::Sub: return BatchOp::Sub;
+      default: return BatchOp::Mul;
+    }
+  }
+  static BatchOp cmp_op(OpCode op) {
+    switch (op) {
+      case OpCode::Lt: return BatchOp::Lt;
+      case OpCode::Le: return BatchOp::Le;
+      case OpCode::Gt: return BatchOp::Gt;
+      case OpCode::Ge: return BatchOp::Ge;
+      case OpCode::Eq: return BatchOp::Eq;
+      default: return BatchOp::Ne;
+    }
+  }
+
+  [[nodiscard]] Kind kind(std::uint16_t r) const {
+    return r < regs_.size() ? regs_[r].kind : Kind::None;
+  }
+  /// The register's value as an operand; a pending load fuses here.
+  BatchOperand operand(std::uint16_t r) {
+    const RegState& s = regs_[r];
+    if (s.pending) {
+      ++out_.fused_loads;
+      return s.load;
+    }
+    return BatchOperand{BatchOperand::Kind::Reg, s.vec, r, 0};
+  }
+  BatchOperand reg_operand(std::uint16_t r) const {
+    return BatchOperand{BatchOperand::Kind::Reg, regs_[r].vec, r, 0};
+  }
+  void set(std::uint16_t r, Kind k, bool vec) {
+    regs_[r] = RegState{k, vec, false, {}};
+  }
+  void set_pending(std::uint16_t r, Kind k, BatchOperand load) {
+    regs_[r] = RegState{k, load.vec, true, load};
+  }
+  void emit(BatchOp op, std::uint16_t dst, BatchOperand a, BatchOperand b) {
+    out_.code.push_back(BatchInstr{op, dst, a.vec || b.vec, a, b});
+  }
+
+  const Chunk& chunk_;
+  std::span<const std::uint8_t> slot_vec_;
+  BatchChunk out_;
+  std::vector<RegState> regs_;
+  std::vector<Join> joins_;
+  std::uint16_t next_reg_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace
+
+std::optional<BatchChunk> compile_batch(
+    const Chunk& chunk, std::span<const std::uint8_t> slot_is_vector) {
+  return BatchCompiler(chunk, slot_is_vector).translate();
+}
+
+bool BatchVm::run(const BatchChunk& chunk, std::span<const SlotInput> slots,
+                  std::size_t n, std::vector<std::uint8_t>& truthy_out) {
+  g_batch_evals.fetch_add(1, std::memory_order_relaxed);
+  g_batch_lanes.fetch_add(static_cast<std::uint64_t>(n),
+                          std::memory_order_relaxed);
+  const std::size_t width_bucket = std::min<std::size_t>(
+      static_cast<std::size_t>(std::bit_width(n)), kBatchWidthBuckets - 1);
+  g_batch_width[width_bucket].fetch_add(1, std::memory_order_relaxed);
+
+  if (regs_.size() < chunk.register_count) regs_.resize(chunk.register_count);
+
+  struct Src {
+    const std::int64_t* col;  // null = broadcast scalar `s`
+    std::int64_t s;
+  };
+  // Resolve dst BEFORE operands: dst may alias an operand register, and the
+  // lane-buffer resize must happen before we take that register's pointer.
+  auto dst_of = [&](const BatchInstr& in) -> std::int64_t* {
+    std::vector<std::int64_t>& d = regs_[in.dst];
+    const std::size_t need = in.dst_vec ? n : 1;
+    if (d.size() < need) d.resize(need);
+    return d.data();
+  };
+  auto src = [&](const BatchOperand& o) -> Src {
+    switch (o.kind) {
+      case BatchOperand::Kind::Imm:
+        return Src{nullptr, o.imm};
+      case BatchOperand::Kind::Slot: {
+        const SlotInput& si = slots[o.index];
+        return o.vec ? Src{si.column, 0} : Src{nullptr, si.scalar};
+      }
+      case BatchOperand::Kind::Reg: {
+        std::vector<std::int64_t>& r = regs_[o.index];
+        return o.vec ? Src{r.data(), 0} : Src{nullptr, r.empty() ? 0 : r[0]};
+      }
+    }
+    return Src{nullptr, 0};
+  };
+  auto binary = [&](const BatchInstr& in, auto f) {
+    std::int64_t* d = dst_of(in);
+    const Src a = src(in.a);
+    const Src b = src(in.b);
+    if (!in.dst_vec) {
+      d[0] = f(a.s, b.s);
+    } else if (a.col != nullptr && b.col != nullptr) {
+      const std::int64_t* x = a.col;
+      const std::int64_t* y = b.col;
+      for (std::size_t i = 0; i < n; ++i) d[i] = f(x[i], y[i]);
+    } else if (a.col != nullptr) {
+      const std::int64_t* x = a.col;
+      const std::int64_t ys = b.s;
+      for (std::size_t i = 0; i < n; ++i) d[i] = f(x[i], ys);
+    } else {
+      const std::int64_t xs = a.s;
+      const std::int64_t* y = b.col;
+      for (std::size_t i = 0; i < n; ++i) d[i] = f(xs, y[i]);
+    }
+  };
+  auto unary = [&](const BatchInstr& in, auto f) {
+    std::int64_t* d = dst_of(in);
+    const Src a = src(in.a);
+    if (!in.dst_vec) {
+      d[0] = f(a.s);
+      return;
+    }
+    const std::int64_t* x = a.col;
+    for (std::size_t i = 0; i < n; ++i) d[i] = f(x[i]);
+  };
+  // Any zero divisor — even in a lane the scalar scan might never reach —
+  // aborts the batch; the caller's scalar fallback then reproduces the
+  // walker's exact match-or-throw order.
+  auto divmod = [&](const BatchInstr& in, auto f) -> bool {
+    std::int64_t* d = dst_of(in);
+    const Src a = src(in.a);
+    const Src b = src(in.b);
+    if (b.col == nullptr) {
+      if (b.s == 0) return false;
+      if (!in.dst_vec) {
+        d[0] = f(a.s, b.s);
+      } else {
+        const std::int64_t* x = a.col;
+        const std::int64_t ys = b.s;
+        for (std::size_t i = 0; i < n; ++i) d[i] = f(x[i], ys);
+      }
+      return true;
+    }
+    const std::int64_t* y = b.col;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (y[i] == 0) return false;
+    }
+    if (a.col != nullptr) {
+      const std::int64_t* x = a.col;
+      for (std::size_t i = 0; i < n; ++i) d[i] = f(x[i], y[i]);
+    } else {
+      const std::int64_t xs = a.s;
+      for (std::size_t i = 0; i < n; ++i) d[i] = f(xs, y[i]);
+    }
+    return true;
+  };
+  auto as_lane = [](bool v) { return v ? std::int64_t{1} : std::int64_t{0}; };
+
+  for (const BatchInstr& in : chunk.code) {
+    switch (in.op) {
+      case BatchOp::Add:
+        binary(in, [](std::int64_t x, std::int64_t y) { return x + y; });
+        break;
+      case BatchOp::Sub:
+        binary(in, [](std::int64_t x, std::int64_t y) { return x - y; });
+        break;
+      case BatchOp::Mul:
+        binary(in, [](std::int64_t x, std::int64_t y) { return x * y; });
+        break;
+      case BatchOp::Div:
+        if (!divmod(in, [](std::int64_t x, std::int64_t y) { return x / y; }))
+          return false;
+        break;
+      case BatchOp::Mod:
+        if (!divmod(in, [](std::int64_t x, std::int64_t y) { return x % y; }))
+          return false;
+        break;
+      // Comparisons go through double exactly like the scalar Vm (and
+      // value.cpp's compare()), so lanes match bit-for-bit even past 2^53.
+      case BatchOp::Lt:
+        binary(in, [&](std::int64_t x, std::int64_t y) {
+          return as_lane(static_cast<double>(x) < static_cast<double>(y));
+        });
+        break;
+      case BatchOp::Le:
+        binary(in, [&](std::int64_t x, std::int64_t y) {
+          return as_lane(static_cast<double>(x) <= static_cast<double>(y));
+        });
+        break;
+      case BatchOp::Gt:
+        binary(in, [&](std::int64_t x, std::int64_t y) {
+          return as_lane(static_cast<double>(x) > static_cast<double>(y));
+        });
+        break;
+      case BatchOp::Ge:
+        binary(in, [&](std::int64_t x, std::int64_t y) {
+          return as_lane(static_cast<double>(x) >= static_cast<double>(y));
+        });
+        break;
+      case BatchOp::Eq:
+        binary(in, [&](std::int64_t x, std::int64_t y) {
+          return as_lane(static_cast<double>(x) == static_cast<double>(y));
+        });
+        break;
+      case BatchOp::Ne:
+        binary(in, [&](std::int64_t x, std::int64_t y) {
+          return as_lane(static_cast<double>(x) != static_cast<double>(y));
+        });
+        break;
+      case BatchOp::Neg:
+        unary(in, [](std::int64_t x) { return -x; });
+        break;
+      case BatchOp::Not:
+        unary(in, [&](std::int64_t x) { return as_lane(x == 0); });
+        break;
+      case BatchOp::Truthy:
+        unary(in, [&](std::int64_t x) { return as_lane(x != 0); });
+        break;
+      case BatchOp::AndBool:
+        binary(in, [](std::int64_t x, std::int64_t y) { return x & y; });
+        break;
+      case BatchOp::OrBool:
+        binary(in, [](std::int64_t x, std::int64_t y) { return x | y; });
+        break;
+      case BatchOp::Ret: {
+        const Src a = src(in.a);
+        truthy_out.resize(n);
+        if (a.col != nullptr) {
+          for (std::size_t i = 0; i < n; ++i) {
+            truthy_out[i] = a.col[i] != 0 ? std::uint8_t{1} : std::uint8_t{0};
+          }
+        } else {
+          std::fill(truthy_out.begin(), truthy_out.end(),
+                    a.s != 0 ? std::uint8_t{1} : std::uint8_t{0});
+        }
+        return true;
+      }
+    }
+  }
+  return false;  // no Ret: malformed chunk — treat as a fallback signal
+}
+
+std::uint64_t batch_evals() noexcept {
+  return g_batch_evals.load(std::memory_order_relaxed);
+}
+
+std::uint64_t batch_lanes() noexcept {
+  return g_batch_lanes.load(std::memory_order_relaxed);
+}
+
+std::array<std::uint64_t, kBatchWidthBuckets> batch_width_counts() noexcept {
+  std::array<std::uint64_t, kBatchWidthBuckets> out{};
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = g_batch_width[i].load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 }  // namespace gammaflow::expr

@@ -20,7 +20,9 @@
 // state-identity between compiled and interpreted engine runs.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -31,9 +33,12 @@
 namespace gammaflow::expr {
 
 /// How an engine evaluates reaction conditions and outputs: walking the Expr
-/// AST (the historical reference path) or running compiled bytecode
-/// (default; RunOptions::compile / `--no-compile` select per run).
-enum class EvalMode : std::uint8_t { Ast, Vm };
+/// AST (the historical reference path), running compiled bytecode, or —
+/// default — batch bitmap evaluation of conditions over whole candidate
+/// column batches, with the scalar Vm for outputs and as the per-reaction
+/// escape hatch whenever a condition is not batchable.
+/// RunOptions::compile / `--no-compile` and `--no-batch` select per run.
+enum class EvalMode : std::uint8_t { Ast, Vm, Batch };
 
 const char* to_string(EvalMode mode) noexcept;
 
@@ -130,5 +135,108 @@ class Vm {
 /// once per Vm::run). Engines report per-run deltas as the
 /// `vm.instrs_executed` metric.
 [[nodiscard]] std::uint64_t vm_instrs_executed() noexcept;
+
+// ---- Batch backend --------------------------------------------------------
+//
+// A second, narrower compilation target for CONDITIONS evaluated over whole
+// candidate column batches (EvalMode::Batch). compile_batch() translates a
+// scalar Chunk into straight-line lane code: the and/or jumps are eliminated
+// by evaluating both sides eagerly and joining with AndBool/OrBool (sound
+// because batch lanes are all-Int and the only faulting lane ops, Div/Mod by
+// a runtime value, abort the whole batch instead of throwing), and the hot
+// LoadSlot/LoadConst→op pairs bench_bytecode measures are fused into the
+// consuming instruction's operands (Kind::Slot / Kind::Imm), so the typical
+// field comparison is ONE instruction per batch instead of three per
+// element. Translation refuses (nullopt) anything whose lane semantics could
+// diverge from the scalar Vm — non-Int/Bool constants, Neg/arith on Bool,
+// division by a literal zero — and the match pipeline then falls back to the
+// scalar probe path for that reaction, keeping batch ≡ scalar ≡ AST exact.
+
+/// One fused operand: a (vector or scalar) register, a binder slot, or an
+/// immediate folded straight out of the constant pool.
+struct BatchOperand {
+  enum class Kind : std::uint8_t { Reg, Slot, Imm };
+  Kind kind = Kind::Imm;
+  /// True when the operand varies per lane (a vector register, or a slot the
+  /// caller feeds as a gathered column); false = broadcast scalar.
+  bool vec = false;
+  std::uint16_t index = 0;  // register or slot index (Kind::Reg / Kind::Slot)
+  std::int64_t imm = 0;     // payload for Kind::Imm (Bool constants as 0/1)
+};
+
+/// Lane opcodes. Every lane is an int64 (Bool results are 0/1); comparisons
+/// go through double exactly like the scalar Vm and value.cpp's compare(),
+/// so bitmaps are bit-identical with per-element evaluation — including the
+/// >2^53 precision quirks.
+enum class BatchOp : std::uint8_t {
+  Add, Sub, Mul,
+  Div, Mod,   // a zero divisor in ANY lane aborts the batch (scalar fallback)
+  Lt, Le, Gt, Ge, Eq, Ne,
+  Neg,
+  Not,        // lane = (a == 0)
+  Truthy,     // lane = (a != 0); also serves BoolToInt (same lane values)
+  AndBool, OrBool,  // eager joins of the lowered and/or (0/1 lanes)
+  Ret,        // bitmap out: lane != 0
+};
+
+struct BatchInstr {
+  BatchOp op = BatchOp::Ret;
+  std::uint16_t dst = 0;
+  bool dst_vec = false;  // result varies per lane (any operand does)
+  BatchOperand a;
+  BatchOperand b;
+};
+
+/// A batch-compiled condition. Immutable after compile_batch(); safe to
+/// share across threads (each thread brings its own BatchVm).
+struct BatchChunk {
+  std::vector<BatchInstr> code;
+  std::uint16_t register_count = 0;
+  /// slot -> 1 when the code references it; the match pipeline gathers
+  /// columns (vector slots) / type-checks bindings (scalar slots) only for
+  /// slots the condition actually reads.
+  std::vector<std::uint8_t> slot_used;
+  /// Loads folded into consuming operands (superinstruction fusion tally).
+  std::size_t fused_loads = 0;
+};
+
+/// Translates a compiled condition for batch evaluation; `slot_is_vector[i]`
+/// marks slots that vary per lane (innermost-pattern binders) as opposed to
+/// broadcast scalars bound by the outer patterns. Returns nullopt when the
+/// chunk is not batchable (see module note) — callers keep the scalar path.
+[[nodiscard]] std::optional<BatchChunk> compile_batch(
+    const Chunk& chunk, std::span<const std::uint8_t> slot_is_vector);
+
+/// Executes batch chunks over n lanes. Owns reusable lane buffers so
+/// steady-state evaluation allocates nothing; one BatchVm per thread.
+class BatchVm {
+ public:
+  struct SlotInput {
+    const std::int64_t* column = nullptr;  // lane data (vector slots)
+    std::int64_t scalar = 0;               // broadcast value (scalar slots)
+  };
+
+  /// Evaluates `chunk` over lanes 0..n-1; on success `truthy_out[i]` is 1
+  /// exactly when the scalar Vm would return a truthy Value on lane i's
+  /// bindings. Returns false when any lane divides by zero — the caller must
+  /// fall back to the scalar path for the whole batch, which reproduces the
+  /// walker's TypeError iff scalar probing actually reaches a faulting lane.
+  [[nodiscard]] bool run(const BatchChunk& chunk,
+                         std::span<const SlotInput> slots, std::size_t n,
+                         std::vector<std::uint8_t>& truthy_out);
+
+ private:
+  std::vector<std::vector<std::int64_t>> regs_;
+};
+
+/// Process-wide batch-evaluation counters (relaxed; engines report per-run
+/// deltas as `vm.batch_evals` and the `vm.batch_width` histogram).
+[[nodiscard]] std::uint64_t batch_evals() noexcept;
+[[nodiscard]] std::uint64_t batch_lanes() noexcept;
+/// Width histogram: counts[b] = evals whose lane count n has bit_width(n)
+/// == b, i.e. n in [2^(b-1), 2^b). Widths beyond 2^31 share the last bucket.
+inline constexpr std::size_t kBatchWidthBuckets = 33;
+[[nodiscard]] std::array<std::uint64_t, kBatchWidthBuckets>
+batch_width_counts() noexcept;
 
 }  // namespace gammaflow::expr

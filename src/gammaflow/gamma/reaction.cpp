@@ -38,9 +38,91 @@ CompiledReaction::CompiledReaction(const Reaction& reaction) {
     }
     branches_.push_back(std::move(bc));
   }
+  build_batch_plan(reaction);
   compile_ms_ = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - t0)
                     .count();
+}
+
+void CompiledReaction::build_batch_plan(const Reaction& reaction) {
+  const Pattern& inner = reaction.patterns().back();
+  BatchPlan plan;
+  plan.arity = inner.arity();
+  plan.slot_is_vector.assign(slots_.size(), 0);
+
+  const auto slot_index = [&](const std::string& name) {
+    const auto it = std::find(slots_.begin(), slots_.end(), name);
+    return static_cast<std::uint16_t>(it - slots_.begin());
+  };
+
+  // A binder already bound by an OUTER pattern reaches the innermost match
+  // as an equality constraint (broadcast scalar); one first bound by the
+  // innermost pattern itself becomes a lane column.
+  std::vector<std::uint8_t> outer_bound(slots_.size(), 0);
+  for (std::size_t p = 0; p + 1 < reaction.patterns().size(); ++p) {
+    for (const PatternField& f : reaction.patterns()[p].fields()) {
+      if (f.is_binder()) outer_bound[slot_index(f.name())] = 1;
+    }
+  }
+
+  const auto key = inner.key_constraint();
+  if (key) plan.key_field = static_cast<std::uint16_t>(key->first);
+
+  std::vector<std::uint16_t> first_field(slots_.size(), BatchPlan::kNoField);
+  const auto& fields = inner.fields();
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    const PatternField& f = fields[i];
+    const auto fi = static_cast<std::uint16_t>(i);
+    if (!f.is_binder()) {
+      if (fi == plan.key_field) continue;  // the probed bucket guarantees it
+      BatchPlan::FieldCheck c;
+      c.field = fi;
+      if (const std::int64_t* v = f.value().if_int()) {
+        c.kind = BatchPlan::FieldCheck::Kind::LitInt;
+        c.imm = *v;
+      } else {
+        c.kind = BatchPlan::FieldCheck::Kind::Lit;
+        c.value = f.value();
+      }
+      plan.checks.push_back(std::move(c));
+      continue;
+    }
+    const std::uint16_t s = slot_index(f.name());
+    BatchPlan::FieldCheck c;
+    c.field = fi;
+    if (outer_bound[s] != 0) {
+      c.kind = BatchPlan::FieldCheck::Kind::EqSlot;
+      c.slot = s;
+      plan.checks.push_back(std::move(c));
+    } else if (first_field[s] != BatchPlan::kNoField) {
+      c.kind = BatchPlan::FieldCheck::Kind::EqField;
+      c.other = first_field[s];
+      plan.checks.push_back(std::move(c));
+    } else {
+      first_field[s] = fi;
+      plan.vector_slots.push_back(BatchPlan::VectorSlot{s, fi});
+      plan.slot_is_vector[s] = 1;
+    }
+  }
+
+  // Batch-compile every guard; any refusal disables the plan wholesale —
+  // mixing lane bitmaps with scalar branch probes cannot preserve the
+  // first-firing-branch order.
+  plan.cond_slot_used.assign(slots_.size(), 0);
+  plan.conditions.reserve(branches_.size());
+  for (const BranchCode& bc : branches_) {
+    if (!bc.condition) {
+      plan.conditions.emplace_back(std::nullopt);
+      continue;
+    }
+    auto batch = expr::compile_batch(*bc.condition, plan.slot_is_vector);
+    if (!batch) return;  // not batchable: leave batch_ empty
+    for (std::size_t s = 0; s < batch->slot_used.size(); ++s) {
+      if (batch->slot_used[s] != 0) plan.cond_slot_used[s] = 1;
+    }
+    plan.conditions.emplace_back(std::move(*batch));
+  }
+  batch_ = std::move(plan);
 }
 
 std::size_t CompiledReaction::instr_count() const noexcept {

@@ -47,6 +47,56 @@ class CompiledReaction {
     std::vector<std::vector<expr::Chunk>> outputs;
   };
 
+  /// Batch-matching plan for the INNERMOST pattern (the last replace-list
+  /// entry — the candidate bucket the match pipeline sweeps as one column
+  /// batch under EvalMode::Batch). Built when every structural field is
+  /// expressible as a lane check and every branch guard batch-compiles;
+  /// otherwise batch_plan() is null and the pipeline silently keeps the
+  /// scalar probe path for this reaction.
+  struct BatchPlan {
+    static constexpr std::uint16_t kNoField = 0xffff;
+
+    /// Structural lane checks beyond liveness and arity. The bucket key
+    /// field (the pattern's key constraint) needs no check: the probed
+    /// (field,value) bucket already guarantees it.
+    struct FieldCheck {
+      enum class Kind : std::uint8_t {
+        LitInt,   // field holds Int `imm`
+        Lit,      // field equals `value` (non-Int literal; per-lane compare)
+        EqField,  // field equals earlier field `other` of the same element
+        EqSlot,   // field equals the outer binding of slot `slot`
+      };
+      Kind kind = Kind::LitInt;
+      std::uint16_t field = 0;
+      std::uint16_t other = 0;
+      std::uint16_t slot = 0;
+      std::int64_t imm = 0;
+      Value value;
+    };
+    /// Innermost binders (first occurrence): slot -> source field. These are
+    /// the lane columns the matcher gathers for condition slots.
+    struct VectorSlot {
+      std::uint16_t slot = 0;
+      std::uint16_t field = 0;
+    };
+
+    std::size_t arity = 0;           // innermost pattern arity
+    std::uint16_t key_field = kNoField;
+    std::vector<FieldCheck> checks;
+    std::vector<VectorSlot> vector_slots;
+    std::vector<std::uint8_t> slot_is_vector;  // slots().size() entries
+    /// Union of slot_used across all batch-compiled guards: which slots the
+    /// matcher must gather (vector) or Int-check and broadcast (scalar).
+    std::vector<std::uint8_t> cond_slot_used;
+    /// 1:1 with branches(): the batch form of each guard (nullopt for an
+    /// unconditional/else branch, which fires every pending lane).
+    std::vector<std::optional<expr::BatchChunk>> conditions;
+  };
+
+  [[nodiscard]] const BatchPlan* batch_plan() const noexcept {
+    return batch_ ? &*batch_ : nullptr;
+  }
+
   /// Binder-slot layout: slot i holds the i-th distinct binder name.
   [[nodiscard]] const std::vector<std::string>& slots() const noexcept {
     return slots_;
@@ -67,9 +117,11 @@ class CompiledReaction {
 
  private:
   void bind_slots(const expr::Env& env, std::vector<const Value*>& out) const;
+  void build_batch_plan(const Reaction& reaction);
 
   std::vector<std::string> slots_;
   std::vector<BranchCode> branches_;
+  std::optional<BatchPlan> batch_;
   double compile_ms_ = 0.0;
 };
 

@@ -1,19 +1,26 @@
-// Indexed element store: the engines' internal multiset representation.
-// Elements live in stable slots; secondary indexes map (field, value) and
-// arity to candidate slot lists so reaction matching probes a bucket instead
-// of scanning the multiset. Buckets are cleaned lazily: mutating lookups
-// prune in place, read-only lookups (shared-lock searchers) skip stale
-// entries and count the skips so needs_compact() can tell the next
-// exclusive section when the garbage is worth collecting.
+// Indexed element store: the engines' internal multiset representation,
+// laid out as a structure-of-arrays. Elements live in per-arity COLUMN
+// GROUPS: each field is a contiguous int64 column (the dominant Int case)
+// with a tag byte per row and a spill sidecar holding non-Int payloads, so
+// a compiled condition can sweep a whole candidate batch without touching a
+// Value variant per field. A per-row liveness bitmap replaces the old
+// stale-seen observation counters: dead rows are the garbage debt, counted
+// exactly at remove() time instead of sampled by read-only searchers.
 //
-// The matching machinery itself (backtracking candidate search, match
-// revalidation, commit) lives in runtime/match_pipeline.hpp — one
-// implementation for every engine. The find_match/enumerate_matches/commit
-// free functions declared here are thin delegates kept for source
-// compatibility.
+// Secondary indexes map (field, value) and arity to candidate entry lists so
+// reaction matching probes a bucket instead of scanning the multiset.
+// Buckets are cleaned lazily: mutating lookups prune in place, read-only
+// lookups (shared-lock searchers) skip stale entries; compact() prunes every
+// bucket AND rewrites column groups densely (inserts self-trigger it once
+// the dead-row debt crosses the threshold, so long worklist runs stay O(live)).
+//
+// The matching machinery itself (backtracking candidate search, batch
+// bitmap evaluation, match revalidation, commit) lives in
+// runtime/match_pipeline.hpp — one implementation for every engine. The
+// find_match/enumerate_matches/commit free functions declared here are thin
+// delegates kept for source compatibility.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -32,45 +39,56 @@ class Store {
   using Id = std::uint32_t;
 
   /// Bucket entry: a slot id stamped with the slot's generation at insert
-  /// time. Slots are reused (free list), so an id alone cannot tell a live
-  /// registration from a stale one left by a previous occupant — without the
-  /// stamp, buckets accumulate duplicate references to reused slots and
-  /// matching degrades from O(live) to O(total firings).
+  /// time. Slot ids are reused (free list), so an id alone cannot tell a
+  /// live registration from a stale one left by a previous occupant —
+  /// without the stamp, buckets accumulate duplicate references to reused
+  /// slots and matching degrades from O(live) to O(total firings).
   struct Entry {
     Id id;
     std::uint32_t gen;
   };
 
-  /// An index bucket: the candidate entries plus a count of stale entries
-  /// OBSERVED (skipped) by read-only searches since the bucket was last
-  /// pruned. The count is per observation, not per distinct entry — the same
-  /// dead entry re-skipped by every search keeps paying, and that recurring
-  /// cost is exactly the signal needs_compact() reports. mutable + atomic so
-  /// concurrent shared-lock searchers can bump it without a data race
-  /// (relaxed: it is a compaction heuristic, not an invariant).
+  /// An index bucket: the candidate entries for one (field,value) key or
+  /// one arity. May contain stale entries (dead or reused slots); callers
+  /// check live().
   struct Bucket {
     std::vector<Entry> entries;
-    mutable std::atomic<std::uint32_t> stale_seen{0};
+  };
 
-    Bucket() = default;
-    Bucket(const Bucket& o)
-        : entries(o.entries),
-          stale_seen(o.stale_seen.load(std::memory_order_relaxed)) {}
-    Bucket(Bucket&& o) noexcept
-        : entries(std::move(o.entries)),
-          stale_seen(o.stale_seen.load(std::memory_order_relaxed)) {}
-    Bucket& operator=(const Bucket& o) {
-      entries = o.entries;
-      stale_seen.store(o.stale_seen.load(std::memory_order_relaxed),
-                       std::memory_order_relaxed);
-      return *this;
+  /// One field of a column group: Int payloads inline in `data`, every
+  /// other kind spilled to the sidecar (`data[row]` is then the spill
+  /// index; Nil carries no payload at all). `tags[row]` is the ValueKind.
+  /// Read-only outside Store; the batch matcher reads `data`/`tags`
+  /// directly for its dense sweeps.
+  struct Column {
+    std::vector<std::int64_t> data;
+    std::vector<std::uint8_t> tags;
+    std::vector<Value> spill;
+  };
+
+  /// Per-arity SoA block: `cols[f]` holds field f of every element of this
+  /// arity ever inserted (dead rows linger until compaction — the liveness
+  /// bitmap masks them out). Row order is append order; compact() preserves
+  /// it while dropping dead rows.
+  struct ColumnGroup {
+    std::size_t arity = 0;
+    std::vector<Column> cols;
+    std::vector<Id> row_ids;  // row -> current slot id at insert time
+    std::vector<std::uint64_t> live_bits;  // 64 rows per word
+    std::size_t rows = 0;       // total rows, dead included
+    std::size_t live_rows = 0;
+
+    [[nodiscard]] bool row_live(std::size_t row) const noexcept {
+      return ((live_bits[row >> 6] >> (row & 63)) & 1u) != 0;
     }
-    Bucket& operator=(Bucket&& o) noexcept {
-      entries = std::move(o.entries);
-      stale_seen.store(o.stale_seen.load(std::memory_order_relaxed),
-                       std::memory_order_relaxed);
-      return *this;
-    }
+    /// Field f of `row` materialized back to a Value (any kind).
+    [[nodiscard]] Value field_value(std::size_t row, std::size_t f) const;
+  };
+
+  /// Where an id's current occupant lives in the column groups.
+  struct RowRef {
+    const ColumnGroup* group = nullptr;
+    std::uint32_t row = 0;
   };
 
   Store() = default;
@@ -88,7 +106,21 @@ class Store {
   [[nodiscard]] bool live(Entry entry) const noexcept {
     return alive(entry.id) && generations_[entry.id] == entry.gen;
   }
-  [[nodiscard]] const Element& element(Id id) const { return slots_[id]; }
+  /// The element at `id`, materialized from its column-group row.
+  /// Precondition: alive(id).
+  [[nodiscard]] Element element(Id id) const;
+  /// Column-group coordinates of `id`'s slot (batch gather). Valid for live
+  /// ids, and for dead ones only until the next compaction moves rows —
+  /// searchers check live() first and never span a mutation.
+  [[nodiscard]] RowRef row(Id id) const noexcept {
+    const Loc loc = locs_[id];
+    return RowRef{&groups_[loc.group], loc.row};
+  }
+  /// Matches `p` against the element at `id` directly on the columns —
+  /// the scalar probe path, with no Element materialization. Same
+  /// semantics as Pattern::match(element(id), env). Precondition: alive(id).
+  [[nodiscard]] bool match_pattern(const Pattern& p, Id id,
+                                   expr::Env& env) const;
   [[nodiscard]] std::size_t size() const noexcept { return live_count_; }
 
   /// The bucket the pattern probes: the (field,value) bucket when the
@@ -100,38 +132,43 @@ class Store {
 
   /// Read-only bucket lookup (no pruning) — safe under a shared lock while
   /// other threads only hold shared locks. Stale entries linger until a
-  /// mutating lookup or compact() cleans them; searchers report each skip
-  /// via note_stale() so needs_compact() can trigger collection.
+  /// mutating lookup or compact() cleans them; searchers skip them via the
+  /// generation stamp (the dead ROWS behind them are already counted in the
+  /// store's garbage debt, so no per-skip bookkeeping is needed).
   [[nodiscard]] const Bucket* bucket(const Pattern& p) const;
 
   /// Entry-list views of bucket(); kept for callers that only iterate.
   [[nodiscard]] const std::vector<Entry>& candidates(const Pattern& p);
   [[nodiscard]] const std::vector<Entry>& candidates(const Pattern& p) const;
 
-  /// Records that a read-only search skipped a stale entry of `b`. Safe from
-  /// concurrent shared-lock holders (atomic, relaxed).
-  void note_stale(const Bucket& b) const noexcept {
-    b.stale_seen.fetch_add(1, std::memory_order_relaxed);
-  }
-
-  /// Total stale-entry observations across all buckets since they were last
-  /// pruned — the read-only path's accumulated garbage debt.
-  [[nodiscard]] std::uint64_t garbage_seen() const noexcept;
+  /// Dead rows still occupying column-group storage — the garbage debt.
+  /// Exact (counted at remove()), unlike the old observation-sampled
+  /// stale-seen scheme.
+  [[nodiscard]] std::uint64_t dead_rows() const noexcept { return dead_rows_; }
 
   /// True once the garbage debt crosses kGarbageCompactThreshold: the next
-  /// exclusive section should call compact(). Without this trigger, a long
-  /// shared-lock phase (concurrent searchers never prune) degrades matching
-  /// from O(live) toward O(total firings).
+  /// exclusive section should call compact(). insert() also self-triggers
+  /// collection past the threshold (or when dead rows dwarf live ones), so
+  /// batch sweeps and memory stay O(live) even on paths that never check.
   [[nodiscard]] bool needs_compact() const noexcept {
-    return garbage_seen() >= kGarbageCompactThreshold;
+    return dead_rows_ >= kGarbageCompactThreshold;
   }
   static constexpr std::uint64_t kGarbageCompactThreshold = 4096;
 
-  /// Prunes stale entries from every index bucket and resets the garbage
-  /// debt. Engines call this from an exclusive section when needs_compact().
+  /// Prunes stale entries from every index bucket and rewrites every column
+  /// group densely (dropping dead rows, rebuilding the spill sidecars),
+  /// settling the garbage debt. Engines call this from an exclusive section
+  /// when needs_compact().
   void compact();
 
-  /// Snapshot back to the public value type.
+  /// Column-group compactions performed by THIS store (the
+  /// `store.column_compactions` metric counts the process-wide total).
+  [[nodiscard]] std::uint64_t column_compactions() const noexcept {
+    return column_compactions_;
+  }
+
+  /// Snapshot back to the public value type (slot-id order, as before the
+  /// columnar layout — callers canonicalize for comparisons).
   [[nodiscard]] Multiset to_multiset() const;
 
   /// Monotone count of successful insert/remove operations; engines use it
@@ -151,19 +188,33 @@ class Store {
       return k.value.hash() * 0x9e3779b97f4a7c15ULL + k.field;
     }
   };
+  struct Loc {
+    std::uint32_t group = 0;
+    std::uint32_t row = 0;
+  };
 
   void prune(Bucket& bucket);
+  std::uint32_t group_for_arity(std::size_t arity);
+  void compact_columns();
 
-  std::vector<Element> slots_;
+  std::vector<ColumnGroup> groups_;
+  std::unordered_map<std::size_t, std::uint32_t> group_of_arity_;
+  std::vector<Loc> locs_;
   std::vector<bool> alive_;
   std::vector<std::uint32_t> generations_;
   std::vector<Id> free_list_;
   std::size_t live_count_ = 0;
+  std::uint64_t dead_rows_ = 0;
   std::uint64_t version_ = 0;
+  std::uint64_t column_compactions_ = 0;
   std::unordered_map<FieldKey, Bucket, FieldKeyHash> field_index_;
   std::unordered_map<std::size_t, Bucket> arity_index_;
   static const std::vector<Entry> kEmpty;
 };
+
+/// Process-wide count of column-group compactions (all stores); engines
+/// report per-run deltas as the `store.column_compactions` metric.
+[[nodiscard]] std::uint64_t column_compactions_total() noexcept;
 
 struct Match {
   const Reaction* reaction = nullptr;
@@ -177,8 +228,9 @@ struct Match {
 /// offsets so repeated calls are fair; without, the first match in bucket
 /// order is returned (deterministic). `mode` selects how conditions and
 /// outputs are evaluated once the patterns match — the AST walker (default,
-/// reference semantics) or the reaction's compiled bytecode; both produce
-/// identical Matches, engines pass Vm when RunOptions::compile is on.
+/// reference semantics), the reaction's compiled bytecode, or batch bitmap
+/// evaluation over the innermost candidate column batch; all produce
+/// identical Matches, engines pass RunOptions::eval_mode().
 /// Delegates to runtime::MatchPipeline::find (the one implementation).
 [[nodiscard]] std::optional<Match> find_match(
     Store& store, const Reaction& reaction, Rng* rng = nullptr,

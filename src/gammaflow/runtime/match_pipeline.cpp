@@ -5,6 +5,7 @@
 #include "gammaflow/gamma/program.hpp"
 #include "gammaflow/obs/run_recorder.hpp"
 #include "gammaflow/obs/telemetry.hpp"
+#include "gammaflow/runtime/batch_matcher.hpp"
 
 namespace gammaflow::runtime {
 namespace {
@@ -20,10 +21,9 @@ using gamma::Store;
 // bucket (cyclic start offset — cheap fairness without shuffling).
 //
 // Stale bucket entries (dead or reused slots) are detected by generation
-// stamp and skipped; on the read-only instantiation the skip is reported via
-// note_stale() so the store's garbage debt grows and the next exclusive
-// section knows to compact (the mutating instantiation pruned the buckets in
-// bucket(), so its skips are transient within this one search).
+// stamp and skipped; the dead rows behind them are already counted in the
+// store's garbage debt (Store::dead_rows), so the next exclusive section
+// knows when to compact without per-skip bookkeeping here.
 template <typename StoreT>  // Store (pruning) or const Store (read-only)
 std::size_t search(StoreT& store, const Reaction& reaction, std::size_t limit,
                    Rng* rng, expr::EvalMode mode,
@@ -61,12 +61,8 @@ std::size_t search(StoreT& store, const Reaction& reaction, std::size_t limit,
     const auto& bucket = buckets[depth]->entries;
     const std::size_t n = bucket.size();
     const std::size_t start = rng ? rng->bounded(n) : 0;
-    for (std::size_t t = 0; t < n && !stop; ++t) {
-      const Store::Entry entry = bucket[(start + t) % n];
-      if (!store.live(entry)) {
-        store.note_stale(*buckets[depth]);
-        continue;
-      }
+    auto probe = [&](const Store::Entry entry) {
+      if (!store.live(entry)) return;
       const Store::Id id = entry.id;
       bool dup = false;
       for (std::size_t d = 0; d < depth; ++d) {
@@ -75,12 +71,35 @@ std::size_t search(StoreT& store, const Reaction& reaction, std::size_t limit,
           break;
         }
       }
-      if (dup) continue;
+      if (dup) return;
       envs[depth + 1] = envs[depth];
-      if (!patterns[depth].match(store.element(id), envs[depth + 1])) continue;
+      if (!store.match_pattern(patterns[depth], id, envs[depth + 1])) return;
       chosen[depth] = id;
       self(self, depth + 1);
+    };
+    std::size_t t = 0;
+    if (mode == expr::EvalMode::Batch && depth + 1 == k) {
+      // Innermost bucket: sweep chunks of the scan as column batches and
+      // probe only the lanes the fire bitmap keeps. The start offset draw
+      // above is the SAME single rng->bounded(n) the scalar scan consumes,
+      // and cleared lanes are exactly scalar rejections, so the rng stream
+      // and the chosen match are identical to the scalar path.
+      thread_local BatchMatcher matcher;
+      if (matcher.begin(store, reaction, bucket, envs[depth])) {
+        std::size_t width = BatchMatcher::kMinChunk;
+        while (t < n && !stop) {
+          const std::size_t w = std::min(width, n - t);
+          if (!matcher.chunk(start, t, w)) break;  // fault: resume scalar
+          const std::uint8_t* fire = matcher.fire();
+          for (std::size_t j = 0; j < w && !stop; ++j) {
+            if (fire[j] != 0) probe(bucket[(start + t + j) % n]);
+          }
+          t += w;
+          width = std::min(width * 2, BatchMatcher::kMaxChunk);
+        }
+      }
     }
+    for (; t < n && !stop; ++t) probe(bucket[(start + t) % n]);
   };
   dfs(dfs, 0);
   return visited;
@@ -120,17 +139,16 @@ std::size_t MatchPipeline::enumerate(Store& store, const Reaction& reaction,
 
 bool MatchPipeline::validate(const Store& store, Match& match,
                              expr::EvalMode mode) {
-  std::vector<const Element*> elems;
-  elems.reserve(match.ids.size());
-  for (const Store::Id id : match.ids) {
+  const auto& patterns = match.reaction->patterns();
+  if (match.ids.size() != patterns.size()) return false;
+  expr::Env env;
+  for (std::size_t i = 0; i < match.ids.size(); ++i) {
     // alive() alone is not enough — a recycled slot is alive with different
     // content — but re-running the pattern match on the current occupants
     // catches that too, so the pair of checks is exact.
-    if (!store.alive(id)) return false;
-    elems.push_back(&store.element(id));
+    if (!store.alive(match.ids[i])) return false;
+    if (!store.match_pattern(patterns[i], match.ids[i], env)) return false;
   }
-  expr::Env env;
-  if (!match.reaction->match(elems, env)) return false;
   auto produced = match.reaction->apply(env, mode);
   if (!produced) return false;
   match.env = std::move(env);

@@ -10,8 +10,12 @@
 //               a cyclic start offset when given an Rng). The mutating
 //               overload prunes stale index entries in place; the const
 //               overload (concurrent searchers under a shared lock) leaves
-//               them but counts every skip toward Store::garbage_seen() so
-//               the next exclusive section knows when to compact.
+//               them — the dead rows behind them are already counted in
+//               Store::dead_rows(), the compaction trigger. Under
+//               EvalMode::Batch the innermost candidate bucket is evaluated
+//               as one column batch (a match bitmap from the compiled
+//               condition) instead of per-element probes, falling back to
+//               the scalar path whenever the reaction is not batchable.
 //   enumerate — every enabled match up to a limit (the SequentialEngine's
 //               Eq. (1)-literal uniform choice, and match counting).
 //   validate  — re-check a proposal against CURRENT slot contents; the

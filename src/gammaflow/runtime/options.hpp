@@ -42,6 +42,14 @@ struct RunOptions {
   /// either way (enforced by the differential suites); `--no-compile` flips
   /// this off for A/B comparison and as an escape hatch.
   bool compile = true;
+  /// Batch bitmap matching (default): compiled conditions sweep whole
+  /// candidate column batches in the innermost match loop; reactions (or
+  /// visits) the batch model cannot express fall back to per-element probes
+  /// automatically. `--no-batch` flips this off for A/B comparison, leaving
+  /// plain per-element bytecode; ignored when `compile` is off. State
+  /// evolution is identical either way (the differential suites pin
+  /// batch ≡ scalar ≡ AST byte-for-byte).
+  bool batch = true;
   /// Optional telemetry sink (spans + metrics). Null (the default) disables
   /// instrumentation entirely; every probe site is behind one pointer test.
   obs::Telemetry* telemetry = nullptr;
@@ -61,10 +69,11 @@ struct RunOptions {
   /// state with outcome BudgetExhausted).
   LimitPolicy limit_policy = LimitPolicy::Throw;
 
-  /// The evaluator `compile` selects; engines thread this one value instead
-  /// of re-deriving the ternary at every site.
+  /// The evaluator `compile`/`batch` select; engines thread this one value
+  /// instead of re-deriving the ternary at every site.
   [[nodiscard]] expr::EvalMode eval_mode() const noexcept {
-    return compile ? expr::EvalMode::Vm : expr::EvalMode::Ast;
+    if (!compile) return expr::EvalMode::Ast;
+    return batch ? expr::EvalMode::Batch : expr::EvalMode::Vm;
   }
 };
 

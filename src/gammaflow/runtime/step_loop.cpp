@@ -1,5 +1,7 @@
 #include "gammaflow/runtime/step_loop.hpp"
 
+#include <cmath>
+
 #include "gammaflow/gamma/multiset.hpp"
 #include "gammaflow/gamma/store.hpp"
 #include "gammaflow/obs/run_recorder.hpp"
@@ -19,7 +21,12 @@ bool admit_step(LimitPolicy policy, std::uint64_t fired, std::uint64_t budget,
 
 EngineTelemetry::EngineTelemetry(const RunOptions& options, const char* domain)
     : tel_(options.telemetry), domain_(domain), mode_(options.eval_mode()) {
-  if (tel_ != nullptr) instrs0_ = expr::vm_instrs_executed();
+  if (tel_ != nullptr) {
+    instrs0_ = expr::vm_instrs_executed();
+    batch_evals0_ = expr::batch_evals();
+    batch_width0_ = expr::batch_width_counts();
+    compactions0_ = gamma::column_compactions_total();
+  }
 }
 
 obs::ThreadRecorder* EngineTelemetry::recorder(const std::string& name) const {
@@ -32,6 +39,20 @@ void EngineTelemetry::finish(Outcome outcome, MetricsSnapshot& out) const {
   stats.count(std::string(domain_) + ".outcome." + to_string(outcome));
   stats.count(std::string(domain_) + ".eval_mode." + expr::to_string(mode_));
   stats.count("vm.instrs_executed", expr::vm_instrs_executed() - instrs0_);
+  stats.count("vm.batch_evals", expr::batch_evals() - batch_evals0_);
+  // Replay the process-global width tally as per-run histogram deltas. The
+  // global array buckets widths by bit_width — the same indexing the
+  // Histogram uses — so 2^(b-1) is an exact representative for bucket b.
+  const auto widths = expr::batch_width_counts();
+  for (std::size_t b = 1; b < widths.size(); ++b) {
+    const std::uint64_t delta = widths[b] - batch_width0_[b];
+    if (delta != 0) {
+      stats.hist("vm.batch_width")
+          .observe_n(std::ldexp(1.0, static_cast<int>(b) - 1), delta);
+    }
+  }
+  stats.count("store.column_compactions",
+              gamma::column_compactions_total() - compactions0_);
   out = tel_->metrics();
 }
 

@@ -22,6 +22,7 @@
 // order, commit strategy, and worker topology.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -245,8 +246,11 @@ class TraceSink {
 /// The end-of-run telemetry tail every engine emits identically, null-safe
 /// throughout (a disabled sink costs one pointer test per call):
 ///   "<domain>.outcome.<why>"     — one count per run
-///   "<domain>.eval_mode.<vm|ast>"
+///   "<domain>.eval_mode.<batch|vm|ast>"
 ///   "vm.instrs_executed"         — delta since construction
+///   "vm.batch_evals"             — BatchVm chunk evaluations (delta)
+///   "vm.batch_width"             — histogram of batch chunk widths (delta)
+///   "store.column_compactions"   — column-group compaction passes (delta)
 /// finish() snapshots the registry into the result's MetricsSnapshot.
 class EngineTelemetry {
  public:
@@ -269,6 +273,9 @@ class EngineTelemetry {
   const char* domain_;
   expr::EvalMode mode_;
   std::uint64_t instrs0_ = 0;
+  std::uint64_t batch_evals0_ = 0;
+  std::array<std::uint64_t, expr::kBatchWidthBuckets> batch_width0_{};
+  std::uint64_t compactions0_ = 0;
 };
 
 /// The RunOptions::record scaffolding every Gamma-family engine shares, the

@@ -88,38 +88,58 @@ void IncrementalFixpoint::wake_element(const gamma::Element& e) {
 }
 
 Outcome IncrementalFixpoint::saturate(StepLoop& loop) {
+  // Drain the dirty queue in FIFO batches of kDrainBatch: one deque
+  // round-trip per batch instead of per reaction. Entries are processed
+  // strictly in pop order and an early stop pushes the unprocessed suffix
+  // back to the FRONT in order, so the firing schedule is identical to
+  // one-at-a-time draining.
+  std::size_t batch[kDrainBatch];
   while (!queue_.empty() && loop.running()) {
-    const std::size_t idx = queue_.front();
-    queue_.pop_front();
-    dirty_[idx] = 0;
-    const gamma::Reaction& r = (*reactions_)[idx];
-    bool exhausted = false;
-    while (!loop.should_stop()) {
-      ++stats_.rematches;
-      auto match = MatchPipeline::find(store_, r, &rng_, mode_);
-      if (!match) {
-        // Exhaustive index search failed: r has NO enabled match in the
-        // current store, so clearing its dirty flag preserves the
-        // "enabled => dirty" invariant until a later insertion re-wakes it.
-        exhausted = true;
+    std::size_t m = 0;
+    while (m < kDrainBatch && !queue_.empty()) {
+      batch[m++] = queue_.front();
+      queue_.pop_front();
+    }
+    ++stats_.drain_batches;
+    std::size_t resume = m;  // first batch entry to push back, if any
+    for (std::size_t bi = 0; bi < m; ++bi) {
+      if (!loop.running()) {
+        resume = bi;  // untouched entries: dirty flags still set
         break;
       }
-      if (!loop.admit(stats_.fires)) break;
-      ++stats_.fires;
-      ++last_fires_;
-      const RecordCtx rctx = recording_.ctx(0);
-      MatchPipeline::commit(store_, *match, recording_ ? &rctx : nullptr);
-      for (const gamma::Element& produced : match->produced) {
-        wake_element(produced);
+      const std::size_t idx = batch[bi];
+      dirty_[idx] = 0;
+      const gamma::Reaction& r = (*reactions_)[idx];
+      bool exhausted = false;
+      while (!loop.should_stop()) {
+        ++stats_.rematches;
+        auto match = MatchPipeline::find(store_, r, &rng_, mode_);
+        if (!match) {
+          // Exhaustive index search failed: r has NO enabled match in the
+          // current store, so clearing its dirty flag preserves the
+          // "enabled => dirty" invariant until a later insertion re-wakes it.
+          exhausted = true;
+          break;
+        }
+        if (!loop.admit(stats_.fires)) break;
+        ++stats_.fires;
+        ++last_fires_;
+        const RecordCtx rctx = recording_.ctx(0);
+        MatchPipeline::commit(store_, *match, recording_ ? &rctx : nullptr);
+        for (const gamma::Element& produced : match->produced) {
+          wake_element(produced);
+        }
+      }
+      if (!exhausted && dirty_[idx] == 0) {
+        // Stopped mid-drain (deadline/budget/cancel) with r possibly still
+        // enabled: keep it dirty so the next inject() resumes the drain
+        // from a state that satisfies the invariant.
+        dirty_[idx] = 1;
+        resume = bi;
+        break;
       }
     }
-    if (!exhausted && dirty_[idx] == 0) {
-      // Stopped mid-drain (deadline/budget/cancel) with r possibly still
-      // enabled: keep it dirty so the next inject() resumes the drain from
-      // a state that satisfies the invariant.
-      dirty_[idx] = 1;
-      queue_.push_front(idx);
-    }
+    for (std::size_t r = m; r > resume; --r) queue_.push_front(batch[r - 1]);
   }
   return loop.outcome();
 }

@@ -106,6 +106,9 @@ struct WorklistStats {
   std::uint64_t wakeups = 0;    // reactions enqueued onto the dirty queue
   std::uint64_t rematches = 0;  // MatchPipeline::find probes
   std::uint64_t injects = 0;    // inject() calls
+  /// FIFO batches popped off the dirty queue by the drain (each covers up
+  /// to kDrainBatch reactions); wakeups/drain_batches is the drain width.
+  std::uint64_t drain_batches = 0;
 };
 
 /// Long-lived single-stage fixpoint driver over one Store. Construction
@@ -120,6 +123,12 @@ struct WorklistStats {
 /// meaning. Serve sessions therefore host single-stage programs only.
 class IncrementalFixpoint {
  public:
+  /// Dirty-queue entries drained per deque round-trip. Processing order
+  /// inside a batch is exactly pop order, so firing schedules (and the
+  /// byte-identical-fixpoint guarantee) are unchanged versus one-at-a-time
+  /// draining — the batch only amortizes queue traffic.
+  static constexpr std::size_t kDrainBatch = 8;
+
   IncrementalFixpoint(gamma::Program program, std::vector<WakeKeys> keys,
                       const WorklistOptions& options);
 

@@ -171,6 +171,7 @@ std::string Server::verb_create(const Json& req) {
       req.int_or("seed", static_cast<std::int64_t>(options_.seed)));
   sopts.worklist.rescan = req.bool_or("rescan", options_.rescan);
   sopts.worklist.compile = options_.compile;
+  sopts.worklist.batch = options_.batch;
   sopts.worklist.telemetry = options_.telemetry;
   sopts.record = req.bool_or("record", !options_.record_out.empty());
 
@@ -298,6 +299,7 @@ std::string Server::verb_stats(const Json& req) {
                     {"fires", Json(s.fires)},
                     {"wakeups", Json(s.wakeups)},
                     {"rematches", Json(s.rematches)},
+                    {"drain_batches", Json(s.drain_batches)},
                     {"quiesce_p50_us", Json(h.quantile(0.50))},
                     {"quiesce_p99_us", Json(h.quantile(0.99))}});
 }

@@ -5,8 +5,10 @@
 // example-program corpus run through every engine with compile on vs off.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <fstream>
 #include <functional>
+#include <span>
 #include <sstream>
 
 #include "gammaflow/common/rng.hpp"
@@ -404,6 +406,415 @@ TEST(BytecodeCorpus, TranslatedProgramsAgreeAcrossModes) {
                                                 ast_opts);
     EXPECT_EQ(vm.final_multiset, ast.final_multiset) << file;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Batch backend: compile_batch shapes, BatchVm lane semantics, and the
+// batch ≡ scalar differential property over generated conditions.
+
+expr::Chunk compile_scalar(const std::string& text) {
+  return expr::compile(parse(text), kSlots);
+}
+
+/// Slot layout for batch tests: `a` is the vector (per-lane) slot, `b`/`c`
+/// are broadcast scalars, `u` unused.
+constexpr std::array<std::uint8_t, 4> kVecA = {1, 0, 0, 0};
+
+TEST(BatchCompile, FusesLoadsIntoOperands) {
+  // a < b: both loads fold into the comparison's operands, leaving one
+  // compare plus the ret — the superinstruction shape bench_bytecode
+  // measures as loadslot+op fusion.
+  const auto batch = expr::compile_batch(compile_scalar("a < b"), kVecA);
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->fused_loads, 2u);
+  ASSERT_EQ(batch->code.size(), 2u);
+  EXPECT_EQ(batch->code[0].op, expr::BatchOp::Lt);
+  EXPECT_TRUE(batch->code[0].a.vec);
+  EXPECT_FALSE(batch->code[0].b.vec);
+  EXPECT_EQ(batch->code[1].op, expr::BatchOp::Ret);
+  ASSERT_GE(batch->slot_used.size(), 3u);
+  EXPECT_EQ(batch->slot_used[0], 1);
+  EXPECT_EQ(batch->slot_used[1], 1);
+  EXPECT_EQ(batch->slot_used[2], 0);
+}
+
+TEST(BatchCompile, LowersShortCircuitToEagerJoins) {
+  // and/or jumps disappear: both sides evaluate eagerly, joined by the
+  // boolean ops. Straight-line code must contain a join and no other
+  // control flow (Ret terminates).
+  const auto batch =
+      expr::compile_batch(compile_scalar("a > 0 and a % 2 == 0"), kVecA);
+  ASSERT_TRUE(batch.has_value());
+  bool saw_join = false;
+  for (const expr::BatchInstr& in : batch->code) {
+    saw_join = saw_join || in.op == expr::BatchOp::AndBool;
+  }
+  EXPECT_TRUE(saw_join);
+  EXPECT_EQ(batch->code.back().op, expr::BatchOp::Ret);
+}
+
+TEST(BatchCompile, RefusesWhatCouldDivergeFromScalar) {
+  // Non-Int constants, literal-zero divisors: lane semantics could diverge
+  // from the walker's error behaviour, so translation refuses and the
+  // pipeline keeps the scalar probe for the reaction.
+  EXPECT_FALSE(expr::compile_batch(compile_scalar("a == 's'"), kVecA));
+  EXPECT_FALSE(expr::compile_batch(compile_scalar("a / 0 > 1"), kVecA));
+  EXPECT_FALSE(expr::compile_batch(compile_scalar("a % 0 == 1"), kVecA));
+  // Nonzero literal divisors and Bool constants stay batchable.
+  EXPECT_TRUE(expr::compile_batch(compile_scalar("a % 3 == 0"), kVecA));
+  EXPECT_TRUE(expr::compile_batch(compile_scalar("a > 0 and true"), kVecA));
+}
+
+/// Runs `text` over a column bound to slot `a` (b, c broadcast) through the
+/// batch VM and checks every lane against the scalar Vm's verdict.
+void expect_batch_matches_scalar(const std::string& text,
+                                 std::span<const std::int64_t> col_a,
+                                 std::int64_t b, std::int64_t c) {
+  const expr::Chunk chunk = compile_scalar(text);
+  const auto batch = expr::compile_batch(chunk, kVecA);
+  ASSERT_TRUE(batch.has_value()) << text;
+  std::vector<expr::BatchVm::SlotInput> slots(kSlots.size());
+  slots[0].column = col_a.data();
+  slots[1].scalar = b;
+  slots[2].scalar = c;
+  expr::BatchVm vm;
+  std::vector<std::uint8_t> out;
+  ASSERT_TRUE(vm.run(*batch, slots, col_a.size(), out)) << text;
+  expr::Vm scalar;
+  for (std::size_t i = 0; i < col_a.size(); ++i) {
+    const Value va(col_a[i]);
+    const Value vb(b);
+    const Value vc(c);
+    const Value* ptrs[4] = {&va, &vb, &vc, nullptr};
+    const Value r = scalar.run(chunk, ptrs);
+    EXPECT_EQ(out[i] != 0, r.truthy()) << text << " lane " << i;
+  }
+}
+
+TEST(BatchVmTest, LanesAgreeWithScalarVm) {
+  const std::vector<std::int64_t> col = {-3, -1, 0, 1, 2, 5, 8, 1 << 20};
+  for (const char* text :
+       {"a < b", "a <= b and a > c", "a == b or a == c", "a % 3 == 0",
+        "a * 2 + c > b", "-a < b", "not (a > b)", "a / 2 >= c",
+        "a > 0 and (a < b or a == c)"}) {
+    expect_batch_matches_scalar(text, col, 4, -1);
+  }
+}
+
+TEST(BatchVmTest, HugeIntsKeepTheDoubleComparisonQuirks) {
+  // Comparisons go through double exactly like value.cpp's compare(): above
+  // 2^53, adjacent int64s collapse to the same double and compare equal.
+  // The batch bitmap must reproduce that bit-for-bit, not fix it.
+  const std::int64_t big = (std::int64_t{1} << 60) + 1;
+  const std::vector<std::int64_t> col = {big, big - 1, big + 1, 0};
+  expect_batch_matches_scalar("a == b", col, big, 0);
+  expect_batch_matches_scalar("a < b", col, big, 0);
+  expect_batch_matches_scalar("a >= b", col, big, 0);
+}
+
+TEST(BatchVmTest, RuntimeZeroDivisorAbortsTheBatch) {
+  // b is zero at runtime (not a literal), so translation succeeds — but a
+  // faulting lane means the bitmap cannot be trusted, and run() refuses so
+  // the caller re-probes the whole batch through the scalar path (which
+  // throws exactly where the walker would).
+  const auto batch = expr::compile_batch(compile_scalar("a / b > 0"), kVecA);
+  ASSERT_TRUE(batch.has_value());
+  const std::vector<std::int64_t> col = {1, 2, 3};
+  std::vector<expr::BatchVm::SlotInput> slots(kSlots.size());
+  slots[0].column = col.data();
+  slots[1].scalar = 0;
+  expr::BatchVm vm;
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(vm.run(*batch, slots, col.size(), out));
+
+  // Per-lane divisors: ANY zero lane aborts, even if others are fine.
+  const auto by_a = expr::compile_batch(compile_scalar("b / a > 0"), kVecA);
+  ASSERT_TRUE(by_a.has_value());
+  const std::vector<std::int64_t> divisors = {1, 0, 3};
+  slots[0].column = divisors.data();
+  slots[1].scalar = 6;
+  EXPECT_FALSE(vm.run(*by_a, slots, divisors.size(), out));
+  slots[1].scalar = 6;
+  const std::vector<std::int64_t> safe = {1, 2, 3};
+  slots[0].column = safe.data();
+  EXPECT_TRUE(vm.run(*by_a, slots, safe.size(), out));
+}
+
+TEST(BatchVmTest, CountersAdvancePerEvalAndLane) {
+  const auto batch = expr::compile_batch(compile_scalar("a > 0"), kVecA);
+  ASSERT_TRUE(batch.has_value());
+  const std::vector<std::int64_t> col = {1, -2, 3, 4, -5};
+  std::vector<expr::BatchVm::SlotInput> slots(kSlots.size());
+  slots[0].column = col.data();
+  expr::BatchVm vm;
+  std::vector<std::uint8_t> out;
+  const std::uint64_t evals0 = expr::batch_evals();
+  const std::uint64_t lanes0 = expr::batch_lanes();
+  const auto width0 = expr::batch_width_counts();
+  ASSERT_TRUE(vm.run(*batch, slots, col.size(), out));
+  EXPECT_EQ(expr::batch_evals() - evals0, 1u);
+  EXPECT_EQ(expr::batch_lanes() - lanes0, col.size());
+  // n = 5 lands in bucket bit_width(5) = 3 (widths 4..7).
+  const auto width1 = expr::batch_width_counts();
+  EXPECT_EQ(width1[3] - width0[3], 1u);
+}
+
+/// Random int-only conditions over one vector and two scalar slots; every
+/// batchable one must agree with the scalar Vm on every lane. Conditions
+/// with runtime division are exercised too: if run() succeeds, no lane
+/// faulted and the lanes must agree; if it aborts, the scalar run on some
+/// lane must actually throw.
+ExprPtr random_batch_expr(Rng& rng, int depth) {
+  if (depth == 0 || rng.coin(0.3)) {
+    switch (rng.bounded(6)) {
+      case 0: return expr::var("a");
+      case 1: return expr::var("b");
+      case 2: return expr::var("c");
+      case 3: return expr::lit(Value(rng.coin()));
+      default:
+        return expr::lit(Value(static_cast<std::int64_t>(rng.bounded(9)) - 3));
+    }
+  }
+  if (rng.coin(0.15)) {
+    return expr::Expr::unary(rng.coin() ? expr::UnOp::Neg : expr::UnOp::Not,
+                             random_batch_expr(rng, depth - 1));
+  }
+  static constexpr expr::BinOp kOps[] = {
+      expr::BinOp::Add, expr::BinOp::Sub, expr::BinOp::Mul, expr::BinOp::Div,
+      expr::BinOp::Mod, expr::BinOp::Lt,  expr::BinOp::Le,  expr::BinOp::Gt,
+      expr::BinOp::Ge,  expr::BinOp::Eq,  expr::BinOp::Ne,  expr::BinOp::And,
+      expr::BinOp::Or};
+  return expr::Expr::binary(kOps[rng.bounded(13)],
+                            random_batch_expr(rng, depth - 1),
+                            random_batch_expr(rng, depth - 1));
+}
+
+class BatchDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BatchDifferential, BitmapMatchesScalarVm) {
+  // 10 trials per seed x 50 seeds = 500 generated conditions.
+  for (std::uint64_t trial = 0; trial < 10; ++trial) {
+    Rng rng(GetParam() * 1000 + trial);
+    const ExprPtr e = random_batch_expr(rng, 4);
+    const expr::Chunk chunk = expr::compile(e, kSlots);
+    const auto batch = expr::compile_batch(chunk, kVecA);
+    if (!batch.has_value()) continue;  // not batchable: scalar path serves it
+
+    std::vector<std::int64_t> col(17);
+    for (auto& v : col) v = static_cast<std::int64_t>(rng.bounded(9)) - 3;
+    const Value vb(static_cast<std::int64_t>(rng.bounded(9)) - 3);
+    const Value vc(static_cast<std::int64_t>(rng.bounded(9)) - 3);
+    std::vector<expr::BatchVm::SlotInput> slots(kSlots.size());
+    slots[0].column = col.data();
+    slots[1].scalar = vb.as_int();
+    slots[2].scalar = vc.as_int();
+
+    expr::BatchVm bvm;
+    std::vector<std::uint8_t> out;
+    const bool ok = bvm.run(*batch, slots, col.size(), out);
+    expr::Vm scalar;
+    bool any_fault = false;
+    for (std::size_t i = 0; i < col.size(); ++i) {
+      const Value va(col[i]);
+      const Value* ptrs[4] = {&va, &vb, &vc, nullptr};
+      const Observed o = observe([&] { return scalar.run(chunk, ptrs); });
+      if (!o.ok) {
+        any_fault = true;
+        continue;
+      }
+      if (ok) {
+        EXPECT_EQ(out[i] != 0, o.value.truthy())
+            << "seed " << GetParam() << " trial " << trial << " lane " << i
+            << ": " << e->to_string();
+      }
+    }
+    if (!ok) {
+      EXPECT_TRUE(any_fault)
+          << "seed " << GetParam() << " trial " << trial
+          << ": batch aborted but no lane faults: " << e->to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchDifferential,
+                         ::testing::Range(std::uint64_t{1}, std::uint64_t{51}));
+
+// ---------------------------------------------------------------------------
+// Engine-level: batch ≡ scalar ≡ AST on generated programs (the modes share
+// one rng schedule, so states AND step counts must be byte-identical).
+
+TEST(BatchCorpus, GammaEnginesStateIdenticalAcrossAllThreeModes) {
+  for (const GammaCase& c : gamma_corpus()) {
+    const gamma::Program program =
+        gamma::dsl::parse_program(read_file(examples_dir() + c.file));
+    for (const std::uint64_t seed : {1ULL, 7ULL, 42ULL}) {
+      gamma::RunOptions batch_opts;
+      batch_opts.seed = seed;
+      gamma::RunOptions vm_opts = batch_opts;
+      vm_opts.batch = false;
+      gamma::RunOptions ast_opts = vm_opts;
+      ast_opts.compile = false;
+      for (const auto make : {+[]() -> std::unique_ptr<gamma::Engine> {
+                                return std::make_unique<gamma::SequentialEngine>();
+                              },
+                              +[]() -> std::unique_ptr<gamma::Engine> {
+                                return std::make_unique<gamma::IndexedEngine>();
+                              }}) {
+        const auto engine = make();
+        const auto batch = engine->run(program, c.initial, batch_opts);
+        const auto vm = engine->run(program, c.initial, vm_opts);
+        const auto ast = engine->run(program, c.initial, ast_opts);
+        EXPECT_EQ(batch.final_multiset, vm.final_multiset)
+            << c.file << " " << engine->name() << " seed " << seed;
+        EXPECT_EQ(batch.steps, vm.steps)
+            << c.file << " " << engine->name() << " seed " << seed;
+        EXPECT_EQ(vm.final_multiset, ast.final_multiset)
+            << c.file << " " << engine->name() << " seed " << seed;
+      }
+    }
+  }
+}
+
+/// Random guard over x and y rendered back to DSL text. Division and modulo
+/// are included on purpose: a guard that faults must fault identically
+/// (same error text) in all three modes.
+std::string random_guard(Rng& rng, int depth) {
+  if (depth == 0 || rng.coin(0.35)) {
+    switch (rng.bounded(5)) {
+      case 0: return "x";
+      case 1: return "y";
+      default:
+        return std::to_string(static_cast<std::int64_t>(rng.bounded(9)) - 3);
+    }
+  }
+  static constexpr const char* kOps[] = {"+", "-", "*", "/", "%", "<", "<=",
+                                         ">", ">=", "==", "!=", "and", "or"};
+  return "(" + random_guard(rng, depth - 1) + " " + kOps[rng.bounded(13)] +
+         " " + random_guard(rng, depth - 1) + ")";
+}
+
+struct EngineRun {
+  bool ok = false;
+  gamma::Multiset state;
+  std::uint64_t steps = 0;
+  std::string error;
+
+  friend bool operator==(const EngineRun& x, const EngineRun& y) {
+    return x.ok == y.ok &&
+           (x.ok ? (x.state == y.state && x.steps == y.steps)
+                 : x.error == y.error);
+  }
+};
+
+EngineRun run_mode(gamma::Engine& engine, const gamma::Program& p,
+                   const gamma::Multiset& init,
+                   const gamma::RunOptions& opts) {
+  EngineRun r;
+  try {
+    auto result = engine.run(p, init, opts);
+    r.state = std::move(result.final_multiset);
+    r.steps = result.steps;
+    r.ok = true;
+  } catch (const TypeError& ex) {
+    r.error = std::string("TypeError: ") + ex.what();
+  } catch (const ProgramError& ex) {
+    r.error = std::string("ProgramError: ") + ex.what();
+  }
+  return r;
+}
+
+class BatchEngineDifferential
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BatchEngineDifferential, GeneratedProgramsAgreeAcrossModes) {
+  // 10 generated (program, multiset) pairs per seed x 50 seeds = 500 cases,
+  // each run through the two deterministic engines in all three modes.
+  // Templates rotate so literal field checks, label keys, repeated binders
+  // (EqField), and outer-bound binders (EqSlot) all get exercised.
+  static constexpr const char* kTemplates[] = {
+      "R = replace x, y by x + y where %G",
+      "R = replace [x,'a'], [y,'a'] by [x + y,'a'] where %G",
+      "R = replace [x,'a'], [y,'b'] by [x,'done'] where %G",
+      "R = replace [x, x] by x where %G",
+  };
+  for (std::uint64_t trial = 0; trial < 10; ++trial) {
+    Rng rng(GetParam() * 7919 + trial);
+    const std::string guard = random_guard(rng, 3);
+    const std::size_t which = rng.bounded(4);
+    std::string src(kTemplates[which]);
+    src.replace(src.find("%G"), 2, guard);
+
+    gamma::Multiset init;
+    const std::size_t n = 6 + rng.bounded(10);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Value v(static_cast<std::int64_t>(rng.bounded(13)) - 3);
+      switch (which) {
+        case 0: init.add(gamma::Element{v}); break;
+        case 1: init.add(gamma::Element::labeled(v, "a")); break;
+        case 2:
+          init.add(gamma::Element::labeled(v, rng.coin() ? "a" : "b"));
+          break;
+        default: {
+          const Value w = rng.coin(0.4)
+                              ? v
+                              : Value(static_cast<std::int64_t>(
+                                    rng.bounded(13)) - 3);
+          init.add(gamma::Element{v, w});
+          break;
+        }
+      }
+    }
+
+    gamma::Program p;
+    try {
+      p = gamma::dsl::parse_program(src);
+    } catch (const Error&) {
+      continue;  // a guard the DSL rejects (none expected) — skip
+    }
+    gamma::RunOptions batch_opts;
+    batch_opts.seed = GetParam();
+    gamma::RunOptions vm_opts = batch_opts;
+    vm_opts.batch = false;
+    gamma::RunOptions ast_opts = vm_opts;
+    ast_opts.compile = false;
+
+    gamma::SequentialEngine seq;
+    gamma::IndexedEngine idx;
+    for (gamma::Engine* engine :
+         std::initializer_list<gamma::Engine*>{&seq, &idx}) {
+      const EngineRun batch = run_mode(*engine, p, init, batch_opts);
+      const EngineRun vm = run_mode(*engine, p, init, vm_opts);
+      const EngineRun ast = run_mode(*engine, p, init, ast_opts);
+      EXPECT_EQ(batch, vm) << engine->name() << " seed " << GetParam()
+                           << " trial " << trial << ": " << src;
+      EXPECT_EQ(vm, ast) << engine->name() << " seed " << GetParam()
+                         << " trial " << trial << ": " << src;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchEngineDifferential,
+                         ::testing::Range(std::uint64_t{1}, std::uint64_t{51}));
+
+TEST(BatchCorpus, CompiledReactionExposesItsBatchPlan) {
+  // Innermost-pattern binders become vector slots; outer binders broadcast.
+  const gamma::Reaction r = gamma::dsl::parse_reaction(
+      "R = replace [x,'a'], [y,'a'] by [x + y,'a'] where x < y");
+  const auto* plan = r.compiled().batch_plan();
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->arity, 2u);
+  ASSERT_EQ(plan->vector_slots.size(), 1u);  // y varies per lane
+  EXPECT_EQ(plan->slot_is_vector,
+            (std::vector<std::uint8_t>{0, 1}));  // x broadcast, y vector
+  ASSERT_EQ(plan->conditions.size(), 1u);
+  EXPECT_TRUE(plan->conditions[0].has_value());
+
+  // A non-batchable guard disables the plan wholesale (all-or-nothing:
+  // mixing lane bitmaps with scalar branch probes could reorder which
+  // branch fires first) — the matcher falls back to the scalar sweep.
+  const gamma::Reaction s = gamma::dsl::parse_reaction(
+      "S = replace [x,'a'], [y,'a'] by [x,'a'] where y == 's' or x < y");
+  EXPECT_EQ(s.compiled().batch_plan(), nullptr);
 }
 
 TEST(BytecodeCorpus, CompiledReactionReportsFootprint) {

@@ -215,56 +215,110 @@ TEST(EnumerateMatches, HonorsLimitAndEarlyStop) {
   EXPECT_EQ(seen, 3u);
 }
 
-TEST(Store, GarbageDebtAccruesOnReadOnlyPathAndCompactSettlesIt) {
+TEST(Store, DeadRowDebtAccruesOnRemoveAndCompactSettlesIt) {
   Store s;
   std::vector<Store::Id> ids;
   for (int i = 0; i < 8; ++i) ids.push_back(s.insert(Element{Value(i)}));
   for (std::size_t i = 0; i < 4; ++i) s.remove(ids[i]);
 
-  // The read-only lookup leaves stale entries in place; a searcher reports
-  // each one it has to skip.
+  // The debt is exact: one dead row per removal, counted at remove() time.
+  EXPECT_EQ(s.dead_rows(), 4u);
+  EXPECT_FALSE(s.needs_compact());
+
+  // The read-only lookup leaves stale entries in place for searchers to
+  // skip via the generation stamp.
   const Store& cs = s;
   const Store::Bucket* b = cs.bucket(Pattern::var("x"));
   ASSERT_NE(b, nullptr);
   EXPECT_EQ(b->entries.size(), 8u);
   std::uint64_t skips = 0;
   for (const auto& entry : b->entries) {
-    if (!cs.live(entry)) {
-      cs.note_stale(*b);
-      ++skips;
-    }
+    if (!cs.live(entry)) ++skips;
   }
   EXPECT_EQ(skips, 4u);
-  EXPECT_EQ(cs.garbage_seen(), 4u);
-  EXPECT_FALSE(cs.needs_compact());
 
+  const auto compactions_before = s.column_compactions();
   s.compact();
-  EXPECT_EQ(s.garbage_seen(), 0u);
+  EXPECT_EQ(s.dead_rows(), 0u);
+  EXPECT_GT(s.column_compactions(), compactions_before);
   const Store::Bucket* after = cs.bucket(Pattern::var("x"));
   ASSERT_NE(after, nullptr);
   EXPECT_EQ(after->entries.size(), 4u);
+  // Survivors keep their identity and content across the row rewrite.
+  for (std::size_t i = 4; i < 8; ++i) {
+    EXPECT_TRUE(s.alive(ids[i]));
+    EXPECT_EQ(s.element(ids[i]), Element{Value(static_cast<int>(i))});
+  }
 }
 
-TEST(Store, NeedsCompactTripsAtTheThresholdAndMutatingLookupSettles) {
+TEST(Store, NeedsCompactTripsAtTheDeadRowThreshold) {
   Store s;
-  const auto dead = s.insert(Element{Value(1)});
-  s.insert(Element{Value(2)});
-  s.remove(dead);
-
-  const Store& cs = s;
-  const Store::Bucket* b = cs.bucket(Pattern::var("x"));
-  ASSERT_NE(b, nullptr);
-  for (std::uint64_t i = 0; i + 1 < Store::kGarbageCompactThreshold; ++i) {
-    cs.note_stale(*b);
+  std::vector<Store::Id> ids;
+  for (std::uint64_t i = 0; i < Store::kGarbageCompactThreshold; ++i) {
+    ids.push_back(s.insert(Element{Value(static_cast<std::int64_t>(i))}));
   }
+  for (std::size_t i = 0; i + 1 < ids.size(); ++i) s.remove(ids[i]);
   EXPECT_FALSE(s.needs_compact());
-  cs.note_stale(*b);
+  s.remove(ids.back());
   EXPECT_TRUE(s.needs_compact());
 
-  // A MUTATING lookup prunes the bucket in place, settling its debt.
-  (void)s.bucket(Pattern::var("x"));
-  EXPECT_EQ(s.garbage_seen(), 0u);
+  // The next insert self-triggers collection, so paths that never check
+  // needs_compact() (the worklist drain) still stay O(live).
+  s.insert(Element{Value(-1)});
+  EXPECT_EQ(s.dead_rows(), 0u);
   EXPECT_FALSE(s.needs_compact());
+  EXPECT_GT(s.column_compactions(), 0u);
+}
+
+TEST(Store, SpillSidecarRoundTripsNonIntFields) {
+  // Every non-Int kind goes through the tag/spill sidecar; materialization
+  // must reproduce the exact Value (kind and payload), before and after the
+  // columns are rewritten.
+  Store s;
+  const Element mixed{Value(7), Value("label"), Value(2.5), Value(true),
+                      Value()};
+  const auto id = s.insert(mixed);
+  const auto dead = s.insert(Element{Value(1), Value("x"), Value(0.0),
+                                     Value(false), Value()});
+  EXPECT_EQ(s.element(id), mixed);
+  s.remove(dead);
+  s.compact();
+  EXPECT_TRUE(s.alive(id));
+  EXPECT_EQ(s.element(id), mixed);
+  EXPECT_EQ(s.to_multiset(), Multiset{mixed});
+}
+
+TEST(Store, LivenessBitmapTracksRows) {
+  Store s;
+  std::vector<Store::Id> ids;
+  for (int i = 0; i < 130; ++i) {  // spans three 64-bit bitmap words
+    ids.push_back(s.insert(Element::labeled(Value(i), "L")));
+  }
+  for (int i = 0; i < 130; i += 2) s.remove(ids[static_cast<std::size_t>(i)]);
+  for (int i = 0; i < 130; ++i) {
+    const Store::RowRef ref = s.row(ids[static_cast<std::size_t>(i)]);
+    ASSERT_NE(ref.group, nullptr);
+    EXPECT_EQ(ref.group->row_live(ref.row), i % 2 == 1) << i;
+  }
+  EXPECT_EQ(s.dead_rows(), 65u);
+}
+
+TEST(Store, MatchPatternAgreesWithElementMatch) {
+  Store s;
+  const auto id = s.insert(Element::tagged(Value(41), "A", 3));
+  const Pattern hit = Pattern::tagged("x", "A", "v");
+  const Pattern missLabel = Pattern::tagged("x", "B", "v");
+  const Pattern missArity = Pattern::labeled("x", "A");
+  for (const Pattern* p : {&hit, &missLabel, &missArity}) {
+    expr::Env direct;
+    expr::Env viaColumns;
+    EXPECT_EQ(p->match(s.element(id), direct),
+              s.match_pattern(*p, id, viaColumns));
+  }
+  expr::Env env;
+  ASSERT_TRUE(s.match_pattern(hit, id, env));
+  EXPECT_EQ(*env.find("x"), Value(41));
+  EXPECT_EQ(*env.find("v"), Value(3));
 }
 
 TEST(EnumerateMatches, OnlyEnabledMatchesVisited) {

@@ -100,6 +100,12 @@ void print_usage(std::ostream& out) {
       "                                conditions/actions with the AST walker\n"
       "                                instead of compiled bytecode (results\n"
       "                                are identical; this is the slow path)\n"
+      "         --no-batch             run, rungamma, distrib, serve: match\n"
+      "                                candidates one at a time with the\n"
+      "                                scalar VM instead of the columnar\n"
+      "                                batch evaluator (results are\n"
+      "                                identical; A/B baseline — ignored\n"
+      "                                under --no-compile)\n"
       "         --no-shard             rungamma --engine par: force the\n"
       "                                optimistic single-store path even when\n"
       "                                conflict classes admit a sharded store\n"
@@ -241,6 +247,11 @@ struct Options {
   /// Bytecode escape hatch (--no-compile): evaluate conditions/actions with
   /// the AST walker instead of the register VM. Results are identical.
   bool compile = true;
+  /// Batch escape hatch (--no-batch): keep compiled bytecode but match
+  /// candidates one at a time with the scalar VM instead of the columnar
+  /// batch evaluator. Results are identical; this is the A/B baseline the
+  /// benches compare against. Ignored under --no-compile.
+  bool batch = true;
   /// Sharding escape hatch (--no-shard): keep the parallel Gamma engine on
   /// the optimistic single-store path even when --classes admits sharding.
   bool shard = true;
@@ -362,6 +373,8 @@ Options parse_options(int argc, char** argv, int first) {
       opts.affinity = true;
     } else if (arg == "--no-compile") {
       opts.compile = false;
+    } else if (arg == "--no-batch") {
+      opts.batch = false;
     } else if (arg == "--no-shard") {
       opts.shard = false;
     } else if (arg == "--nodes") {
@@ -501,6 +514,7 @@ int cmd_run(const std::string& path, const Options& opts) {
   obs::RunRecorder rec;
   dataflow::DfRunOptions ropts;
   ropts.compile = opts.compile;
+  ropts.batch = opts.batch;
   if (opts.trace_out || opts.metrics) ropts.telemetry = &tel;
   if (opts.record_out) ropts.record = &rec;
   if (opts.workers) ropts.workers = *opts.workers;
@@ -561,6 +575,7 @@ int run_worklist(const gamma::Program& program, const gamma::Multiset& initial,
   runtime::WorklistOptions wopts;
   wopts.seed = opts.seed;
   wopts.compile = opts.compile;
+  wopts.batch = opts.batch;
   wopts.rescan = opts.rescan;
   obs::RunRecorder rec;
   if (opts.record_out) wopts.record = &rec;
@@ -603,6 +618,7 @@ int cmd_rungamma(const std::string& path, const Options& opts) {
   gamma::RunOptions ropts;
   ropts.seed = opts.seed;
   ropts.compile = opts.compile;
+  ropts.batch = opts.batch;
   ropts.shard = opts.shard;
   if (opts.workers) ropts.workers = *opts.workers;
   if (opts.trace_out || opts.metrics) ropts.telemetry = &tel;
@@ -657,6 +673,7 @@ int cmd_distrib(const std::string& path, const Options& opts) {
   copts.fires_per_round = opts.fires_per_round;
   copts.faults = opts.faults;
   copts.compile = opts.compile;
+  copts.batch = opts.batch;
   copts.replication_factor = opts.replication;
   copts.checkpoint_every = opts.checkpoint_every;
   copts.wal_dir = opts.wal_dir;
@@ -734,6 +751,7 @@ int cmd_serve(const std::string& path, const Options& opts) {
   if (opts.max_steps > 0) sopts.max_steps = opts.max_steps;
   sopts.seed = opts.seed;
   sopts.compile = opts.compile;
+  sopts.batch = opts.batch;
   sopts.rescan = opts.rescan;
   if (opts.record_out) sopts.record_out = *opts.record_out;
   sopts.default_program = read_file(path);
@@ -990,6 +1008,7 @@ int cmd_viz(const std::string& path, const Options& opts) {
     gamma::RunOptions ropts;
     ropts.seed = opts.seed;
     ropts.compile = opts.compile;
+    ropts.batch = opts.batch;
     ropts.record = &rec;
     (void)make_engine(opts.engine)->run(*program, parse_elements(*opts.init),
                                         ropts);
@@ -999,6 +1018,7 @@ int cmd_viz(const std::string& path, const Options& opts) {
     obs::RunRecorder rec;
     dataflow::DfRunOptions ropts;
     ropts.compile = opts.compile;
+    ropts.batch = opts.batch;
     ropts.record = &rec;
     if (opts.engine == "par") {
       (void)dataflow::ParallelEngine().run(*graph, ropts, {});
